@@ -1,0 +1,184 @@
+//! Ablations of the two optimizer design choices DESIGN.md calls out:
+//!
+//! 1. **Greedy vs optimal materialization** — the paper rejects the exact
+//!    ILP as too slow and asserts greedy "works efficiently and accurately
+//!    in practice" without measuring it. We measure both: solution quality
+//!    (runtime of the chosen cache set vs the exhaustive optimum) and
+//!    planner cost, over random pipeline DAGs.
+//! 2. **Always-X solver vs cost-based selection** — §3 claims poor physical
+//!    operator selection costs up to 260×. We compute, over the Fig. 6
+//!    paper-scale grid, the regret of fixing each solver everywhere versus
+//!    letting the cost model choose.
+
+use std::time::Instant;
+
+use keystone_bench::{print_table, save_json};
+use keystone_core::optimizer::materialize::{MatNode, MatProblem};
+use keystone_dataflow::cluster::ClusterProfile;
+use keystone_solvers::cost::{
+    block_solve_cost, dist_qr_cost, lbfgs_cost, local_qr_cost, SolveShape, INFEASIBLE,
+};
+
+fn random_problem(n: usize, seed: u64) -> MatProblem {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut nodes = vec![MatNode {
+        t_secs: 0.0,
+        size_bytes: 0,
+        weight: 1,
+        always_cached: true,
+        inputs: vec![],
+        label: "src".into(),
+    }];
+    for i in 1..n {
+        let mut inputs = vec![next() as usize % i];
+        if next() % 3 == 0 && i > 1 {
+            inputs.push(next() as usize % i);
+        }
+        inputs.sort_unstable();
+        inputs.dedup();
+        nodes.push(MatNode {
+            t_secs: (next() % 1000) as f64 / 100.0,
+            size_bytes: 1 + next() % 1000,
+            weight: 1 + (next() % 5) as u32,
+            always_cached: false,
+            inputs,
+            label: format!("n{}", i),
+        });
+    }
+    MatProblem {
+        nodes,
+        sinks: vec![n - 1],
+    }
+}
+
+fn main() {
+    // ---- Ablation 1: greedy vs exhaustive optimal. ----
+    let mut gaps = Vec::new();
+    let mut greedy_time = 0.0;
+    let mut optimal_time = 0.0;
+    let trials = 300;
+    for seed in 1..=trials {
+        let n = 4 + (seed as usize % 12); // 4..15 nodes
+        let p = random_problem(n, seed * 7919);
+        let budget = 200 + (seed % 20) * 150;
+        let t0 = Instant::now();
+        let g = p.est_runtime(&p.greedy_cache_set(budget));
+        greedy_time += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let o = p.est_runtime(&p.optimal_cache_set(budget));
+        optimal_time += t1.elapsed().as_secs_f64();
+        gaps.push(if o > 0.0 { g / o } else { 1.0 });
+    }
+    gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let optimal_hits = gaps.iter().filter(|&&g| g < 1.0 + 1e-9).count();
+    let rows = vec![vec![
+        format!("{}", trials),
+        format!("{:.1}%", 100.0 * optimal_hits as f64 / trials as f64),
+        format!("{:.3}x", gaps[(gaps.len() as f64 * 0.5) as usize]),
+        format!("{:.3}x", gaps[(gaps.len() as f64 * 0.95) as usize]),
+        format!("{:.3}x", gaps[gaps.len() - 1]),
+        format!("{:.2}ms", greedy_time * 1e3 / trials as f64),
+        format!("{:.2}ms", optimal_time * 1e3 / trials as f64),
+    ]];
+    print_table(
+        "Ablation 1: greedy vs exhaustive-optimal materialization (random DAGs, 4-15 nodes)",
+        &[
+            "dags", "optimal%", "p50 gap", "p95 gap", "max gap", "greedy t", "exhaust t",
+        ],
+        &rows,
+    );
+    save_json("ablation_greedy_vs_optimal", &rows);
+
+    // ---- Ablation 2: fixed solver vs cost-based selection. ----
+    let r16 = ClusterProfile::R3_4xlarge.descriptor(16);
+    let shapes: Vec<(String, SolveShape)> = [1024usize, 4096, 16384, 65536]
+        .iter()
+        .flat_map(|&d| {
+            vec![
+                (
+                    format!("amazon-{}", d),
+                    SolveShape::new(65_000_000, d, 2, Some(100.0)),
+                ),
+                (
+                    format!("timit-{}", d),
+                    SolveShape::new(2_251_569, d, 147, None),
+                ),
+            ]
+        })
+        .collect();
+    let cost_of = |name: &str, s: &SolveShape| -> f64 {
+        let c = match name {
+            "local-qr" => local_qr_cost(s, &r16),
+            "dist-qr" => dist_qr_cost(s, &r16),
+            "block" => block_solve_cost(s, 5, 2048, &r16),
+            _ => lbfgs_cost(s, 20, &r16),
+        };
+        if c.flops >= INFEASIBLE {
+            f64::INFINITY
+        } else {
+            c.estimated_seconds(&r16)
+        }
+    };
+    let names = ["local-qr", "dist-qr", "block", "lbfgs"];
+    let mut rows = Vec::new();
+    for fixed in names {
+        let mut worst: f64 = 1.0;
+        let mut geo = 0.0;
+        let mut feasible = 0usize;
+        for (_, s) in &shapes {
+            let best = names
+                .iter()
+                .map(|n| cost_of(n, s))
+                .fold(f64::INFINITY, f64::min);
+            let this = cost_of(fixed, s);
+            if this.is_finite() {
+                feasible += 1;
+                let regret = this / best;
+                worst = worst.max(regret);
+                geo += regret.ln();
+            }
+        }
+        let geo_mean = if feasible > 0 {
+            (geo / feasible as f64).exp()
+        } else {
+            f64::INFINITY
+        };
+        rows.push(vec![
+            format!("always-{}", fixed),
+            format!("{}/{}", feasible, shapes.len()),
+            if feasible > 0 {
+                format!("{:.1}x", geo_mean)
+            } else {
+                "-".into()
+            },
+            if worst.is_finite() {
+                format!("{:.0}x", worst)
+            } else {
+                "inf".into()
+            },
+        ]);
+    }
+    rows.push(vec![
+        "cost-based".into(),
+        format!("{}/{}", shapes.len(), shapes.len()),
+        "1.0x".into(),
+        "1x".into(),
+    ]);
+    print_table(
+        "Ablation 2: fixed-solver regret vs cost-based selection (paper-scale grid)",
+        &["strategy", "feasible", "geo-mean regret", "worst regret"],
+        &rows,
+    );
+    save_json("ablation_fixed_solver", &rows);
+    println!(
+        "\nThe paper's §3 claim: poor physical operator selection can cost up to\n\
+         260x — visible here as the worst-case regret of the always-one-solver\n\
+         strategies (and outright infeasibility for the local exact solver)."
+    );
+}

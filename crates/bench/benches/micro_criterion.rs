@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the computational kernels everything
+//! else is built on: GEMM, QR, SVD/TSVD, FFT convolution, sparse products.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use keystone_linalg::dense::DenseMatrix;
+use keystone_linalg::fft::{convolve_fft, correlate2d_fft};
+use keystone_linalg::gemm::{gram, matmul, matmul_parallel};
+use keystone_linalg::qr::lstsq;
+use keystone_linalg::rng::XorShiftRng;
+use keystone_linalg::sparse::{CsrMatrix, SparseVector};
+use keystone_linalg::svd::svd;
+use keystone_linalg::tsvd::{truncated_svd, TsvdOptions};
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = XorShiftRng::new(seed);
+    DenseMatrix::from_fn(rows, cols, |_, _| rng.next_gaussian())
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = rand_matrix(128, 128, 1);
+    let b = rand_matrix(128, 128, 2);
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(20);
+    g.bench_function("matmul_128", |bch| bch.iter(|| matmul(&a, &b)));
+    g.bench_function("matmul_parallel_128", |bch| {
+        bch.iter(|| matmul_parallel(&a, &b))
+    });
+    g.bench_function("gram_512x64", |bch| {
+        let m = rand_matrix(512, 64, 3);
+        bch.iter(|| gram(&m))
+    });
+    g.finish();
+}
+
+fn bench_decompositions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decompositions");
+    g.sample_size(10);
+    let a = rand_matrix(256, 48, 4);
+    let b = rand_matrix(256, 4, 5);
+    g.bench_function("lstsq_256x48", |bch| {
+        bch.iter_batched(|| (a.clone(), b.clone()), |(a, b)| lstsq(&a, &b), BatchSize::SmallInput)
+    });
+    let m = rand_matrix(96, 48, 6);
+    g.bench_function("svd_96x48", |bch| bch.iter(|| svd(&m)));
+    let big = rand_matrix(512, 128, 7);
+    g.bench_function("tsvd_512x128_k8", |bch| {
+        bch.iter(|| truncated_svd(&big, 8, TsvdOptions::default()))
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    g.sample_size(30);
+    let mut rng = XorShiftRng::new(8);
+    let signal: Vec<f64> = (0..4096).map(|_| rng.next_gaussian()).collect();
+    let kernel: Vec<f64> = (0..64).map(|_| rng.next_gaussian()).collect();
+    g.bench_function("convolve_fft_4096x64", |bch| {
+        bch.iter(|| convolve_fft(&signal, &kernel))
+    });
+    let img: Vec<f64> = (0..64 * 64).map(|_| rng.next_gaussian()).collect();
+    let filt: Vec<f64> = (0..11 * 11).map(|_| rng.next_gaussian()).collect();
+    g.bench_function("correlate2d_fft_64_k11", |bch| {
+        bch.iter(|| correlate2d_fft(&img, 64, &filt, 11))
+    });
+    g.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse");
+    g.sample_size(30);
+    let mut rng = XorShiftRng::new(9);
+    let rows: Vec<SparseVector> = (0..2_000)
+        .map(|_| {
+            SparseVector::from_pairs(
+                10_000,
+                (0..20)
+                    .map(|_| (rng.next_usize(10_000) as u32, rng.next_gaussian()))
+                    .collect(),
+            )
+        })
+        .collect();
+    let csr = CsrMatrix::from_rows(&rows);
+    let x: Vec<f64> = (0..10_000).map(|_| rng.next_gaussian()).collect();
+    g.bench_function("csr_matvec_2000x10000_nnz20", |bch| {
+        bch.iter(|| csr.matvec(&x))
+    });
+    let y: Vec<f64> = (0..2_000).map(|_| rng.next_gaussian()).collect();
+    g.bench_function("csr_tr_matvec", |bch| bch.iter(|| csr.tr_matvec(&y)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_decompositions, bench_fft, bench_sparse);
+criterion_main!(benches);

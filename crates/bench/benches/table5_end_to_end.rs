@@ -1,0 +1,159 @@
+//! Table 5: time-to-accuracy for every end-to-end pipeline, with the
+//! paper's reported numbers printed alongside. Absolute times are not
+//! comparable (our substrate is a single-machine simulator over synthetic
+//! data); the claim being reproduced is that **each pipeline reaches strong
+//! statistical performance end-to-end under the full optimizer**.
+
+use keystone_bench::{print_table, save_json, secs, time_once};
+use keystone_core::context::ExecContext;
+use keystone_core::optimizer::PipelineOptions;
+use keystone_core::profiler::ProfileOptions;
+use keystone_ops::eval::accuracy;
+use keystone_solvers::logistic::one_hot;
+use keystone_workloads::image_gen::ImageDatasetSpec;
+use keystone_workloads::pipelines::{
+    cifar_pipeline, image_classification_pipeline, predictions, speech_pipeline,
+    text_classification_pipeline, CifarPipelineConfig, ImagePipelineConfig,
+    SpeechPipelineConfig, TextPipelineConfig,
+};
+use keystone_workloads::{AmazonLike, TimitLike};
+
+fn opts() -> PipelineOptions {
+    PipelineOptions {
+        profile: ProfileOptions {
+            sizes: vec![96, 192],
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    // Amazon (paper: 91.6% accuracy).
+    {
+        let (train, test) = AmazonLike::with_docs(1_500).generate_split(0.2);
+        let labels = one_hot(&train.labels, 2);
+        let cfg = TextPipelineConfig {
+            max_features: 2_000,
+            ..Default::default()
+        };
+        let pipe = text_classification_pipeline(&cfg, &train.docs, &labels);
+        let ctx = ExecContext::calibrated(8);
+        let ((fitted, _), fit_secs) = time_once(|| pipe.fit(&ctx, &opts()));
+        let acc = accuracy(
+            &predictions(&fitted.apply(&test.docs, &ctx)),
+            &test.labels.collect(),
+        );
+        rows.push(vec![
+            "Amazon".into(),
+            format!("{:.1}%", acc * 100.0),
+            secs(fit_secs),
+            "91.6%".into(),
+            "3.3 min".into(),
+        ]);
+    }
+
+    // TIMIT (paper: 66.06%, 147 classes; we scale class count down).
+    {
+        let classes = 16;
+        let (train, test) = TimitLike {
+            separation: 3.5,
+            ..TimitLike::new(1_500, 40, classes)
+        }
+        .generate_split(0.2);
+        let labels = one_hot(&train.labels, classes);
+        let cfg = SpeechPipelineConfig {
+            blocks: 4,
+            block_dim: 64,
+            gamma: 0.07,
+            ..Default::default()
+        };
+        let pipe = speech_pipeline(&cfg, &train.data, &labels);
+        let ctx = ExecContext::calibrated(8);
+        let ((fitted, _), fit_secs) = time_once(|| pipe.fit(&ctx, &opts()));
+        let acc = accuracy(
+            &predictions(&fitted.apply(&test.data, &ctx)),
+            &test.labels.collect(),
+        );
+        rows.push(vec![
+            "TIMIT".into(),
+            format!("{:.1}%", acc * 100.0),
+            secs(fit_secs),
+            "66.06%".into(),
+            "138 min".into(),
+        ]);
+    }
+
+    // VOC (paper: 57.2% mAP).
+    {
+        let classes = 5;
+        let (train, test) = ImageDatasetSpec {
+            classes,
+            ..ImageDatasetSpec::voc_like(150, 32)
+        }
+        .generate_split(0.25);
+        let labels = one_hot(&train.labels, classes);
+        let cfg = ImagePipelineConfig {
+            pca_dims: 12,
+            gmm_k: 4,
+            ..Default::default()
+        };
+        let pipe = image_classification_pipeline(&cfg, &train.images, &labels);
+        let ctx = ExecContext::calibrated(8);
+        let ((fitted, _), fit_secs) = time_once(|| pipe.fit(&ctx, &opts()));
+        let acc = accuracy(
+            &predictions(&fitted.apply(&test.images, &ctx)),
+            &test.labels.collect(),
+        );
+        rows.push(vec![
+            "VOC".into(),
+            format!("{:.1}%", acc * 100.0),
+            secs(fit_secs),
+            "57.2% mAP".into(),
+            "7 min".into(),
+        ]);
+    }
+
+    // CIFAR-10 (paper: 84.0%).
+    {
+        let classes = 5;
+        let (train, test) = ImageDatasetSpec {
+            classes,
+            ..ImageDatasetSpec::cifar_like(200)
+        }
+        .generate_split(0.25);
+        let labels = one_hot(&train.labels, classes);
+        let cfg = CifarPipelineConfig {
+            filters: 8,
+            ..Default::default()
+        };
+        let pipe = cifar_pipeline(&cfg, &train.images, &labels);
+        let ctx = ExecContext::calibrated(8);
+        let ((fitted, _), fit_secs) = time_once(|| pipe.fit(&ctx, &opts()));
+        let acc = accuracy(
+            &predictions(&fitted.apply(&test.images, &ctx)),
+            &test.labels.collect(),
+        );
+        rows.push(vec![
+            "CIFAR-10".into(),
+            format!("{:.1}%", acc * 100.0),
+            secs(fit_secs),
+            "84.0%".into(),
+            "28.7 min".into(),
+        ]);
+    }
+
+    print_table(
+        "Table 5: time-to-accuracy (ours = synthetic data @ bench scale)",
+        &["pipeline", "accuracy", "fit time", "paper acc", "paper time"],
+        &rows,
+    );
+    save_json("table5_end_to_end", &rows);
+    println!(
+        "\nAbsolute numbers are not comparable (synthetic data, scaled size, single\n\
+         machine); the reproduced claim is that every pipeline trains end-to-end to\n\
+         accuracy far above chance with the full optimizer enabled."
+    );
+}

@@ -1,0 +1,77 @@
+//! Execution context threaded through every operator invocation.
+
+use keystone_dataflow::cluster::{ClusterProfile, ResourceDesc};
+use keystone_dataflow::simclock::SimClock;
+use keystone_dataflow::stats::ExecStats;
+
+/// Shared execution context: the cluster descriptor plus both clocks.
+///
+/// Cloning is cheap and shares the underlying ledgers, so operators deep in
+/// a pipeline charge the same clocks the driver reads.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// Cluster resource descriptor (`R`).
+    pub resources: ResourceDesc,
+    /// Simulated cluster clock.
+    pub sim: SimClock,
+    /// Wall-clock stage ledger.
+    pub wall: ExecStats,
+}
+
+impl ExecContext {
+    /// Context over an explicit descriptor.
+    pub fn new(resources: ResourceDesc) -> Self {
+        ExecContext {
+            resources,
+            sim: SimClock::new(),
+            wall: ExecStats::new(),
+        }
+    }
+
+    /// Convenience: a 16-node `r3.4xlarge` cluster, the paper's default.
+    /// Use this when the quantity of interest is the *simulated* cluster
+    /// clock (scaling studies, paper-scale cost estimates).
+    pub fn default_cluster() -> Self {
+        Self::new(ClusterProfile::R3_4xlarge.descriptor(16))
+    }
+
+    /// Context whose resource descriptor is microbenchmarked from the local
+    /// machine (§3: the descriptor "is collected via configuration data and
+    /// microbenchmarks"). Use this when pipelines actually execute here and
+    /// wall time is the quantity of interest — the optimizer's choices then
+    /// reflect the hardware the operators really run on. `workers` should
+    /// match the collection partition count (local parallelism).
+    pub fn calibrated(workers: usize) -> Self {
+        Self::new(keystone_dataflow::cluster::calibrate_local(workers))
+    }
+
+    /// Copy of this context pointing at a different worker count but
+    /// sharing clocks (used by scaling sweeps).
+    pub fn with_workers(&self, workers: usize) -> Self {
+        ExecContext {
+            resources: self.resources.with_workers(workers),
+            sim: self.sim.clone(),
+            wall: self.wall.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cluster_is_16_nodes() {
+        let ctx = ExecContext::default_cluster();
+        assert_eq!(ctx.resources.workers, 16);
+    }
+
+    #[test]
+    fn with_workers_shares_clocks() {
+        let ctx = ExecContext::default_cluster();
+        let scaled = ctx.with_workers(128);
+        scaled.sim.charge_seconds("x", 1.0, 0.0);
+        assert_eq!(ctx.sim.total_seconds(), 1.0);
+        assert_eq!(scaled.resources.workers, 128);
+    }
+}

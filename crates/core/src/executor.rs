@@ -1,0 +1,496 @@
+//! Depth-first, cache-aware DAG execution (§2.3 "runtime").
+//!
+//! The executor evaluates nodes on demand. There is **no implicit
+//! memoization of data nodes**: a node requested twice (fan-out, or an
+//! iterative estimator re-reading its input) is recomputed unless the
+//! [`CacheManager`] holds it — exactly the Spark behaviour the automatic
+//! materialization optimizer (§4.3) manages. Fitted models *are* memoized
+//! per run: an estimator fits once.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use keystone_dataflow::cache::CacheManager;
+
+use crate::context::ExecContext;
+use crate::graph::{Graph, NodeId, NodeKind};
+use crate::operator::{AnyData, ErasedTransformer, InputHandle, NodeOutput};
+use crate::profiler::NodeProfile;
+use parking_lot::Mutex;
+
+/// DAG evaluator over a frozen graph.
+pub struct Executor<'g> {
+    graph: &'g Graph,
+    ctx: ExecContext,
+    cache: Arc<CacheManager>,
+    /// Fitted models, memoized for the run.
+    models: Mutex<HashMap<NodeId, Arc<dyn ErasedTransformer>>>,
+    /// Apply-time input binding.
+    runtime_input: Option<AnyData>,
+    /// Sample overrides for data sources (profiling mode).
+    source_overrides: HashMap<NodeId, AnyData>,
+    /// Per-node profiles used to charge the simulated clock.
+    profiles: Option<Arc<HashMap<NodeId, NodeProfile>>>,
+    /// Memoize every data node (single-pass modes: profiling, apply).
+    memoize_all: bool,
+    memo: Mutex<HashMap<NodeId, NodeOutput>>,
+    /// How many times each node was actually computed (not served from
+    /// cache/memo) — the measured counterpart of the paper's `C(v)`.
+    eval_counts: Mutex<HashMap<NodeId, u64>>,
+}
+
+impl<'g> Executor<'g> {
+    /// Creates an executor in fit mode (cache-managed recomputation).
+    pub fn new(graph: &'g Graph, ctx: ExecContext, cache: Arc<CacheManager>) -> Self {
+        Executor {
+            graph,
+            ctx,
+            cache,
+            models: Mutex::new(HashMap::new()),
+            runtime_input: None,
+            source_overrides: HashMap::new(),
+            profiles: None,
+            memoize_all: false,
+            memo: Mutex::new(HashMap::new()),
+            eval_counts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Binds the apply-time input.
+    pub fn with_runtime_input(mut self, data: AnyData) -> Self {
+        self.runtime_input = Some(data);
+        self
+    }
+
+    /// Replaces data sources with (sampled) overrides.
+    pub fn with_source_overrides(mut self, overrides: HashMap<NodeId, AnyData>) -> Self {
+        self.source_overrides = overrides;
+        self
+    }
+
+    /// Supplies per-node profiles so execution charges the simulated clock.
+    pub fn with_profiles(mut self, profiles: Arc<HashMap<NodeId, NodeProfile>>) -> Self {
+        self.profiles = Some(profiles);
+        self
+    }
+
+    /// Memoizes every node output for the run (single-pass modes).
+    pub fn memoize_all(mut self) -> Self {
+        self.memoize_all = true;
+        self
+    }
+
+    /// Preloads fitted models (used by `FittedPipeline::apply`).
+    pub fn with_models(self, models: HashMap<NodeId, Arc<dyn ErasedTransformer>>) -> Self {
+        *self.models.lock() = models;
+        self
+    }
+
+    /// The execution context.
+    pub fn ctx(&self) -> &ExecContext {
+        &self.ctx
+    }
+
+    /// Snapshot of fitted models.
+    pub fn models(&self) -> HashMap<NodeId, Arc<dyn ErasedTransformer>> {
+        self.models.lock().clone()
+    }
+
+    /// How many times `node` was actually computed.
+    pub fn eval_count(&self, node: NodeId) -> u64 {
+        self.eval_counts.lock().get(&node).copied().unwrap_or(0)
+    }
+
+    /// Evaluates `node`, recursively materializing dependencies.
+    pub fn eval(&self, node: NodeId) -> NodeOutput {
+        // Run-local memo (models always; data only in memoize_all mode).
+        if let Some(m) = self.memo.lock().get(&node) {
+            return m.clone();
+        }
+        if let Some(m) = self.models.lock().get(&node) {
+            return NodeOutput::Model(m.clone());
+        }
+        // Policy-driven cache for data nodes.
+        if let Some(v) = self.cache.get(node as u64) {
+            let data = v
+                .downcast_ref::<AnyData>()
+                .expect("cache holds AnyData")
+                .clone();
+            return NodeOutput::Data(data);
+        }
+
+        let out = self.compute(node);
+
+        match &out {
+            NodeOutput::Data(d) => {
+                if self.memoize_all {
+                    self.memo.lock().insert(node, out.clone());
+                } else {
+                    self.cache
+                        .put(node as u64, Arc::new(d.clone()), d.total_bytes().max(1));
+                }
+            }
+            NodeOutput::Model(m) => {
+                self.models.lock().insert(node, m.clone());
+            }
+        }
+        out
+    }
+
+    /// Computes a node unconditionally (no cache lookup).
+    fn compute(&self, node: NodeId) -> NodeOutput {
+        *self.eval_counts.lock().entry(node).or_insert(0) += 1;
+        let n = &self.graph.nodes[node];
+        match &n.kind {
+            NodeKind::RuntimeInput => NodeOutput::Data(
+                self.runtime_input
+                    .clone()
+                    .expect("runtime input not bound; call with_runtime_input"),
+            ),
+            NodeKind::DataSource(data) => {
+                let d = self
+                    .source_overrides
+                    .get(&node)
+                    .cloned()
+                    .unwrap_or_else(|| data.clone());
+                NodeOutput::Data(d)
+            }
+            NodeKind::Transform(op) => {
+                let inputs: Vec<AnyData> = n
+                    .inputs
+                    .iter()
+                    .map(|&i| self.eval(i).data().clone())
+                    .collect();
+                let label = format!("transform:{}", n.label);
+                let in_count = inputs.first().map_or(0, |d| d.stats().count);
+                let start = std::time::Instant::now();
+                let out = self
+                    .ctx
+                    .wall
+                    .time(&label, in_count as u64, || op.apply_any(&inputs, &self.ctx));
+                self.charge_sim(node, &label, in_count, start.elapsed().as_secs_f64());
+                NodeOutput::Data(out)
+            }
+            NodeKind::Estimate(op) => {
+                let handles: Vec<NodeHandle<'_, 'g>> = n
+                    .inputs
+                    .iter()
+                    .map(|&i| NodeHandle { exec: self, node: i })
+                    .collect();
+                let handle_refs: Vec<&dyn InputHandle> = handles
+                    .iter()
+                    .map(|h| h as &dyn InputHandle)
+                    .collect();
+                let label = format!("fit:{}", n.label);
+                let sim_before = self.ctx.sim.total_seconds();
+                let start = std::time::Instant::now();
+                let model = self
+                    .ctx
+                    .wall
+                    .time(&label, 0, || op.fit_any(&handle_refs, &self.ctx));
+                // If the estimator didn't charge the simulated clock itself
+                // (solvers do), fall back to the profiled estimate. The
+                // record count comes from the profile's full-scale hint.
+                if self.ctx.sim.total_seconds() == sim_before {
+                    let records = self
+                        .profiles
+                        .as_ref()
+                        .and_then(|p| p.get(&node))
+                        .map_or(0, |p| p.records_hint);
+                    self.charge_sim(node, &label, records, start.elapsed().as_secs_f64());
+                }
+                NodeOutput::Model(model)
+            }
+            NodeKind::ModelApply => {
+                let model = self.eval(n.inputs[0]).model().clone();
+                let data = self.eval(n.inputs[1]).data().clone();
+                let label = format!("apply:{}", n.label);
+                let in_count = data.stats().count;
+                let start = std::time::Instant::now();
+                let out = self
+                    .ctx
+                    .wall
+                    .time(&label, in_count as u64, || {
+                        model.apply_any(&[data], &self.ctx)
+                    });
+                self.charge_sim(node, &label, in_count, start.elapsed().as_secs_f64());
+                NodeOutput::Data(out)
+            }
+        }
+    }
+
+    /// Charges the simulated clock: marginal profiled cost × records, spread
+    /// over the cluster's workers. Unprofiled nodes (apply path) fall back
+    /// to the measured wall time divided across workers.
+    fn charge_sim(&self, node: NodeId, label: &str, records: usize, wall_secs: f64) {
+        let Some(profiles) = &self.profiles else {
+            return;
+        };
+        let w = self.ctx.resources.workers.max(1) as f64;
+        match profiles.get(&node) {
+            Some(p) => {
+                let total = p.fixed_secs + p.secs_per_record * records as f64;
+                self.ctx.sim.charge_seconds(label, total / w, 0.0);
+            }
+            None => self.ctx.sim.charge_seconds(label, wall_secs / w, 0.0),
+        }
+    }
+}
+
+/// Lazy estimator input bound to an executor node: each `get` re-enters the
+/// executor, so uncached upstream chains are genuinely recomputed per pass.
+struct NodeHandle<'a, 'g> {
+    exec: &'a Executor<'g>,
+    node: NodeId,
+}
+
+impl InputHandle for NodeHandle<'_, '_> {
+    fn get(&self) -> AnyData {
+        self.exec.eval(self.node).data().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{Estimator, Transformer, TypedEstimator, TypedTransformer};
+    use keystone_dataflow::cache::CachePolicy;
+    use keystone_dataflow::collection::DistCollection;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingDouble(Arc<AtomicU64>);
+    impl Transformer<f64, f64> for CountingDouble {
+        fn apply(&self, x: &f64) -> f64 {
+            x * 2.0
+        }
+        fn apply_collection(
+            &self,
+            input: &DistCollection<f64>,
+            _ctx: &ExecContext,
+        ) -> DistCollection<f64> {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            input.map(|x| x * 2.0)
+        }
+    }
+
+    fn no_cache() -> Arc<CacheManager> {
+        Arc::new(CacheManager::new(0, CachePolicy::Pinned(HashSet::new())))
+    }
+
+    fn big_cache() -> Arc<CacheManager> {
+        Arc::new(CacheManager::new(
+            u64::MAX,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        ))
+    }
+
+    fn chain_graph(calls: Arc<AtomicU64>) -> (Graph, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let src = g.add(
+            NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(
+                vec![1.0, 2.0, 3.0],
+                2,
+            ))),
+            vec![],
+            "src",
+        );
+        let t = g.add(
+            NodeKind::Transform(Arc::new(TypedTransformer::new(CountingDouble(calls)))),
+            vec![src],
+            "double",
+        );
+        (g, src, t)
+    }
+
+    #[test]
+    fn eval_transform_chain() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let (g, _src, t) = chain_graph(calls.clone());
+        let exec = Executor::new(&g, ExecContext::default_cluster(), no_cache());
+        let out = exec.eval(t);
+        let v: DistCollection<f64> = out.data().downcast();
+        assert_eq!(v.collect(), vec![2.0, 4.0, 6.0]);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn uncached_fanout_recomputes() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let (g, _src, t) = chain_graph(calls.clone());
+        let exec = Executor::new(&g, ExecContext::default_cluster(), no_cache());
+        let _ = exec.eval(t);
+        let _ = exec.eval(t);
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "no-cache must recompute");
+        assert_eq!(exec.eval_count(t), 2);
+    }
+
+    #[test]
+    fn cached_fanout_reuses() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let (g, _src, t) = chain_graph(calls.clone());
+        let exec = Executor::new(&g, ExecContext::default_cluster(), big_cache());
+        let _ = exec.eval(t);
+        let _ = exec.eval(t);
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "cache must serve reuse");
+        assert_eq!(exec.eval_count(t), 1);
+    }
+
+    #[test]
+    fn memoize_all_reuses_without_cache() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let (g, _src, t) = chain_graph(calls.clone());
+        let exec = Executor::new(&g, ExecContext::default_cluster(), no_cache()).memoize_all();
+        let _ = exec.eval(t);
+        let _ = exec.eval(t);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    /// An estimator that reads its input `weight` times through the lazy
+    /// handle, like the distributed solvers do.
+    struct MultiPass {
+        passes: u32,
+    }
+    impl Estimator<f64, f64> for MultiPass {
+        fn fit(
+            &self,
+            _data: &DistCollection<f64>,
+            _ctx: &ExecContext,
+        ) -> Box<dyn Transformer<f64, f64>> {
+            unreachable!("fit_lazy overridden")
+        }
+        fn fit_lazy(
+            &self,
+            data: &dyn Fn() -> DistCollection<f64>,
+            _ctx: &ExecContext,
+        ) -> Box<dyn Transformer<f64, f64>> {
+            let mut total = 0.0;
+            for _ in 0..self.passes {
+                total += data().aggregate(0.0, |a, x| a + x, |a, b| a + b);
+            }
+            struct Add(f64);
+            impl Transformer<f64, f64> for Add {
+                fn apply(&self, x: &f64) -> f64 {
+                    x + self.0
+                }
+            }
+            Box::new(Add(total / self.passes as f64))
+        }
+        fn weight(&self) -> u32 {
+            self.passes
+        }
+    }
+
+    fn estimator_graph(calls: Arc<AtomicU64>, passes: u32) -> (Graph, NodeId) {
+        let mut g = Graph::new();
+        let src = g.add(
+            NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(
+                vec![1.0, 2.0, 3.0],
+                2,
+            ))),
+            vec![],
+            "src",
+        );
+        let t = g.add(
+            NodeKind::Transform(Arc::new(TypedTransformer::new(CountingDouble(calls)))),
+            vec![src],
+            "double",
+        );
+        let e = g.add(
+            NodeKind::Estimate(Arc::new(TypedEstimator::new(MultiPass { passes }))),
+            vec![t],
+            "multipass",
+        );
+        (g, e)
+    }
+
+    #[test]
+    fn iterative_estimator_recomputes_uncached_input_per_pass() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let (g, e) = estimator_graph(calls.clone(), 4);
+        let exec = Executor::new(&g, ExecContext::default_cluster(), no_cache());
+        let _ = exec.eval(e);
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            4,
+            "uncached input must be recomputed once per pass"
+        );
+    }
+
+    #[test]
+    fn iterative_estimator_hits_cache_when_materialized() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let (g, e) = estimator_graph(calls.clone(), 4);
+        let exec = Executor::new(&g, ExecContext::default_cluster(), big_cache());
+        let _ = exec.eval(e);
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "materialized input must be computed once"
+        );
+    }
+
+    #[test]
+    fn model_memoized_within_run() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let (g, e) = estimator_graph(calls.clone(), 1);
+        let exec = Executor::new(&g, ExecContext::default_cluster(), no_cache());
+        let m1 = exec.eval(e);
+        let m2 = exec.eval(e);
+        assert!(Arc::ptr_eq(m1.model(), m2.model()));
+        assert_eq!(exec.eval_count(e), 1);
+    }
+
+    #[test]
+    fn model_apply_node_runs_model() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let (mut g, e) = estimator_graph(calls, 1);
+        let input = g.add(NodeKind::RuntimeInput, vec![], "input");
+        let apply = g.add(NodeKind::ModelApply, vec![e, input], "apply");
+        let test = AnyData::wrap(DistCollection::from_vec(vec![0.0], 1));
+        let exec = Executor::new(&g, ExecContext::default_cluster(), no_cache())
+            .with_runtime_input(test);
+        let out = exec.eval(apply);
+        // Model adds mean of doubled [1,2,3] = 12/3... MultiPass computes
+        // sum(=12)/passes(=1) = 12, so output = 0 + 12.
+        let v: DistCollection<f64> = out.data().downcast();
+        assert_eq!(v.collect(), vec![12.0]);
+    }
+
+    #[test]
+    fn source_override_substitutes_sample() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let (g, _src, t) = chain_graph(calls);
+        let mut overrides = HashMap::new();
+        overrides.insert(
+            0usize,
+            AnyData::wrap(DistCollection::from_vec(vec![10.0], 1)),
+        );
+        let exec = Executor::new(&g, ExecContext::default_cluster(), no_cache())
+            .with_source_overrides(overrides);
+        let v: DistCollection<f64> = exec.eval(t).data().downcast();
+        assert_eq!(v.collect(), vec![20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "runtime input not bound")]
+    fn unbound_runtime_input_panics() {
+        let mut g = Graph::new();
+        let input = g.add(NodeKind::RuntimeInput, vec![], "input");
+        let exec = Executor::new(&g, ExecContext::default_cluster(), no_cache());
+        let _ = exec.eval(input);
+    }
+
+    #[test]
+    fn wall_clock_records_stages() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let (g, _src, t) = chain_graph(calls);
+        let ctx = ExecContext::default_cluster();
+        let exec = Executor::new(&g, ctx.clone(), no_cache());
+        let _ = exec.eval(t);
+        assert!(ctx.wall.seconds_for_prefix("transform:double") >= 0.0);
+        assert_eq!(ctx.wall.snapshot().len(), 1);
+    }
+}

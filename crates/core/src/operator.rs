@@ -1,0 +1,829 @@
+//! Operator abstractions: the typed public traits mirrored from the paper's
+//! API (Fig. 3) and the type-erased layer the pipeline DAG stores.
+//!
+//! * [`Transformer`] — deterministic, side-effect-free unary function over
+//!   records; applied item-wise or to a whole distributed collection.
+//! * [`Estimator`] / [`LabelEstimator`] — functions from a dataset (plus
+//!   labels) to a `Transformer`; "function generating functions".
+//! * `Optimizable*` — logical operators with multiple physical
+//!   implementations, each carrying a [`CostFn`] used by the operator-level
+//!   optimizer (§3).
+//! * `Erased*` — object-safe wrappers that downcast whole collections once
+//!   per node execution (never per item), so the DAG can hold heterogeneous
+//!   operators while the public API stays fully typed.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use keystone_dataflow::cluster::ResourceDesc;
+use keystone_dataflow::collection::DistCollection;
+use keystone_dataflow::cost::CostProfile;
+
+use crate::context::ExecContext;
+use crate::record::{DataStats, Record};
+
+/// Type-preserving sampler stored inside [`AnyData`].
+pub type ErasedSampler = Arc<dyn Fn(&AnyData, usize, u64) -> AnyData + Send + Sync>;
+
+/// Erased cost model over a node's input statistics.
+pub type ErasedCostFn = Arc<dyn Fn(&[DataStats], &ResourceDesc) -> CostProfile + Send + Sync>;
+
+/// Strips module paths and generic params from a type name.
+pub fn short_type_name<T: ?Sized>() -> String {
+    let full = std::any::type_name::<T>();
+    let no_generics = full.split('<').next().unwrap_or(full);
+    no_generics
+        .rsplit("::")
+        .next()
+        .unwrap_or(no_generics)
+        .to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Typed public traits
+// ---------------------------------------------------------------------------
+
+/// A deterministic, side-effect-free function from `A` to `B`.
+pub trait Transformer<A: Record, B: Record>: Send + Sync + 'static {
+    /// Applies to a single record.
+    fn apply(&self, input: &A) -> B;
+
+    /// Applies to a whole collection. The default maps item-wise; operators
+    /// with per-partition setup (or distributed semantics) override this.
+    fn apply_collection(
+        &self,
+        input: &DistCollection<A>,
+        _ctx: &ExecContext,
+    ) -> DistCollection<B> {
+        input.map(|x| self.apply(x))
+    }
+
+    /// Human-readable operator name.
+    fn name(&self) -> String {
+        short_type_name::<Self>()
+    }
+}
+
+/// An unsupervised estimator: fits a model from data.
+pub trait Estimator<A: Record, B: Record>: Send + Sync + 'static {
+    /// Fits on materialized data.
+    fn fit(&self, data: &DistCollection<A>, ctx: &ExecContext) -> Box<dyn Transformer<A, B>>;
+
+    /// Fits with lazy access to the data. Iterative estimators override
+    /// this and call `data()` once per pass, reproducing Spark's
+    /// recompute-unless-cached behaviour that the materialization optimizer
+    /// (§4.3) exists to manage.
+    fn fit_lazy(
+        &self,
+        data: &dyn Fn() -> DistCollection<A>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<A, B>> {
+        self.fit(&data(), ctx)
+    }
+
+    /// Number of passes over the input (`w` in §4.3); 1 for single-pass.
+    fn weight(&self) -> u32 {
+        1
+    }
+
+    /// Human-readable operator name.
+    fn name(&self) -> String {
+        short_type_name::<Self>()
+    }
+}
+
+/// A supervised estimator: fits a model from data and labels.
+pub trait LabelEstimator<A: Record, L: Record, B: Record>: Send + Sync + 'static {
+    /// Fits on materialized data and labels.
+    fn fit(
+        &self,
+        data: &DistCollection<A>,
+        labels: &DistCollection<L>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<A, B>>;
+
+    /// Lazy-data variant; see [`Estimator::fit_lazy`].
+    fn fit_lazy(
+        &self,
+        data: &dyn Fn() -> DistCollection<A>,
+        labels: &DistCollection<L>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<A, B>> {
+        self.fit(&data(), labels, ctx)
+    }
+
+    /// Number of passes over the input (`w` in §4.3).
+    fn weight(&self) -> u32 {
+        1
+    }
+
+    /// Human-readable operator name.
+    fn name(&self) -> String {
+        short_type_name::<Self>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cost models and optimizable logical operators
+// ---------------------------------------------------------------------------
+
+/// A developer-supplied cost model: maps input statistics (one entry per
+/// DAG input — data first, labels second) and the cluster descriptor to a
+/// resource-consumption estimate.
+pub type CostFn = Box<dyn Fn(&[DataStats], &ResourceDesc) -> CostProfile + Send + Sync>;
+
+/// One physical implementation of a logical transformer.
+pub struct TransformerOption<A: Record, B: Record> {
+    /// Physical operator name (e.g. "conv:fft").
+    pub name: String,
+    /// Its cost model.
+    pub cost: CostFn,
+    /// The implementation.
+    pub op: Box<dyn Transformer<A, B>>,
+}
+
+/// One physical implementation of a logical estimator.
+pub struct EstimatorOption<A: Record, B: Record> {
+    /// Physical operator name (e.g. "pca:dist-tsvd").
+    pub name: String,
+    /// Its cost model.
+    pub cost: CostFn,
+    /// The implementation.
+    pub op: Box<dyn Estimator<A, B>>,
+}
+
+/// One physical implementation of a logical supervised estimator.
+pub struct LabelEstimatorOption<A: Record, L: Record, B: Record> {
+    /// Physical operator name (e.g. "solver:lbfgs").
+    pub name: String,
+    /// Its cost model.
+    pub cost: CostFn,
+    /// The implementation.
+    pub op: Box<dyn LabelEstimator<A, L, B>>,
+}
+
+/// A logical transformer with several physical implementations.
+pub trait OptimizableTransformer<A: Record, B: Record>: Send + Sync + 'static {
+    /// The candidate implementations with their cost models.
+    fn options(&self) -> Vec<TransformerOption<A, B>>;
+    /// Index into `options()` used when operator-level optimization is off.
+    fn default_index(&self) -> usize {
+        0
+    }
+    /// Logical operator name.
+    fn name(&self) -> String {
+        short_type_name::<Self>()
+    }
+}
+
+/// A logical estimator with several physical implementations.
+pub trait OptimizableEstimator<A: Record, B: Record>: Send + Sync + 'static {
+    /// The candidate implementations with their cost models.
+    fn options(&self) -> Vec<EstimatorOption<A, B>>;
+    /// Index into `options()` used when operator-level optimization is off.
+    fn default_index(&self) -> usize {
+        0
+    }
+    /// Logical operator name.
+    fn name(&self) -> String {
+        short_type_name::<Self>()
+    }
+}
+
+/// A logical supervised estimator with several physical implementations.
+pub trait OptimizableLabelEstimator<A: Record, L: Record, B: Record>:
+    Send + Sync + 'static
+{
+    /// The candidate implementations with their cost models.
+    fn options(&self) -> Vec<LabelEstimatorOption<A, L, B>>;
+    /// Index into `options()` used when operator-level optimization is off.
+    fn default_index(&self) -> usize {
+        0
+    }
+    /// Logical operator name.
+    fn name(&self) -> String {
+        short_type_name::<Self>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Erased data
+// ---------------------------------------------------------------------------
+
+/// A type-erased distributed collection plus its measured statistics.
+#[derive(Clone)]
+pub struct AnyData {
+    inner: Arc<dyn Any + Send + Sync>,
+    stats: DataStats,
+    type_name: &'static str,
+    /// Identity of the underlying partition data (clones share it).
+    content_id: usize,
+    /// Type-preserving sampler captured at wrap time, so the profiler can
+    /// subsample erased data without knowing its element type.
+    sampler: ErasedSampler,
+}
+
+impl AnyData {
+    /// Wraps a typed collection, probing up to 64 records for statistics.
+    pub fn wrap<T: Record>(c: DistCollection<T>) -> Self {
+        let stats = DataStats::from_collection(&c, 64);
+        let content_id = c.content_id();
+        AnyData {
+            inner: Arc::new(c),
+            stats,
+            content_id,
+            type_name: std::any::type_name::<T>(),
+            sampler: Arc::new(|this: &AnyData, size: usize, seed: u64| {
+                let typed: DistCollection<T> = this.downcast();
+                // Single partition: profiled timings are sequential
+                // per-record costs, which the simulated clock then divides
+                // across workers.
+                AnyData::wrap(DistCollection::from_vec(typed.sample(size, seed), 1))
+            }),
+        }
+    }
+
+    /// The type-preserving sampler.
+    pub(crate) fn sampler(&self) -> ErasedSampler {
+        self.sampler.clone()
+    }
+
+    /// Recovers the typed collection (cheap: collections are `Arc`-backed).
+    ///
+    /// # Panics
+    /// Panics with both type names if the stored type differs — this
+    /// indicates a pipeline wiring bug, which the typed construction API
+    /// makes unreachable for users.
+    pub fn downcast<T: Record>(&self) -> DistCollection<T> {
+        self.inner
+            .downcast_ref::<DistCollection<T>>()
+            .unwrap_or_else(|| {
+                panic!(
+                    "pipeline type error: expected DistCollection<{}>, found {}",
+                    std::any::type_name::<T>(),
+                    self.type_name
+                )
+            })
+            .clone()
+    }
+
+    /// Measured statistics of this dataset.
+    pub fn stats(&self) -> &DataStats {
+        &self.stats
+    }
+
+    /// Estimated total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.stats.total_bytes() as u64
+    }
+
+    /// Stored element type name (diagnostics).
+    pub fn type_name(&self) -> &'static str {
+        self.type_name
+    }
+
+    /// Identity of the underlying data (used for CSE of sources): clones of
+    /// the same collection — including separate `wrap` calls over them —
+    /// report the same id because they share partition allocations.
+    pub fn ptr_id(&self) -> usize {
+        self.content_id
+    }
+}
+
+impl std::fmt::Debug for AnyData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnyData")
+            .field("type", &self.type_name)
+            .field("count", &self.stats.count)
+            .finish()
+    }
+}
+
+/// Output of a DAG node: either data or a fitted model.
+#[derive(Clone)]
+pub enum NodeOutput {
+    /// A dataset.
+    Data(AnyData),
+    /// A fitted transformer produced by an estimator node.
+    Model(Arc<dyn ErasedTransformer>),
+}
+
+impl NodeOutput {
+    /// The data payload.
+    ///
+    /// # Panics
+    /// Panics if this output is a model.
+    pub fn data(&self) -> &AnyData {
+        match self {
+            NodeOutput::Data(d) => d,
+            NodeOutput::Model(_) => panic!("expected data output, found model"),
+        }
+    }
+
+    /// The model payload.
+    ///
+    /// # Panics
+    /// Panics if this output is data.
+    pub fn model(&self) -> &Arc<dyn ErasedTransformer> {
+        match self {
+            NodeOutput::Model(m) => m,
+            NodeOutput::Data(_) => panic!("expected model output, found data"),
+        }
+    }
+
+    /// Approximate bytes (models report a nominal small footprint).
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            NodeOutput::Data(d) => d.total_bytes(),
+            NodeOutput::Model(_) => 1 << 10,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Erased operator layer
+// ---------------------------------------------------------------------------
+
+/// Erased physical option of a transformer node.
+pub struct ErasedTransformerOption {
+    /// Physical operator name.
+    pub name: String,
+    /// Cost model over the node's input statistics.
+    pub cost: ErasedCostFn,
+    /// The erased implementation.
+    pub op: Arc<dyn ErasedTransformer>,
+}
+
+/// Erased physical option of an estimator node.
+pub struct ErasedEstimatorOption {
+    /// Physical operator name.
+    pub name: String,
+    /// Cost model over the node's input statistics.
+    pub cost: ErasedCostFn,
+    /// The erased implementation.
+    pub op: Arc<dyn ErasedEstimator>,
+}
+
+/// Object-safe transformer over erased collections. May take several data
+/// inputs (e.g. `gather`).
+pub trait ErasedTransformer: Send + Sync {
+    /// Operator name for labels and diagnostics.
+    fn name(&self) -> String;
+
+    /// Applies to erased inputs.
+    fn apply_any(&self, inputs: &[AnyData], ctx: &ExecContext) -> AnyData;
+
+    /// Physical alternatives, when this is an optimizable logical operator.
+    fn physical_options(&self) -> Option<Vec<ErasedTransformerOption>> {
+        None
+    }
+}
+
+/// Lazy access to an estimator's input: calling [`InputHandle::get`] may hit
+/// the cache or trigger recomputation of the upstream chain, exactly like an
+/// uncached RDD in Spark.
+pub trait InputHandle: Sync {
+    /// Produces (or re-produces) the input dataset.
+    fn get(&self) -> AnyData;
+}
+
+/// Object-safe estimator over erased inputs.
+pub trait ErasedEstimator: Send + Sync {
+    /// Operator name for labels and diagnostics.
+    fn name(&self) -> String;
+
+    /// Number of passes over the first input.
+    fn weight(&self) -> u32;
+
+    /// Fits a model. `inputs[0]` is the training data (lazy); further
+    /// handles are auxiliary inputs such as labels.
+    fn fit_any(
+        &self,
+        inputs: &[&dyn InputHandle],
+        ctx: &ExecContext,
+    ) -> Arc<dyn ErasedTransformer>;
+
+    /// Physical alternatives, when this is an optimizable logical operator.
+    fn physical_options(&self) -> Option<Vec<ErasedEstimatorOption>> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed -> erased adapters
+// ---------------------------------------------------------------------------
+
+/// Erases a typed [`Transformer`].
+pub struct TypedTransformer<A: Record, B: Record> {
+    op: Arc<dyn Transformer<A, B>>,
+}
+
+impl<A: Record, B: Record> TypedTransformer<A, B> {
+    /// Wraps a typed transformer.
+    pub fn new(op: impl Transformer<A, B>) -> Self {
+        TypedTransformer { op: Arc::new(op) }
+    }
+
+    /// Wraps an already-boxed transformer (e.g. a fitted model).
+    pub fn from_box(op: Box<dyn Transformer<A, B>>) -> Self {
+        TypedTransformer { op: Arc::from(op) }
+    }
+}
+
+impl<A: Record, B: Record> ErasedTransformer for TypedTransformer<A, B> {
+    fn name(&self) -> String {
+        self.op.name()
+    }
+
+    fn apply_any(&self, inputs: &[AnyData], ctx: &ExecContext) -> AnyData {
+        let input = inputs[0].downcast::<A>();
+        AnyData::wrap(self.op.apply_collection(&input, ctx))
+    }
+}
+
+/// Erases a typed [`Estimator`].
+pub struct TypedEstimator<A: Record, B: Record> {
+    op: Arc<dyn Estimator<A, B>>,
+}
+
+impl<A: Record, B: Record> TypedEstimator<A, B> {
+    /// Wraps a typed estimator.
+    pub fn new(op: impl Estimator<A, B>) -> Self {
+        TypedEstimator { op: Arc::new(op) }
+    }
+
+    /// Wraps an already-boxed estimator.
+    pub fn from_box(op: Box<dyn Estimator<A, B>>) -> Self {
+        TypedEstimator { op: Arc::from(op) }
+    }
+}
+
+impl<A: Record, B: Record> ErasedEstimator for TypedEstimator<A, B> {
+    fn name(&self) -> String {
+        self.op.name()
+    }
+
+    fn weight(&self) -> u32 {
+        self.op.weight()
+    }
+
+    fn fit_any(
+        &self,
+        inputs: &[&dyn InputHandle],
+        ctx: &ExecContext,
+    ) -> Arc<dyn ErasedTransformer> {
+        let handle = inputs[0];
+        let model = self.op.fit_lazy(&|| handle.get().downcast::<A>(), ctx);
+        Arc::new(TypedTransformer::from_box(model))
+    }
+}
+
+/// Erases a typed [`LabelEstimator`]. Labels (`inputs[1]`) are fetched once.
+pub struct TypedLabelEstimator<A: Record, L: Record, B: Record> {
+    op: Arc<dyn LabelEstimator<A, L, B>>,
+}
+
+impl<A: Record, L: Record, B: Record> TypedLabelEstimator<A, L, B> {
+    /// Wraps a typed supervised estimator.
+    pub fn new(op: impl LabelEstimator<A, L, B>) -> Self {
+        TypedLabelEstimator { op: Arc::new(op) }
+    }
+
+    /// Wraps an already-boxed supervised estimator.
+    pub fn from_box(op: Box<dyn LabelEstimator<A, L, B>>) -> Self {
+        TypedLabelEstimator { op: Arc::from(op) }
+    }
+}
+
+impl<A: Record, L: Record, B: Record> ErasedEstimator for TypedLabelEstimator<A, L, B> {
+    fn name(&self) -> String {
+        self.op.name()
+    }
+
+    fn weight(&self) -> u32 {
+        self.op.weight()
+    }
+
+    fn fit_any(
+        &self,
+        inputs: &[&dyn InputHandle],
+        ctx: &ExecContext,
+    ) -> Arc<dyn ErasedTransformer> {
+        let data_handle = inputs[0];
+        let labels = inputs[1].get().downcast::<L>();
+        let model = self
+            .op
+            .fit_lazy(&|| data_handle.get().downcast::<A>(), &labels, ctx);
+        Arc::new(TypedTransformer::from_box(model))
+    }
+}
+
+/// Erases an [`OptimizableTransformer`]: applies via the default option and
+/// exposes erased physical options to the operator-level optimizer.
+pub struct TypedOptimizableTransformer<A: Record, B: Record> {
+    op: Arc<dyn OptimizableTransformer<A, B>>,
+}
+
+impl<A: Record, B: Record> TypedOptimizableTransformer<A, B> {
+    /// Wraps an optimizable logical transformer.
+    pub fn new(op: impl OptimizableTransformer<A, B>) -> Self {
+        TypedOptimizableTransformer { op: Arc::new(op) }
+    }
+}
+
+impl<A: Record, B: Record> ErasedTransformer for TypedOptimizableTransformer<A, B> {
+    fn name(&self) -> String {
+        self.op.name()
+    }
+
+    fn apply_any(&self, inputs: &[AnyData], ctx: &ExecContext) -> AnyData {
+        let mut options = self.op.options();
+        let idx = self.op.default_index().min(options.len() - 1);
+        let chosen = options.swap_remove(idx);
+        let input = inputs[0].downcast::<A>();
+        AnyData::wrap(chosen.op.apply_collection(&input, ctx))
+    }
+
+    fn physical_options(&self) -> Option<Vec<ErasedTransformerOption>> {
+        Some(
+            self.op
+                .options()
+                .into_iter()
+                .map(|o| ErasedTransformerOption {
+                    name: o.name,
+                    cost: Arc::new(o.cost),
+                    op: Arc::new(TypedTransformer::from_box(o.op)),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Erases an [`OptimizableEstimator`].
+pub struct TypedOptimizableEstimator<A: Record, B: Record> {
+    op: Arc<dyn OptimizableEstimator<A, B>>,
+}
+
+impl<A: Record, B: Record> TypedOptimizableEstimator<A, B> {
+    /// Wraps an optimizable logical estimator.
+    pub fn new(op: impl OptimizableEstimator<A, B>) -> Self {
+        TypedOptimizableEstimator { op: Arc::new(op) }
+    }
+}
+
+impl<A: Record, B: Record> ErasedEstimator for TypedOptimizableEstimator<A, B> {
+    fn name(&self) -> String {
+        self.op.name()
+    }
+
+    fn weight(&self) -> u32 {
+        let options = self.op.options();
+        let idx = self.op.default_index().min(options.len().saturating_sub(1));
+        options.get(idx).map_or(1, |o| o.op.weight())
+    }
+
+    fn fit_any(
+        &self,
+        inputs: &[&dyn InputHandle],
+        ctx: &ExecContext,
+    ) -> Arc<dyn ErasedTransformer> {
+        let mut options = self.op.options();
+        let idx = self.op.default_index().min(options.len() - 1);
+        let chosen = options.swap_remove(idx);
+        TypedEstimator::from_box(chosen.op).fit_any(inputs, ctx)
+    }
+
+    fn physical_options(&self) -> Option<Vec<ErasedEstimatorOption>> {
+        Some(
+            self.op
+                .options()
+                .into_iter()
+                .map(|o| ErasedEstimatorOption {
+                    name: o.name,
+                    cost: Arc::new(o.cost),
+                    op: Arc::new(TypedEstimator::from_box(o.op)),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Erases an [`OptimizableLabelEstimator`].
+pub struct TypedOptimizableLabelEstimator<A: Record, L: Record, B: Record> {
+    op: Arc<dyn OptimizableLabelEstimator<A, L, B>>,
+}
+
+impl<A: Record, L: Record, B: Record> TypedOptimizableLabelEstimator<A, L, B> {
+    /// Wraps an optimizable supervised logical estimator.
+    pub fn new(op: impl OptimizableLabelEstimator<A, L, B>) -> Self {
+        TypedOptimizableLabelEstimator { op: Arc::new(op) }
+    }
+}
+
+impl<A: Record, L: Record, B: Record> ErasedEstimator
+    for TypedOptimizableLabelEstimator<A, L, B>
+{
+    fn name(&self) -> String {
+        self.op.name()
+    }
+
+    fn weight(&self) -> u32 {
+        let options = self.op.options();
+        let idx = self.op.default_index().min(options.len().saturating_sub(1));
+        options.get(idx).map_or(1, |o| o.op.weight())
+    }
+
+    fn fit_any(
+        &self,
+        inputs: &[&dyn InputHandle],
+        ctx: &ExecContext,
+    ) -> Arc<dyn ErasedTransformer> {
+        let mut options = self.op.options();
+        let idx = self.op.default_index().min(options.len() - 1);
+        let chosen = options.swap_remove(idx);
+        TypedLabelEstimator::from_box(chosen.op).fit_any(inputs, ctx)
+    }
+
+    fn physical_options(&self) -> Option<Vec<ErasedEstimatorOption>> {
+        Some(
+            self.op
+                .options()
+                .into_iter()
+                .map(|o| ErasedEstimatorOption {
+                    name: o.name,
+                    cost: Arc::new(o.cost),
+                    op: Arc::new(TypedLabelEstimator::from_box(o.op)),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The `gather` combinator's physical operator: element-wise concatenation
+/// of `Vec<f64>` feature vectors from several branches (Fig. 4's
+/// `Pipeline.gather`, as used by the TIMIT random-feature pipeline).
+pub struct GatherConcat;
+
+impl ErasedTransformer for GatherConcat {
+    fn name(&self) -> String {
+        "Gather".to_string()
+    }
+
+    fn apply_any(&self, inputs: &[AnyData], _ctx: &ExecContext) -> AnyData {
+        assert!(!inputs.is_empty(), "gather needs at least one branch");
+        let mut acc: DistCollection<Vec<f64>> = inputs[0].downcast();
+        for next in &inputs[1..] {
+            let branch: DistCollection<Vec<f64>> = next.downcast();
+            acc = acc.zip(&branch, |a, b| {
+                let mut out = Vec::with_capacity(a.len() + b.len());
+                out.extend_from_slice(a);
+                out.extend_from_slice(b);
+                out
+            });
+        }
+        AnyData::wrap(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl Transformer<f64, f64> for Doubler {
+        fn apply(&self, x: &f64) -> f64 {
+            x * 2.0
+        }
+    }
+
+    struct MeanCenter;
+    impl Estimator<f64, f64> for MeanCenter {
+        fn fit(&self, data: &DistCollection<f64>, _ctx: &ExecContext) -> Box<dyn Transformer<f64, f64>> {
+            let n = data.count().max(1) as f64;
+            let sum = data.aggregate(0.0, |a, x| a + x, |a, b| a + b);
+            let mu = sum / n;
+            struct Shift(f64);
+            impl Transformer<f64, f64> for Shift {
+                fn apply(&self, x: &f64) -> f64 {
+                    x - self.0
+                }
+            }
+            Box::new(Shift(mu))
+        }
+    }
+
+    fn ctx() -> ExecContext {
+        ExecContext::default_cluster()
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(short_type_name::<Doubler>(), "Doubler");
+        assert_eq!(short_type_name::<Vec<f64>>(), "Vec");
+    }
+
+    #[test]
+    fn anydata_roundtrip_and_stats() {
+        let c = DistCollection::from_vec(vec![vec![1.0, 2.0]; 10], 2);
+        let any = AnyData::wrap(c);
+        assert_eq!(any.stats().count, 10);
+        let back: DistCollection<Vec<f64>> = any.downcast();
+        assert_eq!(back.count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline type error")]
+    fn anydata_wrong_downcast_panics() {
+        let c = DistCollection::from_vec(vec![1.0f64; 3], 1);
+        let any = AnyData::wrap(c);
+        let _: DistCollection<String> = any.downcast();
+    }
+
+    #[test]
+    fn typed_transformer_erasure() {
+        let erased = TypedTransformer::new(Doubler);
+        let input = AnyData::wrap(DistCollection::from_vec(vec![1.0, 2.0, 3.0], 2));
+        let out = erased.apply_any(&[input], &ctx());
+        let data: DistCollection<f64> = out.downcast();
+        assert_eq!(data.collect(), vec![2.0, 4.0, 6.0]);
+        assert!(erased.physical_options().is_none());
+    }
+
+    struct DirectHandle(AnyData);
+    impl InputHandle for DirectHandle {
+        fn get(&self) -> AnyData {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn typed_estimator_erasure() {
+        let erased = TypedEstimator::new(MeanCenter);
+        let input = DirectHandle(AnyData::wrap(DistCollection::from_vec(
+            vec![1.0, 2.0, 3.0],
+            2,
+        )));
+        let model = erased.fit_any(&[&input], &ctx());
+        let out = model.apply_any(&[input.get()], &ctx());
+        let shifted: DistCollection<f64> = out.downcast();
+        assert_eq!(shifted.collect(), vec![-1.0, 0.0, 1.0]);
+        assert_eq!(erased.weight(), 1);
+    }
+
+    struct ScaleBy(f64);
+    impl Transformer<f64, f64> for ScaleBy {
+        fn apply(&self, x: &f64) -> f64 {
+            x * self.0
+        }
+    }
+
+    struct PickScale;
+    impl OptimizableTransformer<f64, f64> for PickScale {
+        fn options(&self) -> Vec<TransformerOption<f64, f64>> {
+            vec![
+                TransformerOption {
+                    name: "x10".into(),
+                    cost: Box::new(|_stats, _r| CostProfile::compute(100.0)),
+                    op: Box::new(ScaleBy(10.0)),
+                },
+                TransformerOption {
+                    name: "x100".into(),
+                    cost: Box::new(|_stats, _r| CostProfile::compute(1.0)),
+                    op: Box::new(ScaleBy(100.0)),
+                },
+            ]
+        }
+    }
+
+    #[test]
+    fn optimizable_transformer_exposes_options_and_default() {
+        let erased = TypedOptimizableTransformer::new(PickScale);
+        let opts = erased.physical_options().expect("optimizable");
+        assert_eq!(opts.len(), 2);
+        assert_eq!(opts[0].name, "x10");
+        // Default index 0 -> x10.
+        let input = AnyData::wrap(DistCollection::from_vec(vec![1.0], 1));
+        let out = erased.apply_any(&[input], &ctx());
+        let v: DistCollection<f64> = out.downcast();
+        assert_eq!(v.collect(), vec![10.0]);
+    }
+
+    #[test]
+    fn gather_concatenates_branches() {
+        let a = AnyData::wrap(DistCollection::from_vec(vec![vec![1.0], vec![2.0]], 2));
+        let b = AnyData::wrap(DistCollection::from_vec(vec![vec![10.0], vec![20.0]], 2));
+        let out = GatherConcat.apply_any(&[a, b], &ctx());
+        let v: DistCollection<Vec<f64>> = out.downcast();
+        assert_eq!(v.collect(), vec![vec![1.0, 10.0], vec![2.0, 20.0]]);
+    }
+
+    #[test]
+    fn node_output_accessors() {
+        let d = NodeOutput::Data(AnyData::wrap(DistCollection::from_vec(vec![1.0], 1)));
+        assert!(d.data().stats().count == 1);
+        assert!(d.approx_bytes() > 0);
+        let m: NodeOutput = NodeOutput::Model(Arc::new(TypedTransformer::new(Doubler)));
+        assert_eq!(m.model().name(), "Doubler");
+        assert_eq!(m.approx_bytes(), 1 << 10);
+    }
+}

@@ -1,0 +1,258 @@
+//! Common sub-expression elimination (§4.2).
+//!
+//! Pipelines duplicate work structurally: every `and_then(est, data)` clones
+//! the preceding prefix over the training data, so a text pipeline that both
+//! selects common features and trains a classifier tokenizes the corpus
+//! twice in the unoptimized DAG. CSE merges structurally identical nodes
+//! (same operator instance over the same, already-merged inputs) so the
+//! computation runs once.
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, NodeId};
+
+/// Result of CSE: the rewritten graph plus the old-id → new-id mapping.
+pub struct CseResult {
+    /// Deduplicated graph.
+    pub graph: Graph,
+    /// Mapping from original node ids to merged ids.
+    pub remap: HashMap<NodeId, NodeId>,
+    /// Number of nodes eliminated.
+    pub eliminated: usize,
+}
+
+/// Merges structurally identical nodes. Structural identity is defined by
+/// the node kind tag, the operator/data `Arc` identity, and the (merged)
+/// input ids — exactly the sharing that prefix cloning preserves.
+pub fn eliminate_common_subexpressions(graph: &Graph) -> CseResult {
+    let mut out = Graph::new();
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut canon: HashMap<u64, NodeId> = HashMap::new();
+    // We re-derive signatures incrementally over the *merged* inputs so that
+    // chains of duplicates collapse transitively.
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let new_inputs: Vec<NodeId> = node.inputs.iter().map(|i| remap[i]).collect();
+        let sig = node_signature(node, &new_inputs);
+        match canon.get(&sig) {
+            Some(&existing) => {
+                remap.insert(id, existing);
+            }
+            None => {
+                let new_id = out.add(node.kind.clone(), new_inputs, node.label.clone());
+                canon.insert(sig, new_id);
+                remap.insert(id, new_id);
+            }
+        }
+    }
+    let eliminated = graph.len() - out.len();
+    CseResult {
+        graph: out,
+        remap,
+        eliminated,
+    }
+}
+
+fn node_signature(node: &crate::graph::Node, inputs: &[NodeId]) -> u64 {
+    use crate::graph::NodeKind;
+    let (tag, identity): (u64, u64) = match &node.kind {
+        NodeKind::RuntimeInput => (0, 1),
+        NodeKind::DataSource(d) => (1, d.ptr_id() as u64),
+        NodeKind::Transform(op) => (2, std::sync::Arc::as_ptr(op) as *const () as usize as u64),
+        NodeKind::Estimate(op) => (3, std::sync::Arc::as_ptr(op) as *const () as usize as u64),
+        NodeKind::ModelApply => (4, 2),
+    };
+    let mut h = 0xcbf29ce484222325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(tag);
+    mix(identity);
+    mix(inputs.len() as u64);
+    for &i in inputs {
+        mix(i as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+    use crate::operator::{AnyData, ErasedTransformer, Transformer, TypedTransformer};
+    use keystone_dataflow::collection::DistCollection;
+    use std::sync::Arc;
+
+    struct AddOne;
+    impl Transformer<f64, f64> for AddOne {
+        fn apply(&self, x: &f64) -> f64 {
+            x + 1.0
+        }
+    }
+
+    fn shared_op() -> Arc<dyn ErasedTransformer> {
+        Arc::new(TypedTransformer::new(AddOne))
+    }
+
+    fn source() -> NodeKind {
+        NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(vec![1.0f64], 1)))
+    }
+
+    #[test]
+    fn merges_duplicated_chain() {
+        let mut g = Graph::new();
+        let src = g.add(source(), vec![], "src");
+        let op1 = shared_op();
+        let op2 = shared_op();
+        // Two copies of the same two-op chain over the same source.
+        let a1 = g.add(NodeKind::Transform(op1.clone()), vec![src], "a");
+        let b1 = g.add(NodeKind::Transform(op2.clone()), vec![a1], "b");
+        let a2 = g.add(NodeKind::Transform(op1), vec![src], "a");
+        let b2 = g.add(NodeKind::Transform(op2), vec![a2], "b");
+        let r = eliminate_common_subexpressions(&g);
+        assert_eq!(r.eliminated, 2);
+        assert_eq!(r.remap[&a1], r.remap[&a2]);
+        assert_eq!(r.remap[&b1], r.remap[&b2]);
+        assert_eq!(r.graph.len(), 3);
+    }
+
+    #[test]
+    fn distinct_ops_not_merged() {
+        let mut g = Graph::new();
+        let src = g.add(source(), vec![], "src");
+        let a = g.add(NodeKind::Transform(shared_op()), vec![src], "a");
+        let b = g.add(NodeKind::Transform(shared_op()), vec![src], "b");
+        let r = eliminate_common_subexpressions(&g);
+        assert_eq!(r.eliminated, 0);
+        assert_ne!(r.remap[&a], r.remap[&b]);
+    }
+
+    #[test]
+    fn distinct_sources_not_merged() {
+        let mut g = Graph::new();
+        let s1 = g.add(source(), vec![], "s1");
+        let s2 = g.add(source(), vec![], "s2");
+        let op = shared_op();
+        let a = g.add(NodeKind::Transform(op.clone()), vec![s1], "a");
+        let b = g.add(NodeKind::Transform(op), vec![s2], "b");
+        let r = eliminate_common_subexpressions(&g);
+        assert_ne!(r.remap[&a], r.remap[&b]);
+    }
+
+    #[test]
+    fn transitive_merging_through_chains() {
+        let mut g = Graph::new();
+        let src = g.add(source(), vec![], "src");
+        let op1 = shared_op();
+        let op2 = shared_op();
+        let op3 = shared_op();
+        // Chain copies of depth 3.
+        let mut last = Vec::new();
+        for _ in 0..3 {
+            let a = g.add(NodeKind::Transform(op1.clone()), vec![src], "a");
+            let b = g.add(NodeKind::Transform(op2.clone()), vec![a], "b");
+            let c = g.add(NodeKind::Transform(op3.clone()), vec![b], "c");
+            last.push(c);
+        }
+        let r = eliminate_common_subexpressions(&g);
+        assert_eq!(r.eliminated, 6);
+        assert_eq!(r.remap[&last[0]], r.remap[&last[1]]);
+        assert_eq!(r.remap[&last[1]], r.remap[&last[2]]);
+    }
+
+    #[test]
+    fn remap_preserves_reachability() {
+        let mut g = Graph::new();
+        let src = g.add(source(), vec![], "src");
+        let op = shared_op();
+        let a = g.add(NodeKind::Transform(op.clone()), vec![src], "a");
+        let b = g.add(NodeKind::Transform(op), vec![src], "b"); // duplicate of a
+        let apply = g.add(NodeKind::ModelApply, vec![a, b], "apply");
+        let r = eliminate_common_subexpressions(&g);
+        let new_apply = r.remap[&apply];
+        let inputs = &r.graph.nodes[new_apply].inputs;
+        assert_eq!(inputs[0], inputs[1], "both inputs collapse to one node");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::graph::NodeKind;
+    use crate::operator::{AnyData, ErasedTransformer, Transformer, TypedTransformer};
+    use keystone_dataflow::collection::DistCollection;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    struct Id;
+    impl Transformer<f64, f64> for Id {
+        fn apply(&self, x: &f64) -> f64 {
+            *x
+        }
+    }
+
+    /// Builds a random graph over a small pool of shared operators, so
+    /// duplicates occur naturally.
+    fn random_graph(spec: &[(usize, usize)]) -> Graph {
+        let pool: Vec<Arc<dyn ErasedTransformer>> =
+            (0..3).map(|_| Arc::new(TypedTransformer::new(Id)) as _).collect();
+        let mut g = Graph::new();
+        let src = g.add(
+            NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(vec![1.0f64], 1))),
+            vec![],
+            "src",
+        );
+        for &(op_idx, input_offset) in spec {
+            let input = if g.len() == 1 {
+                src
+            } else {
+                input_offset % g.len()
+            };
+            g.add(
+                NodeKind::Transform(pool[op_idx % pool.len()].clone()),
+                vec![input],
+                format!("t{}", op_idx),
+            );
+        }
+        g
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// CSE is idempotent: a second pass eliminates nothing.
+        #[test]
+        fn prop_cse_idempotent(spec in proptest::collection::vec((0usize..3, 0usize..8), 1..12)) {
+            let g = random_graph(&spec);
+            let once = eliminate_common_subexpressions(&g);
+            let twice = eliminate_common_subexpressions(&once.graph);
+            prop_assert_eq!(twice.eliminated, 0);
+            prop_assert_eq!(twice.graph.len(), once.graph.len());
+        }
+
+        /// Remap is total and structure-preserving: every original node maps
+        /// to a node of the same kind whose (mapped) inputs match.
+        #[test]
+        fn prop_cse_remap_preserves_structure(spec in proptest::collection::vec((0usize..3, 0usize..8), 1..12)) {
+            let g = random_graph(&spec);
+            let r = eliminate_common_subexpressions(&g);
+            for (id, node) in g.nodes.iter().enumerate() {
+                let new_id = *r.remap.get(&id).expect("total remap");
+                let new_node = &r.graph.nodes[new_id];
+                prop_assert_eq!(node.inputs.len(), new_node.inputs.len());
+                for (a, b) in node.inputs.iter().zip(&new_node.inputs) {
+                    prop_assert_eq!(r.remap[a], *b);
+                }
+            }
+        }
+
+        /// Node count never grows.
+        #[test]
+        fn prop_cse_never_grows(spec in proptest::collection::vec((0usize..3, 0usize..8), 1..12)) {
+            let g = random_graph(&spec);
+            let r = eliminate_common_subexpressions(&g);
+            prop_assert!(r.graph.len() <= g.len());
+            prop_assert_eq!(g.len() - r.graph.len(), r.eliminated);
+        }
+    }
+}

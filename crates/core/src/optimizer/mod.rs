@@ -1,0 +1,161 @@
+//! Whole-pipeline optimization (§4): orchestration of CSE, execution
+//! subsampling, cost-based operator selection, and automatic
+//! materialization.
+
+pub mod cse;
+pub mod materialize;
+
+use std::collections::HashSet;
+
+use crate::graph::{Graph, NodeId, NodeKind};
+use crate::profiler::{PipelineProfile, ProfileOptions};
+
+pub use cse::{eliminate_common_subexpressions, CseResult};
+pub use materialize::{MatNode, MatProblem};
+
+/// How much of the optimizer to run (the three configurations of Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Unoptimized: default physical operators, no CSE, no data caching.
+    None,
+    /// Whole-pipeline only: CSE + automatic materialization, default
+    /// physical operators.
+    PipeOnly,
+    /// Everything: CSE + materialization + cost-based operator selection.
+    Full,
+}
+
+/// Which cache-management strategy runs at execution time (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CachingStrategy {
+    /// The KeystoneML strategy: the greedy Algorithm 1 pinned set.
+    Greedy,
+    /// LRU with Spark-like admission control.
+    Lru {
+        /// Largest admissible object as a fraction of the budget.
+        admission_fraction: f64,
+    },
+    /// Rule-based: cache only estimator results (models) — models are
+    /// always memoized, so no data is cached.
+    RuleBased,
+}
+
+/// Options controlling `Pipeline::fit`.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Cache-management strategy.
+    pub caching: CachingStrategy,
+    /// Cache budget in bytes (defaults to the cluster's total memory).
+    pub mem_budget: Option<u64>,
+    /// Subsampling profiler configuration.
+    pub profile: ProfileOptions,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            level: OptLevel::Full,
+            caching: CachingStrategy::Greedy,
+            mem_budget: None,
+            profile: ProfileOptions::default(),
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// The unoptimized configuration (`None` in Fig. 9).
+    pub fn none() -> Self {
+        PipelineOptions {
+            level: OptLevel::None,
+            caching: CachingStrategy::RuleBased,
+            ..Default::default()
+        }
+    }
+
+    /// Whole-pipeline optimizations only (`Pipe Only` in Fig. 9).
+    pub fn pipe_only() -> Self {
+        PipelineOptions {
+            level: OptLevel::PipeOnly,
+            ..Default::default()
+        }
+    }
+
+    /// Everything on (`KeystoneML` in Fig. 9).
+    pub fn full() -> Self {
+        PipelineOptions::default()
+    }
+
+    /// Overrides the cache budget.
+    pub fn with_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Overrides the caching strategy.
+    pub fn with_caching(mut self, caching: CachingStrategy) -> Self {
+        self.caching = caching;
+        self
+    }
+}
+
+/// Builds the materialization problem for the fit-relevant subgraph: every
+/// node gets its profiled one-execution time and output size; sources and
+/// estimator (model) nodes are marked always-cached.
+pub fn build_mat_problem(
+    graph: &Graph,
+    profile: &PipelineProfile,
+    roots: &[NodeId],
+) -> MatProblem {
+    let relevant = graph.ancestors(roots);
+    let nodes = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(id, node)| {
+            let prof = profile.nodes.get(&id);
+            let (t_secs, size_bytes) = match prof {
+                Some(p) => (
+                    p.est_secs(p.records_hint),
+                    p.est_output_bytes().max(1.0) as u64,
+                ),
+                None => (0.0, 1),
+            };
+            let (weight, always_cached) = match &node.kind {
+                NodeKind::Estimate(op) => (op.weight(), true),
+                NodeKind::DataSource(_) | NodeKind::RuntimeInput => (1, true),
+                _ => (1, false),
+            };
+            MatNode {
+                t_secs: if relevant.contains(&id) { t_secs } else { 0.0 },
+                size_bytes,
+                weight,
+                always_cached,
+                inputs: node.inputs.clone(),
+                label: node.label.clone(),
+            }
+        })
+        .collect();
+    MatProblem {
+        nodes,
+        sinks: roots.to_vec(),
+    }
+}
+
+/// Returns the estimator nodes feeding `output` in topological order.
+pub fn fit_roots(graph: &Graph, output: NodeId) -> Vec<NodeId> {
+    let anc = graph.ancestors(&[output]);
+    graph
+        .estimators()
+        .into_iter()
+        .filter(|e| anc.contains(e))
+        .collect()
+}
+
+/// Labels of a node-id set, for reports and Fig. 11-style dumps.
+pub fn labels_of(graph: &Graph, set: &HashSet<NodeId>) -> Vec<String> {
+    let mut ids: Vec<NodeId> = set.iter().copied().collect();
+    ids.sort_unstable();
+    ids.iter().map(|&i| graph.nodes[i].label.clone()).collect()
+}

@@ -1,0 +1,591 @@
+//! The typed pipeline-construction API (Fig. 2/4) and `fit`.
+//!
+//! A `Pipeline<A, B>` is a handle into a shared operator DAG: `and_then`
+//! appends transformer nodes; `and_then_est` binds training data, clones the
+//! preceding prefix over it (CSE later merges the duplicates), fits an
+//! estimator, and applies the resulting model to the main flow; `gather`
+//! merges branches. Calling [`Pipeline::fit`] triggers the lazy optimization
+//! procedure of §2.3 and returns a [`FittedPipeline`].
+
+use std::collections::{HashMap, HashSet};
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Instant;
+
+use keystone_dataflow::cache::{CacheManager, CachePolicy};
+use keystone_dataflow::collection::DistCollection;
+
+use crate::context::ExecContext;
+use crate::executor::Executor;
+use crate::graph::{Graph, NodeId, NodeKind};
+use crate::operator::{
+    AnyData, Estimator, ErasedTransformer, GatherConcat, LabelEstimator, OptimizableEstimator,
+    OptimizableLabelEstimator, OptimizableTransformer, Transformer, TypedEstimator,
+    TypedLabelEstimator, TypedOptimizableEstimator, TypedOptimizableLabelEstimator,
+    TypedOptimizableTransformer, TypedTransformer,
+};
+use crate::optimizer::{
+    build_mat_problem, eliminate_common_subexpressions, fit_roots, labels_of, CachingStrategy,
+    OptLevel, PipelineOptions,
+};
+use crate::profiler::{profile_and_select, PipelineProfile, ProfileOptions};
+use crate::record::Record;
+use parking_lot::Mutex;
+
+/// A typed handle into a pipeline DAG under construction.
+pub struct Pipeline<A: Record, B: Record> {
+    graph: Arc<Mutex<Graph>>,
+    input: NodeId,
+    output: NodeId,
+    _ph: PhantomData<fn(&A) -> B>,
+}
+
+impl<A: Record, B: Record> Clone for Pipeline<A, B> {
+    fn clone(&self) -> Self {
+        Pipeline {
+            graph: self.graph.clone(),
+            input: self.input,
+            output: self.output,
+            _ph: PhantomData,
+        }
+    }
+}
+
+impl<A: Record> Pipeline<A, A> {
+    /// Starts a new pipeline: the identity over the runtime input.
+    pub fn input() -> Self {
+        let mut g = Graph::new();
+        let input = g.add(NodeKind::RuntimeInput, vec![], "input");
+        Pipeline {
+            graph: Arc::new(Mutex::new(g)),
+            input,
+            output: input,
+            _ph: PhantomData,
+        }
+    }
+}
+
+impl<A: Record, B: Record> Pipeline<A, B> {
+    fn derive<C: Record>(&self, output: NodeId) -> Pipeline<A, C> {
+        Pipeline {
+            graph: self.graph.clone(),
+            input: self.input,
+            output,
+            _ph: PhantomData,
+        }
+    }
+
+    /// Chains a transformer (`andThen`).
+    pub fn and_then<C: Record>(&self, t: impl Transformer<B, C>) -> Pipeline<A, C> {
+        let label = t.name();
+        let mut g = self.graph.lock();
+        let id = g.add(
+            NodeKind::Transform(Arc::new(TypedTransformer::new(t))),
+            vec![self.output],
+            label,
+        );
+        drop(g);
+        self.derive(id)
+    }
+
+    /// Chains an optimizable transformer (multiple physical options).
+    pub fn and_then_optimizable<C: Record>(
+        &self,
+        t: impl OptimizableTransformer<B, C>,
+    ) -> Pipeline<A, C> {
+        let label = t.name();
+        let mut g = self.graph.lock();
+        let id = g.add(
+            NodeKind::Transform(Arc::new(TypedOptimizableTransformer::new(t))),
+            vec![self.output],
+            label,
+        );
+        drop(g);
+        self.derive(id)
+    }
+
+    /// Chains an unsupervised estimator fit on `data` passed through the
+    /// preceding prefix (`andThen (est, data)`).
+    pub fn and_then_est<C: Record>(
+        &self,
+        est: impl Estimator<B, C>,
+        data: &DistCollection<A>,
+    ) -> Pipeline<A, C> {
+        let label = est.name();
+        let erased = Arc::new(TypedEstimator::new(est));
+        self.append_estimator(erased, label, data, None)
+    }
+
+    /// Chains an optimizable unsupervised estimator.
+    pub fn and_then_optimizable_est<C: Record>(
+        &self,
+        est: impl OptimizableEstimator<B, C>,
+        data: &DistCollection<A>,
+    ) -> Pipeline<A, C> {
+        let label = est.name();
+        let erased = Arc::new(TypedOptimizableEstimator::new(est));
+        self.append_estimator(erased, label, data, None)
+    }
+
+    /// Chains a supervised estimator (`andThen (est, data, labels)`).
+    pub fn and_then_label_est<L: Record, C: Record>(
+        &self,
+        est: impl LabelEstimator<B, L, C>,
+        data: &DistCollection<A>,
+        labels: &DistCollection<L>,
+    ) -> Pipeline<A, C> {
+        let label = est.name();
+        let erased = Arc::new(TypedLabelEstimator::new(est));
+        self.append_estimator(erased, label, data, Some(AnyData::wrap(labels.clone())))
+    }
+
+    /// Chains an optimizable supervised estimator.
+    pub fn and_then_optimizable_label_est<L: Record, C: Record>(
+        &self,
+        est: impl OptimizableLabelEstimator<B, L, C>,
+        data: &DistCollection<A>,
+        labels: &DistCollection<L>,
+    ) -> Pipeline<A, C> {
+        let label = est.name();
+        let erased = Arc::new(TypedOptimizableLabelEstimator::new(est));
+        self.append_estimator(erased, label, data, Some(AnyData::wrap(labels.clone())))
+    }
+
+    fn append_estimator<C: Record>(
+        &self,
+        erased: Arc<dyn crate::operator::ErasedEstimator>,
+        label: String,
+        data: &DistCollection<A>,
+        labels: Option<AnyData>,
+    ) -> Pipeline<A, C> {
+        let mut g = self.graph.lock();
+        let src = g.add(
+            NodeKind::DataSource(AnyData::wrap(data.clone())),
+            vec![],
+            "train-data",
+        );
+        let train_out = g.clone_rerooted(self.output, src);
+        let mut est_inputs = vec![train_out];
+        if let Some(l) = labels {
+            let lsrc = g.add(NodeKind::DataSource(l), vec![], "train-labels");
+            est_inputs.push(lsrc);
+        }
+        let est = g.add(NodeKind::Estimate(erased), est_inputs, label.clone());
+        let apply = g.add(
+            NodeKind::ModelApply,
+            vec![est, self.output],
+            format!("{}Model", label),
+        );
+        drop(g);
+        self.derive(apply)
+    }
+
+    /// Renders the current DAG as Graphviz.
+    pub fn to_dot(&self) -> String {
+        self.graph.lock().to_dot(&HashSet::new())
+    }
+
+    /// Number of nodes currently in the shared DAG.
+    pub fn graph_len(&self) -> usize {
+        self.graph.lock().len()
+    }
+
+    /// Optimizes and fits the pipeline (§2.3's "optimization time" followed
+    /// by estimator execution), returning the fitted pipeline and a report
+    /// of every optimizer decision.
+    pub fn fit(&self, ctx: &ExecContext, opts: &PipelineOptions) -> (FittedPipeline<A, B>, FitReport) {
+        let snapshot = self.graph.lock().clone();
+        let t0 = Instant::now();
+
+        // 1. Common sub-expression elimination.
+        let (mut graph, output, eliminated) = if opts.level == OptLevel::None {
+            (snapshot, self.output, 0)
+        } else {
+            let r = eliminate_common_subexpressions(&snapshot);
+            let out = r.remap[&self.output];
+            (r.graph, out, r.eliminated)
+        };
+
+        let roots = fit_roots(&graph, output);
+
+        // 2. Execution subsampling + (at Full) operator selection.
+        let profile = if opts.level == OptLevel::None {
+            PipelineProfile::default()
+        } else {
+            let popts = ProfileOptions {
+                select_operators: opts.level == OptLevel::Full,
+                ..opts.profile.clone()
+            };
+            profile_and_select(&mut graph, &roots, ctx, &popts)
+        };
+
+        // 3. Automatic materialization.
+        let budget = opts
+            .mem_budget
+            .unwrap_or_else(|| ctx.resources.total_cache_bytes());
+        let (cache, cache_set) = match (opts.level, opts.caching) {
+            (OptLevel::None, _) | (_, CachingStrategy::RuleBased) => (
+                CacheManager::new(0, CachePolicy::Pinned(HashSet::new())),
+                HashSet::new(),
+            ),
+            (_, CachingStrategy::Lru { admission_fraction }) => (
+                CacheManager::new(budget, CachePolicy::Lru { admission_fraction }),
+                HashSet::new(),
+            ),
+            (_, CachingStrategy::Greedy) => {
+                let problem = build_mat_problem(&graph, &profile, &roots);
+                let set = problem.greedy_cache_set(budget);
+                let keys: HashSet<u64> = set.iter().map(|&v| v as u64).collect();
+                (CacheManager::new(budget, CachePolicy::Pinned(keys)), set)
+            }
+        };
+        let optimize_secs = t0.elapsed().as_secs_f64();
+
+        // 4. Fit every estimator feeding the output.
+        let profiles = Arc::new(profile.nodes.clone());
+        let executor = Executor::new(&graph, ctx.clone(), Arc::new(cache))
+            .with_profiles(profiles.clone());
+        for &est in &roots {
+            let _ = executor.eval(est);
+        }
+        let models = executor.models();
+
+        let report = FitReport {
+            optimize_secs,
+            eliminated_nodes: eliminated,
+            choices: profile
+                .choices
+                .iter()
+                .map(|(id, name)| (graph.nodes[*id].label.clone(), name.clone()))
+                .collect(),
+            cache_set_labels: labels_of(&graph, &cache_set),
+            cache_set: cache_set.clone(),
+            dot: graph.to_dot(&cache_set),
+            profile,
+        };
+        let fitted = FittedPipeline {
+            graph: Arc::new(graph),
+            output,
+            models,
+            profiles,
+            _ph: PhantomData,
+        };
+        (fitted, report)
+    }
+}
+
+/// Merges branches element-wise by concatenating their `Vec<f64>` outputs
+/// (Fig. 4's `gather`, as used by the TIMIT random-feature pipeline). All
+/// branches must share the same pipeline graph and input.
+///
+/// # Panics
+/// Panics if `branches` is empty or the branches come from different
+/// pipeline inputs.
+pub fn gather<A: Record>(branches: &[Pipeline<A, Vec<f64>>]) -> Pipeline<A, Vec<f64>> {
+    assert!(!branches.is_empty(), "gather needs at least one branch");
+    let first = &branches[0];
+    for b in branches {
+        assert!(
+            Arc::ptr_eq(&first.graph, &b.graph) && first.input == b.input,
+            "gather branches must come from the same pipeline input"
+        );
+    }
+    let inputs: Vec<NodeId> = branches.iter().map(|b| b.output).collect();
+    let mut g = first.graph.lock();
+    let id = g.add(NodeKind::Transform(Arc::new(GatherConcat)), inputs, "Gather");
+    drop(g);
+    Pipeline {
+        graph: first.graph.clone(),
+        input: first.input,
+        output: id,
+        _ph: PhantomData,
+    }
+}
+
+/// What the optimizer did during `fit`.
+#[derive(Debug)]
+pub struct FitReport {
+    /// Wall seconds spent on profiling + optimization (Fig. 9's "Optimize").
+    pub optimize_secs: f64,
+    /// Nodes removed by CSE.
+    pub eliminated_nodes: usize,
+    /// `(node label, chosen physical operator)` pairs.
+    pub choices: Vec<(String, String)>,
+    /// Node ids chosen for materialization.
+    pub cache_set: HashSet<NodeId>,
+    /// Their labels (Fig. 11).
+    pub cache_set_labels: Vec<String>,
+    /// Graphviz dump with the cache set highlighted.
+    pub dot: String,
+    /// The raw pipeline profile.
+    pub profile: PipelineProfile,
+}
+
+/// A fitted pipeline: the optimized DAG plus every fitted model.
+pub struct FittedPipeline<A: Record, B: Record> {
+    graph: Arc<Graph>,
+    output: NodeId,
+    models: HashMap<NodeId, Arc<dyn ErasedTransformer>>,
+    profiles: Arc<HashMap<NodeId, crate::profiler::NodeProfile>>,
+    _ph: PhantomData<fn(&A) -> B>,
+}
+
+impl<A: Record, B: Record> FittedPipeline<A, B> {
+    /// Applies the fitted pipeline to new data.
+    pub fn apply(&self, data: &DistCollection<A>, ctx: &ExecContext) -> DistCollection<B> {
+        let cache = Arc::new(CacheManager::new(0, CachePolicy::Pinned(HashSet::new())));
+        let executor = Executor::new(&self.graph, ctx.clone(), cache)
+            .with_runtime_input(AnyData::wrap(data.clone()))
+            .with_models(self.models.clone())
+            .with_profiles(self.profiles.clone())
+            .memoize_all();
+        executor.eval(self.output).data().downcast()
+    }
+
+    /// Applies to a single record (convenience; wraps it in a collection).
+    pub fn apply_one(&self, record: &A, ctx: &ExecContext) -> B {
+        let c = DistCollection::from_vec(vec![record.clone()], 1);
+        self.apply(&c, ctx)
+            .collect()
+            .pop()
+            .expect("one output for one input")
+    }
+
+    /// The optimized DAG (for inspection / Fig. 11 dumps).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keystone_dataflow::cluster::ClusterProfile;
+
+    struct Inc;
+    impl Transformer<f64, f64> for Inc {
+        fn apply(&self, x: &f64) -> f64 {
+            x + 1.0
+        }
+    }
+
+    struct Scale;
+    impl Transformer<f64, f64> for Scale {
+        fn apply(&self, x: &f64) -> f64 {
+            x * 3.0
+        }
+    }
+
+    /// Subtracts the training mean.
+    struct MeanCenter;
+    impl Estimator<f64, f64> for MeanCenter {
+        fn fit(
+            &self,
+            data: &DistCollection<f64>,
+            _ctx: &ExecContext,
+        ) -> Box<dyn Transformer<f64, f64>> {
+            let n = data.count().max(1) as f64;
+            let mu = data.aggregate(0.0, |a, x| a + x, |a, b| a + b) / n;
+            struct Shift(f64);
+            impl Transformer<f64, f64> for Shift {
+                fn apply(&self, x: &f64) -> f64 {
+                    x - self.0
+                }
+            }
+            Box::new(Shift(mu))
+        }
+    }
+
+    /// Fits b so that x + b approximates labels.
+    struct OffsetFit;
+    impl LabelEstimator<f64, f64, f64> for OffsetFit {
+        fn fit(
+            &self,
+            data: &DistCollection<f64>,
+            labels: &DistCollection<f64>,
+            _ctx: &ExecContext,
+        ) -> Box<dyn Transformer<f64, f64>> {
+            let n = data.count().max(1) as f64;
+            let dx = data.aggregate(0.0, |a, x| a + x, |a, b| a + b) / n;
+            let dy = labels.aggregate(0.0, |a, x| a + x, |a, b| a + b) / n;
+            struct Off(f64);
+            impl Transformer<f64, f64> for Off {
+                fn apply(&self, x: &f64) -> f64 {
+                    x + self.0
+                }
+            }
+            Box::new(Off(dy - dx))
+        }
+    }
+
+    fn ctx() -> ExecContext {
+        ExecContext::new(ClusterProfile::R3_4xlarge.descriptor(4))
+    }
+
+    fn small_profile() -> ProfileOptions {
+        ProfileOptions {
+            sizes: vec![4, 8],
+            seed: 1,
+            select_operators: true,
+        }
+    }
+
+    #[test]
+    fn transformer_only_pipeline() {
+        let pipe = Pipeline::<f64, f64>::input().and_then(Inc).and_then(Scale);
+        let ctx = ctx();
+        let (fitted, report) = pipe.fit(
+            &ctx,
+            &PipelineOptions {
+                profile: small_profile(),
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.eliminated_nodes, 0);
+        let out = fitted.apply(&DistCollection::from_vec(vec![1.0, 2.0], 2), &ctx);
+        assert_eq!(out.collect(), vec![6.0, 9.0]);
+        assert_eq!(fitted.apply_one(&0.0, &ctx), 3.0);
+    }
+
+    #[test]
+    fn estimator_pipeline_fits_and_applies() {
+        let train = DistCollection::from_vec(vec![1.0, 2.0, 3.0], 2);
+        let pipe = Pipeline::<f64, f64>::input()
+            .and_then(Inc)
+            .and_then_est(MeanCenter, &train);
+        let ctx = ctx();
+        let (fitted, _) = pipe.fit(
+            &ctx,
+            &PipelineOptions {
+                profile: small_profile(),
+                ..Default::default()
+            },
+        );
+        // Training mean of Inc(train) = mean(2,3,4) = 3; apply: x+1-3.
+        let out = fitted.apply(&DistCollection::from_vec(vec![5.0], 1), &ctx);
+        assert_eq!(out.collect(), vec![3.0]);
+    }
+
+    #[test]
+    fn label_estimator_pipeline() {
+        let train = DistCollection::from_vec(vec![1.0, 2.0, 3.0], 2);
+        let labels = DistCollection::from_vec(vec![11.0, 12.0, 13.0], 2);
+        let pipe =
+            Pipeline::<f64, f64>::input().and_then_label_est(OffsetFit, &train, &labels);
+        let ctx = ctx();
+        let (fitted, _) = pipe.fit(
+            &ctx,
+            &PipelineOptions {
+                profile: small_profile(),
+                ..Default::default()
+            },
+        );
+        let out = fitted.apply(&DistCollection::from_vec(vec![5.0], 1), &ctx);
+        assert_eq!(out.collect(), vec![15.0]);
+    }
+
+    #[test]
+    fn cse_merges_duplicated_prefixes() {
+        // Two estimators over the same data duplicate the Inc prefix; CSE
+        // must merge the copies.
+        let train = DistCollection::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2);
+        let pipe = Pipeline::<f64, f64>::input()
+            .and_then(Inc)
+            .and_then_est(MeanCenter, &train)
+            .and_then_est(MeanCenter, &train);
+        let ctx = ctx();
+        let (_, report) = pipe.fit(
+            &ctx,
+            &PipelineOptions {
+                profile: small_profile(),
+                ..Default::default()
+            },
+        );
+        assert!(
+            report.eliminated_nodes >= 1,
+            "expected CSE to merge duplicated prefix, eliminated = {}",
+            report.eliminated_nodes
+        );
+    }
+
+    #[test]
+    fn gather_merges_branches() {
+        struct ToVec(f64);
+        impl Transformer<f64, Vec<f64>> for ToVec {
+            fn apply(&self, x: &f64) -> Vec<f64> {
+                vec![x * self.0]
+            }
+        }
+        let input = Pipeline::<f64, f64>::input();
+        let b1 = input.and_then(ToVec(1.0));
+        let b2 = input.and_then(ToVec(10.0));
+        let pipe = gather(&[b1, b2]);
+        let ctx = ctx();
+        let (fitted, _) = pipe.fit(
+            &ctx,
+            &PipelineOptions {
+                profile: small_profile(),
+                ..Default::default()
+            },
+        );
+        let out = fitted.apply(&DistCollection::from_vec(vec![2.0], 1), &ctx);
+        assert_eq!(out.collect(), vec![vec![2.0, 20.0]]);
+    }
+
+    #[test]
+    fn opt_levels_produce_same_results() {
+        let train = DistCollection::from_vec((0..32).map(|i| i as f64).collect::<Vec<_>>(), 4);
+        let pipe = Pipeline::<f64, f64>::input()
+            .and_then(Inc)
+            .and_then_est(MeanCenter, &train);
+        let test = DistCollection::from_vec(vec![1.0, 7.0], 1);
+        let mut results = Vec::new();
+        for opts in [
+            PipelineOptions::none(),
+            PipelineOptions {
+                profile: small_profile(),
+                ..PipelineOptions::pipe_only()
+            },
+            PipelineOptions {
+                profile: small_profile(),
+                ..PipelineOptions::full()
+            },
+        ] {
+            let ctx = ctx();
+            let (fitted, _) = pipe.fit(&ctx, &opts);
+            results.push(fitted.apply(&test, &ctx).collect());
+        }
+        assert_eq!(results[0], results[1], "None vs PipeOnly diverged");
+        assert_eq!(results[1], results[2], "PipeOnly vs Full diverged");
+    }
+
+    #[test]
+    fn fit_report_contains_dot() {
+        let train = DistCollection::from_vec(vec![1.0, 2.0], 1);
+        let pipe = Pipeline::<f64, f64>::input().and_then_est(MeanCenter, &train);
+        let ctx = ctx();
+        let (_, report) = pipe.fit(
+            &ctx,
+            &PipelineOptions {
+                profile: small_profile(),
+                ..Default::default()
+            },
+        );
+        assert!(report.dot.contains("digraph"));
+        assert!(report.dot.contains("MeanCenter"));
+    }
+
+    #[test]
+    #[should_panic(expected = "same pipeline input")]
+    fn gather_rejects_foreign_branches() {
+        struct ToVec;
+        impl Transformer<f64, Vec<f64>> for ToVec {
+            fn apply(&self, x: &f64) -> Vec<f64> {
+                vec![*x]
+            }
+        }
+        let a = Pipeline::<f64, f64>::input().and_then(ToVec);
+        let b = Pipeline::<f64, f64>::input().and_then(ToVec);
+        let _ = gather(&[a, b]);
+    }
+}

@@ -1,0 +1,267 @@
+//! The [`Record`] trait and per-collection data statistics.
+//!
+//! Every item type that flows through a pipeline implements `Record`, which
+//! exposes the numeric properties the cost-based optimizer needs: byte
+//! footprint, dimensionality, and sparsity (§3: "numerical data properties
+//! such as sparsity and dimensionality are a necessary source of information
+//! when selecting optimal execution plans").
+
+use keystone_dataflow::collection::DistCollection;
+use keystone_linalg::{DenseMatrix, SparseVector};
+
+/// A pipeline record: something the optimizer can size and characterize.
+///
+/// `Clone` is required so collections of records can be sampled and
+/// repartitioned; every practical record type (strings, vectors, images) is
+/// cheaply cloneable or cloned only during profiling.
+pub trait Record: Clone + Send + Sync + 'static {
+    /// Approximate in-memory footprint in bytes.
+    fn approx_bytes(&self) -> usize;
+
+    /// Vector dimensionality, when the record is vector-like (0 otherwise).
+    fn dims(&self) -> usize {
+        0
+    }
+
+    /// Number of structural non-zeros (defaults to `dims`, i.e. dense).
+    fn nnz(&self) -> usize {
+        self.dims()
+    }
+
+    /// Whether this record type uses a sparse representation.
+    fn sparse_hint() -> bool
+    where
+        Self: Sized,
+    {
+        false
+    }
+}
+
+impl Record for f64 {
+    fn approx_bytes(&self) -> usize {
+        8
+    }
+    fn dims(&self) -> usize {
+        1
+    }
+    fn nnz(&self) -> usize {
+        usize::from(*self != 0.0)
+    }
+}
+
+impl Record for usize {
+    fn approx_bytes(&self) -> usize {
+        8
+    }
+    fn dims(&self) -> usize {
+        1
+    }
+}
+
+impl Record for String {
+    fn approx_bytes(&self) -> usize {
+        self.len() + std::mem::size_of::<String>()
+    }
+}
+
+/// Vectors of records aggregate their elements (so `Vec<f64>` is a dense
+/// feature vector, `Vec<String>` a token list, `Vec<Image>` a window set).
+impl<T: Record> Record for Vec<T> {
+    fn approx_bytes(&self) -> usize {
+        self.iter().map(Record::approx_bytes).sum::<usize>() + std::mem::size_of::<Self>()
+    }
+    fn dims(&self) -> usize {
+        self.iter().map(Record::dims).sum()
+    }
+    fn nnz(&self) -> usize {
+        self.iter().map(Record::nnz).sum()
+    }
+}
+
+impl Record for SparseVector {
+    fn approx_bytes(&self) -> usize {
+        self.nbytes()
+    }
+    fn dims(&self) -> usize {
+        self.dim()
+    }
+    fn nnz(&self) -> usize {
+        SparseVector::nnz(self)
+    }
+    fn sparse_hint() -> bool {
+        true
+    }
+}
+
+impl Record for DenseMatrix {
+    fn approx_bytes(&self) -> usize {
+        self.nbytes()
+    }
+    fn dims(&self) -> usize {
+        self.rows() * self.cols()
+    }
+}
+
+/// Pairs (e.g. `(features, label)`) aggregate both sides.
+impl<A: Record, B: Record> Record for (A, B) {
+    fn approx_bytes(&self) -> usize {
+        self.0.approx_bytes() + self.1.approx_bytes()
+    }
+    fn dims(&self) -> usize {
+        self.0.dims()
+    }
+    fn nnz(&self) -> usize {
+        self.0.nnz()
+    }
+}
+
+/// Statistics of a dataset at one point in the pipeline — the `A_s` of the
+/// paper's cost expression `c(f, A_s, R)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataStats {
+    /// Number of records (at whatever scale the stats describe).
+    pub count: usize,
+    /// Mean bytes per record.
+    pub bytes_per_record: f64,
+    /// Mean vector dimensionality (0 when not vector-like).
+    pub dims: f64,
+    /// Mean structural non-zeros per record.
+    pub nnz_per_record: f64,
+    /// Whether the record representation is sparse.
+    pub is_sparse: bool,
+}
+
+impl DataStats {
+    /// An empty-data placeholder.
+    pub fn empty() -> Self {
+        DataStats {
+            count: 0,
+            bytes_per_record: 0.0,
+            dims: 0.0,
+            nnz_per_record: 0.0,
+            is_sparse: false,
+        }
+    }
+
+    /// Computes stats from a collection by examining up to `probe` records
+    /// (count is exact; per-record means come from the probe).
+    pub fn from_collection<T: Record>(c: &DistCollection<T>, probe: usize) -> Self {
+        let count = c.count();
+        if count == 0 {
+            return DataStats {
+                is_sparse: T::sparse_hint(),
+                ..DataStats::empty()
+            };
+        }
+        let probe = probe.max(1);
+        let (mut bytes, mut dims, mut nnz, mut seen) = (0usize, 0usize, 0usize, 0usize);
+        for r in c.iter().take(probe) {
+            bytes += r.approx_bytes();
+            dims += r.dims();
+            nnz += r.nnz();
+            seen += 1;
+        }
+        let inv = 1.0 / seen as f64;
+        DataStats {
+            count,
+            bytes_per_record: bytes as f64 * inv,
+            dims: dims as f64 * inv,
+            nnz_per_record: nnz as f64 * inv,
+            is_sparse: T::sparse_hint(),
+        }
+    }
+
+    /// Same stats re-scaled to a different record count (used when stats
+    /// were measured on a sample but describe the full dataset).
+    pub fn at_scale(&self, count: usize) -> DataStats {
+        DataStats { count, ..*self }
+    }
+
+    /// Total estimated bytes of the dataset.
+    pub fn total_bytes(&self) -> f64 {
+        self.count as f64 * self.bytes_per_record
+    }
+
+    /// Density in `[0, 1]` (1.0 when dims is unknown/zero).
+    pub fn density(&self) -> f64 {
+        if self.dims <= 0.0 {
+            1.0
+        } else {
+            (self.nnz_per_record / self.dims).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_impls_report_sizes() {
+        assert_eq!(2.0f64.approx_bytes(), 8);
+        assert_eq!(7usize.dims(), 1);
+        let s = String::from("hello");
+        assert!(s.approx_bytes() >= 5);
+        let v = vec![1.0, 0.0, 3.0];
+        assert_eq!(v.dims(), 3);
+        assert_eq!(Record::nnz(&v), 2);
+        assert!(!<Vec<f64> as Record>::sparse_hint());
+        assert!(<SparseVector as Record>::sparse_hint());
+    }
+
+    #[test]
+    fn sparse_vector_record() {
+        let sv = SparseVector::from_pairs(100, vec![(3, 1.0), (50, 2.0)]);
+        assert_eq!(sv.dims(), 100);
+        assert_eq!(Record::nnz(&sv), 2);
+    }
+
+    #[test]
+    fn pair_record_uses_first_component_dims() {
+        let p = (vec![1.0, 2.0], 3.0f64);
+        assert_eq!(p.dims(), 2);
+        assert!(p.approx_bytes() > 16);
+    }
+
+    #[test]
+    fn stats_from_collection() {
+        let c = DistCollection::from_vec(
+            (0..100).map(|i| vec![i as f64, 0.0, 1.0]).collect::<Vec<_>>(),
+            4,
+        );
+        let s = DataStats::from_collection(&c, 50);
+        assert_eq!(s.count, 100);
+        assert!((s.dims - 3.0).abs() < 1e-12);
+        assert!(s.nnz_per_record <= 3.0);
+        assert!(!s.is_sparse);
+        assert!(s.total_bytes() > 0.0);
+    }
+
+    #[test]
+    fn stats_empty_collection() {
+        let c: DistCollection<Vec<f64>> = DistCollection::from_vec(vec![], 4);
+        let s = DataStats::from_collection(&c, 10);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.total_bytes(), 0.0);
+    }
+
+    #[test]
+    fn density_computation() {
+        let c = DistCollection::from_vec(
+            vec![SparseVector::from_pairs(1000, vec![(1, 1.0)]); 10],
+            2,
+        );
+        let s = DataStats::from_collection(&c, 10);
+        assert!(s.is_sparse);
+        assert!((s.density() - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_scale_rescales_count_only() {
+        let c = DistCollection::from_vec(vec![vec![1.0, 2.0]; 8], 2);
+        let s = DataStats::from_collection(&c, 8);
+        let big = s.at_scale(1_000_000);
+        assert_eq!(big.count, 1_000_000);
+        assert_eq!(big.bytes_per_record, s.bytes_per_record);
+    }
+}

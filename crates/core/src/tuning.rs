@@ -1,0 +1,204 @@
+//! Hyperparameter search over pipelines — the §7 future-work item the paper
+//! points at (TuPAQ): "look at how hyperparameter tuning can be integrated
+//! into the system".
+//!
+//! This module provides the integration point: a grid search that builds,
+//! optimizes and fits one pipeline per configuration and scores it on
+//! held-out data. Each trial goes through the full optimizer, so physical
+//! operator choices adapt per configuration (a trial with 10× more features
+//! may get a different solver). Cross-trial computation reuse is the
+//! natural next step and is deliberately left at this boundary.
+
+use std::time::Instant;
+
+use crate::context::ExecContext;
+use crate::optimizer::PipelineOptions;
+use crate::pipeline::{FittedPipeline, Pipeline};
+use crate::record::Record;
+
+/// One evaluated configuration.
+#[derive(Debug, Clone)]
+pub struct Trial<C> {
+    /// The configuration.
+    pub config: C,
+    /// Validation score (higher is better).
+    pub score: f64,
+    /// Seconds spent optimizing + fitting this trial.
+    pub fit_secs: f64,
+}
+
+/// Result of a grid search.
+pub struct TuningResult<C, A: Record, B: Record> {
+    /// All trials, in evaluation order.
+    pub trials: Vec<Trial<C>>,
+    /// Index of the best trial.
+    pub best_index: usize,
+    /// The fitted pipeline of the best trial.
+    pub best_pipeline: FittedPipeline<A, B>,
+}
+
+impl<C: Clone, A: Record, B: Record> TuningResult<C, A, B> {
+    /// The best configuration.
+    pub fn best_config(&self) -> C {
+        self.trials[self.best_index].config.clone()
+    }
+
+    /// The best score.
+    pub fn best_score(&self) -> f64 {
+        self.trials[self.best_index].score
+    }
+}
+
+/// Evaluates every configuration and returns the best-scoring fitted
+/// pipeline. `build` constructs the pipeline for a configuration (binding
+/// training data); `score` evaluates a fitted pipeline (higher is better).
+///
+/// # Panics
+/// Panics if `configs` is empty or a score is NaN.
+pub fn grid_search<C: Clone, A: Record, B: Record>(
+    configs: &[C],
+    ctx: &ExecContext,
+    opts: &PipelineOptions,
+    build: impl Fn(&C) -> Pipeline<A, B>,
+    score: impl Fn(&FittedPipeline<A, B>, &ExecContext) -> f64,
+) -> TuningResult<C, A, B> {
+    assert!(!configs.is_empty(), "grid search needs at least one config");
+    let mut trials: Vec<Trial<C>> = Vec::with_capacity(configs.len());
+    let mut best: Option<(usize, FittedPipeline<A, B>)> = None;
+    for (i, config) in configs.iter().enumerate() {
+        let start = Instant::now();
+        let pipe = build(config);
+        let (fitted, _report) = pipe.fit(ctx, opts);
+        let fit_secs = start.elapsed().as_secs_f64();
+        let s = score(&fitted, ctx);
+        assert!(!s.is_nan(), "score must not be NaN");
+        let is_best = best
+            .as_ref()
+            .is_none_or(|(bi, _)| s > trials[*bi].score);
+        trials.push(Trial {
+            config: config.clone(),
+            score: s,
+            fit_secs,
+        });
+        if is_best {
+            best = Some((i, fitted));
+        }
+    }
+    let (best_index, best_pipeline) = best.expect("at least one trial");
+    TuningResult {
+        trials,
+        best_index,
+        best_pipeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{Estimator, Transformer};
+    use crate::profiler::ProfileOptions;
+    use keystone_dataflow::collection::DistCollection;
+
+    /// Scales by a tunable factor, then mean-centers (estimator): the best
+    /// factor is the one matching the validation target.
+    struct Scale(f64);
+    impl Transformer<f64, f64> for Scale {
+        fn apply(&self, x: &f64) -> f64 {
+            x * self.0
+        }
+    }
+
+    struct MeanCenter;
+    impl Estimator<f64, f64> for MeanCenter {
+        fn fit(
+            &self,
+            data: &DistCollection<f64>,
+            _ctx: &ExecContext,
+        ) -> Box<dyn Transformer<f64, f64>> {
+            let n = data.count().max(1) as f64;
+            let mu = data.aggregate(0.0, |a, x| a + x, |a, b| a + b) / n;
+            struct Shift(f64);
+            impl Transformer<f64, f64> for Shift {
+                fn apply(&self, x: &f64) -> f64 {
+                    x - self.0
+                }
+            }
+            Box::new(Shift(mu))
+        }
+    }
+
+    fn opts() -> PipelineOptions {
+        PipelineOptions {
+            profile: ProfileOptions {
+                sizes: vec![4, 8],
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn grid_search_finds_planted_scale() {
+        let train = DistCollection::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2);
+        // Validation: want outputs to approximate 3x the centered input.
+        let val_in = DistCollection::from_vec(vec![0.0, 5.0], 1);
+        let val_target = [-7.5, 7.5]; // 3 * (x - 2.5)
+        let ctx = ExecContext::default_cluster();
+        let result = grid_search(
+            &[1.0, 2.0, 3.0, 4.0],
+            &ctx,
+            &opts(),
+            |&scale| {
+                Pipeline::<f64, f64>::input()
+                    .and_then(Scale(scale))
+                    .and_then_est(MeanCenter, &train)
+            },
+            |fitted, ctx| {
+                let out = fitted.apply(&val_in, ctx).collect();
+                // Negative squared error as the score.
+                -out.iter()
+                    .zip(&val_target)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            },
+        );
+        assert_eq!(result.trials.len(), 4);
+        assert_eq!(result.best_config(), 3.0);
+        assert!(result.best_score() > -1e-12);
+        // Best pipeline reproduces the target.
+        let ctx2 = ExecContext::default_cluster();
+        let out = result.best_pipeline.apply(&val_in, &ctx2).collect();
+        assert!((out[0] + 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trials_record_time_and_order() {
+        let train = DistCollection::from_vec(vec![1.0, 2.0], 1);
+        let ctx = ExecContext::default_cluster();
+        let result = grid_search(
+            &[1.0, 2.0],
+            &ctx,
+            &opts(),
+            |&s| Pipeline::<f64, f64>::input().and_then(Scale(s)),
+            |_, _| 0.5,
+        );
+        assert_eq!(result.trials.len(), 2);
+        assert!(result.trials.iter().all(|t| t.fit_secs >= 0.0));
+        // Ties keep the first trial.
+        assert_eq!(result.best_index, 0);
+        let _ = train;
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one config")]
+    fn empty_grid_panics() {
+        let ctx = ExecContext::default_cluster();
+        let _ = grid_search(
+            &[] as &[f64],
+            &ctx,
+            &opts(),
+            |&s| Pipeline::<f64, f64>::input().and_then(Scale(s)),
+            |_, _| 0.0,
+        );
+    }
+}

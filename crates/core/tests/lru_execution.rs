@@ -1,0 +1,147 @@
+//! Executor behaviour under the LRU cache policy (the Fig. 10 baseline):
+//! admission control, eviction-driven recomputation, and agreement with the
+//! pinned-set policy on results.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use keystone_core::context::ExecContext;
+use keystone_core::executor::Executor;
+use keystone_core::graph::{Graph, NodeKind};
+use keystone_core::operator::{AnyData, Transformer, TypedTransformer};
+use keystone_dataflow::cache::{CacheManager, CachePolicy};
+use keystone_dataflow::collection::DistCollection;
+
+struct CountingAdd {
+    calls: Arc<AtomicU64>,
+    delta: f64,
+}
+
+impl Transformer<f64, f64> for CountingAdd {
+    fn apply(&self, x: &f64) -> f64 {
+        x + self.delta
+    }
+    fn apply_collection(
+        &self,
+        input: &DistCollection<f64>,
+        _ctx: &ExecContext,
+    ) -> DistCollection<f64> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        let d = self.delta;
+        input.map(move |x| x + d)
+    }
+}
+
+/// src -> a -> b, with b requested repeatedly.
+fn chain(calls_a: Arc<AtomicU64>, calls_b: Arc<AtomicU64>) -> (Graph, usize) {
+    let mut g = Graph::new();
+    let src = g.add(
+        NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(
+            vec![1.0f64; 64],
+            4,
+        ))),
+        vec![],
+        "src",
+    );
+    let a = g.add(
+        NodeKind::Transform(Arc::new(TypedTransformer::new(CountingAdd {
+            calls: calls_a,
+            delta: 1.0,
+        }))),
+        vec![src],
+        "a",
+    );
+    let b = g.add(
+        NodeKind::Transform(Arc::new(TypedTransformer::new(CountingAdd {
+            calls: calls_b,
+            delta: 10.0,
+        }))),
+        vec![a],
+        "b",
+    );
+    (g, b)
+}
+
+#[test]
+fn lru_with_room_caches_everything() {
+    let (ca, cb) = (Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
+    let (g, b) = chain(ca.clone(), cb.clone());
+    let cache = Arc::new(CacheManager::new(
+        1 << 20,
+        CachePolicy::Lru {
+            admission_fraction: 1.0,
+        },
+    ));
+    let exec = Executor::new(&g, ExecContext::default_cluster(), cache);
+    for _ in 0..5 {
+        let _ = exec.eval(b);
+    }
+    assert_eq!(ca.load(Ordering::SeqCst), 1, "a must be computed once");
+    assert_eq!(cb.load(Ordering::SeqCst), 1, "b must be computed once");
+}
+
+#[test]
+fn lru_admission_control_blocks_large_objects() {
+    let (ca, cb) = (Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
+    let (g, b) = chain(ca.clone(), cb.clone());
+    // Budget large, but admission fraction so small every dataset is
+    // refused: behaves like no cache at all.
+    let cache = Arc::new(CacheManager::new(
+        1 << 20,
+        CachePolicy::Lru {
+            admission_fraction: 1e-9,
+        },
+    ));
+    let exec = Executor::new(&g, ExecContext::default_cluster(), cache);
+    for _ in 0..3 {
+        let _ = exec.eval(b);
+    }
+    assert_eq!(ca.load(Ordering::SeqCst), 3, "nothing admitted: a recomputed");
+    assert_eq!(cb.load(Ordering::SeqCst), 3, "nothing admitted: b recomputed");
+}
+
+#[test]
+fn policies_agree_on_results() {
+    let mk = || chain(Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
+    let mut outputs = Vec::new();
+    let policies: Vec<Arc<CacheManager>> = vec![
+        Arc::new(CacheManager::new(0, CachePolicy::Pinned(HashSet::new()))),
+        Arc::new(CacheManager::new(
+            1 << 20,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        )),
+        Arc::new(CacheManager::new(
+            1 << 20,
+            CachePolicy::Pinned([1u64, 2].into_iter().collect()),
+        )),
+    ];
+    for cache in policies {
+        let (g, b) = mk();
+        let exec = Executor::new(&g, ExecContext::default_cluster(), cache);
+        let out: DistCollection<f64> = exec.eval(b).data().downcast();
+        outputs.push(out.collect());
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[1], outputs[2]);
+    assert!(outputs[0].iter().all(|&v| (v - 12.0).abs() < 1e-12));
+}
+
+#[test]
+fn pinned_policy_only_caches_listed_nodes() {
+    let (ca, cb) = (Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
+    let (g, b) = chain(ca.clone(), cb.clone());
+    // Pin only node 1 (a); b is recomputed per request but pulls the cached a.
+    let cache = Arc::new(CacheManager::new(
+        1 << 20,
+        CachePolicy::Pinned([1u64].into_iter().collect()),
+    ));
+    let exec = Executor::new(&g, ExecContext::default_cluster(), cache);
+    for _ in 0..4 {
+        let _ = exec.eval(b);
+    }
+    assert_eq!(ca.load(Ordering::SeqCst), 1, "pinned a computed once");
+    assert_eq!(cb.load(Ordering::SeqCst), 4, "unpinned b recomputed");
+}

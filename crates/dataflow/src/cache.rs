@@ -1,0 +1,332 @@
+//! The budgeted cache-management layer.
+//!
+//! The paper adds "an additional cache-management layer that is aware of the
+//! multiple Spark jobs that comprise a pipeline" (§5). This module is that
+//! layer: node outputs are cached as erased `Arc`s with explicit byte sizes
+//! against a cluster-wide budget, under one of three policies:
+//!
+//! * [`CachePolicy::Pinned`] — only the set chosen by the whole-pipeline
+//!   materialization optimizer is admitted (the *KeystoneML* strategy of
+//!   Fig. 10). Pinned entries are never evicted.
+//! * [`CachePolicy::Lru`] — least-recently-used eviction with Spark-style
+//!   admission control: objects larger than `admission_fraction × budget`
+//!   are never admitted. (The paper's Fig. 10 discussion observes that this
+//!   implicit admission policy causes LRU anomalies.)
+//! * `Lru` with `admission_fraction = 1.0` — the naïve "cache everything"
+//!   strategy.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Type-erased cached value.
+pub type CachedValue = Arc<dyn Any + Send + Sync>;
+
+/// Admission/eviction policy.
+#[derive(Debug, Clone)]
+pub enum CachePolicy {
+    /// Admit only the listed keys; never evict them.
+    Pinned(HashSet<u64>),
+    /// LRU eviction; admit only objects `<= admission_fraction * budget`.
+    Lru {
+        /// Fraction of the budget above which a single object is refused
+        /// admission (Spark uses a similar implicit rule).
+        admission_fraction: f64,
+    },
+}
+
+/// Hit/miss counters for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Put calls refused by policy or size.
+    pub rejected: u64,
+}
+
+struct Entry {
+    value: CachedValue,
+    size: u64,
+    last_used: u64,
+    pinned: bool,
+}
+
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    used: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// Budgeted, policy-driven cache of erased node outputs.
+pub struct CacheManager {
+    budget: u64,
+    policy: CachePolicy,
+    inner: Mutex<Inner>,
+}
+
+impl CacheManager {
+    /// Creates a cache with a byte budget and a policy.
+    pub fn new(budget: u64, policy: CachePolicy) -> Self {
+        CacheManager {
+            budget,
+            policy,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                used: 0,
+                clock: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.inner.lock().used
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Keys currently resident.
+    pub fn resident_keys(&self) -> Vec<u64> {
+        self.inner.lock().entries.keys().copied().collect()
+    }
+
+    /// Looks up a cached value, updating recency.
+    pub fn get(&self, key: u64) -> Option<CachedValue> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_used = clock;
+                let v = e.value.clone();
+                inner.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Offers a value for caching. Returns `true` if it was admitted.
+    pub fn put(&self, key: u64, value: CachedValue, size: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.entries.contains_key(&key) {
+            return true;
+        }
+        match &self.policy {
+            CachePolicy::Pinned(set) => {
+                if !set.contains(&key) || size > self.budget.saturating_sub(inner.used) {
+                    inner.stats.rejected += 1;
+                    return false;
+                }
+                inner.clock += 1;
+                let clock = inner.clock;
+                inner.entries.insert(
+                    key,
+                    Entry {
+                        value,
+                        size,
+                        last_used: clock,
+                        pinned: true,
+                    },
+                );
+                inner.used += size;
+                true
+            }
+            CachePolicy::Lru { admission_fraction } => {
+                let max_object = (self.budget as f64 * admission_fraction) as u64;
+                if size > max_object || size > self.budget {
+                    inner.stats.rejected += 1;
+                    return false;
+                }
+                // Evict LRU non-pinned entries until the new object fits.
+                while inner.used + size > self.budget {
+                    let victim = inner
+                        .entries
+                        .iter()
+                        .filter(|(_, e)| !e.pinned)
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(&k, _)| k);
+                    match victim {
+                        Some(k) => {
+                            let e = inner.entries.remove(&k).expect("victim exists");
+                            inner.used -= e.size;
+                            inner.stats.evictions += 1;
+                        }
+                        None => {
+                            inner.stats.rejected += 1;
+                            return false;
+                        }
+                    }
+                }
+                inner.clock += 1;
+                let clock = inner.clock;
+                inner.entries.insert(
+                    key,
+                    Entry {
+                        value,
+                        size,
+                        last_used: clock,
+                        pinned: false,
+                    },
+                );
+                inner.used += size;
+                true
+            }
+        }
+    }
+
+    /// Drops everything (keeps counters).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.used = 0;
+    }
+}
+
+impl std::fmt::Debug for CacheManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("CacheManager")
+            .field("budget", &self.budget)
+            .field("used", &inner.used)
+            .field("entries", &inner.entries.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(x: i64) -> CachedValue {
+        Arc::new(x)
+    }
+
+    #[test]
+    fn pinned_admits_only_members() {
+        let set: HashSet<u64> = [1, 2].into_iter().collect();
+        let c = CacheManager::new(100, CachePolicy::Pinned(set));
+        assert!(c.put(1, val(10), 40));
+        assert!(!c.put(3, val(30), 10), "non-member admitted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_none());
+        assert_eq!(c.stats().rejected, 1);
+    }
+
+    #[test]
+    fn pinned_respects_budget() {
+        let set: HashSet<u64> = [1, 2].into_iter().collect();
+        let c = CacheManager::new(50, CachePolicy::Pinned(set));
+        assert!(c.put(1, val(1), 40));
+        assert!(!c.put(2, val(2), 20), "over budget admitted");
+        assert_eq!(c.used(), 40);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let c = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        );
+        assert!(c.put(1, val(1), 40));
+        assert!(c.put(2, val(2), 40));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(1).is_some());
+        assert!(c.put(3, val(3), 40));
+        assert!(c.get(1).is_some(), "recently used entry evicted");
+        assert!(c.get(2).is_none(), "LRU entry survived");
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_admission_control_rejects_huge_objects() {
+        let c = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 0.5,
+            },
+        );
+        assert!(!c.put(1, val(1), 60), "oversized object admitted");
+        assert!(c.put(2, val(2), 50));
+        assert_eq!(c.stats().rejected, 1);
+    }
+
+    #[test]
+    fn downcast_roundtrip() {
+        let c = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        );
+        c.put(7, Arc::new(vec![1u8, 2, 3]), 3);
+        let v = c.get(7).expect("cached");
+        let bytes = v.downcast::<Vec<u8>>().expect("type");
+        assert_eq!(*bytes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_put_is_idempotent() {
+        let c = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        );
+        assert!(c.put(1, val(1), 30));
+        assert!(c.put(1, val(1), 30));
+        assert_eq!(c.used(), 30);
+    }
+
+    #[test]
+    fn clear_resets_usage() {
+        let c = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        );
+        c.put(1, val(1), 30);
+        c.clear();
+        assert_eq!(c.used(), 0);
+        assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn hit_miss_counting() {
+        let c = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        );
+        c.put(1, val(1), 10);
+        let _ = c.get(1);
+        let _ = c.get(2);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+}

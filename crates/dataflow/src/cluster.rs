@@ -1,0 +1,215 @@
+//! The cluster resource descriptor (`R` in the paper, §3).
+//!
+//! The descriptor captures per-node compute throughput, memory/disk
+//! bandwidth, and network speed, plus the number of nodes. The paper builds
+//! it "via configuration data and microbenchmarks"; we ship hardware presets
+//! for the EC2 instance type used in the evaluation and a calibration
+//! routine that microbenchmarks the local machine.
+
+use serde::{Deserialize, Serialize};
+
+/// Cluster resource descriptor: everything the cost-based optimizer knows
+/// about the hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceDesc {
+    /// Number of worker nodes (`R_w`).
+    pub workers: usize,
+    /// Physical cores per worker node.
+    pub cores_per_worker: usize,
+    /// Effective per-node floating-point throughput, FLOP/s.
+    pub gflops_per_worker: f64,
+    /// Per-node memory bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Per-node disk bandwidth, bytes/s.
+    pub disk_bandwidth: f64,
+    /// Network bandwidth of the most-loaded link, bytes/s.
+    pub net_bandwidth: f64,
+    /// Memory available for caching per worker, bytes.
+    pub mem_per_worker: u64,
+    /// Latency of one cluster-wide synchronization barrier (a distributed
+    /// job's scheduling + straggler overhead), seconds.
+    pub barrier_latency_secs: f64,
+    /// Relative weight of execution cost (`R_exec`).
+    pub exec_weight: f64,
+    /// Relative weight of coordination cost (`R_coord`).
+    pub coord_weight: f64,
+}
+
+impl ResourceDesc {
+    /// Total cluster cache capacity in bytes.
+    pub fn total_cache_bytes(&self) -> u64 {
+        self.mem_per_worker * self.workers as u64
+    }
+
+    /// Returns a copy scaled to a different worker count (strong scaling:
+    /// per-node characteristics are unchanged).
+    pub fn with_workers(&self, workers: usize) -> ResourceDesc {
+        ResourceDesc {
+            workers,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different per-worker cache budget.
+    pub fn with_mem_per_worker(&self, bytes: u64) -> ResourceDesc {
+        ResourceDesc {
+            mem_per_worker: bytes,
+            ..self.clone()
+        }
+    }
+}
+
+/// Named hardware profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterProfile {
+    /// Amazon EC2 `r3.4xlarge` (the paper's evaluation hardware): 8 physical
+    /// cores, 122 GB RAM, SSD, 10 GbE network.
+    R3_4xlarge,
+    /// A deliberately network-starved profile (1 GbE) used to demonstrate
+    /// that the optimizer flips decisions when coordination gets expensive.
+    CommodityGigabit,
+    /// Single beefy node: effectively infinite network (local loopback).
+    SingleNode,
+}
+
+impl ClusterProfile {
+    /// Builds the descriptor for `workers` nodes of this profile.
+    pub fn descriptor(self, workers: usize) -> ResourceDesc {
+        match self {
+            // ~3.3 GFLOP/s/core sustained DGEMM × 8 cores; 10 GbE ≈ 1.25e9 B/s.
+            ClusterProfile::R3_4xlarge => ResourceDesc {
+                workers,
+                cores_per_worker: 8,
+                gflops_per_worker: 2.6e10,
+                mem_bandwidth: 3.0e10,
+                disk_bandwidth: 4.0e8,
+                net_bandwidth: 1.25e9,
+                mem_per_worker: 122 * (1 << 30),
+                barrier_latency_secs: 0.2,
+                exec_weight: 1.0,
+                coord_weight: 1.0,
+            },
+            ClusterProfile::CommodityGigabit => ResourceDesc {
+                workers,
+                cores_per_worker: 4,
+                gflops_per_worker: 1.0e10,
+                mem_bandwidth: 1.5e10,
+                disk_bandwidth: 1.5e8,
+                net_bandwidth: 1.25e8,
+                mem_per_worker: 16 * (1 << 30),
+                barrier_latency_secs: 0.3,
+                exec_weight: 1.0,
+                coord_weight: 1.0,
+            },
+            ClusterProfile::SingleNode => ResourceDesc {
+                workers: 1,
+                cores_per_worker: workers.max(1) * 8,
+                gflops_per_worker: 2.6e10 * workers.max(1) as f64,
+                mem_bandwidth: 3.0e10,
+                disk_bandwidth: 4.0e8,
+                net_bandwidth: 1.0e11, // loopback: coordination ~free
+                mem_per_worker: 256 * (1 << 30),
+                barrier_latency_secs: 0.005,
+                exec_weight: 1.0,
+                coord_weight: 1.0,
+            },
+        }
+    }
+}
+
+/// Microbenchmarks the local machine to calibrate a descriptor whose
+/// simulated clock roughly tracks local wall time. Used by tests that check
+/// the simulated and real clocks agree in *ordering* (never absolute value).
+pub fn calibrate_local(workers: usize) -> ResourceDesc {
+    use std::time::Instant;
+    // FLOP microbenchmark: a fused multiply-add loop of known size.
+    let n = 2_000_000u64;
+    let start = Instant::now();
+    let mut acc = 1.000000001f64;
+    let mut x = 0.5f64;
+    for _ in 0..n {
+        x = x.mul_add(acc, 0.0000001);
+        acc += 1e-12;
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    // 2 FLOPs per iteration (mul + add); std::hint prevents the loop from
+    // being optimized away entirely.
+    std::hint::black_box(x);
+    let flops = (2 * n) as f64 / secs;
+
+    // Memory bandwidth microbenchmark: copy a buffer a few times.
+    let buf = vec![1u8; 8 << 20];
+    let mut out = vec![0u8; 8 << 20];
+    let start = Instant::now();
+    for _ in 0..4 {
+        out.copy_from_slice(&buf);
+        std::hint::black_box(&out);
+    }
+    let mem_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let mem_bw = (4 * (8 << 20)) as f64 * 2.0 / mem_secs;
+
+    ResourceDesc {
+        workers,
+        cores_per_worker: 1,
+        gflops_per_worker: flops,
+        mem_bandwidth: mem_bw,
+        disk_bandwidth: mem_bw / 20.0,
+        net_bandwidth: mem_bw / 10.0,
+        mem_per_worker: 1 << 30,
+        barrier_latency_secs: 0.001,
+        exec_weight: 1.0,
+        coord_weight: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_values() {
+        let r = ClusterProfile::R3_4xlarge.descriptor(16);
+        assert_eq!(r.workers, 16);
+        assert!(r.gflops_per_worker > 1e9);
+        assert!(r.net_bandwidth < r.mem_bandwidth);
+        assert!(r.disk_bandwidth < r.mem_bandwidth);
+        assert_eq!(r.total_cache_bytes(), 16 * 122 * (1 << 30));
+    }
+
+    #[test]
+    fn with_workers_scales_only_node_count() {
+        let r = ClusterProfile::R3_4xlarge.descriptor(8);
+        let r2 = r.with_workers(64);
+        assert_eq!(r2.workers, 64);
+        assert_eq!(r2.gflops_per_worker, r.gflops_per_worker);
+    }
+
+    #[test]
+    fn with_mem_budget() {
+        let r = ClusterProfile::R3_4xlarge.descriptor(4).with_mem_per_worker(5 << 30);
+        assert_eq!(r.mem_per_worker, 5 << 30);
+    }
+
+    #[test]
+    fn single_node_has_cheap_network() {
+        let s = ClusterProfile::SingleNode.descriptor(4);
+        assert_eq!(s.workers, 1);
+        assert!(s.net_bandwidth > ClusterProfile::R3_4xlarge.descriptor(4).net_bandwidth);
+    }
+
+    #[test]
+    fn calibration_produces_positive_rates() {
+        let r = calibrate_local(2);
+        assert!(r.gflops_per_worker > 1e6, "flops {}", r.gflops_per_worker);
+        assert!(r.mem_bandwidth > 1e6);
+        assert_eq!(r.workers, 2);
+    }
+
+    #[test]
+    fn profiles_are_distinct() {
+        let a = ClusterProfile::R3_4xlarge.descriptor(4);
+        let b = ClusterProfile::CommodityGigabit.descriptor(4);
+        assert!(a.net_bandwidth > b.net_bandwidth);
+        assert!(a.gflops_per_worker > b.gflops_per_worker);
+    }
+}

@@ -1,0 +1,457 @@
+//! Partitioned, immutable distributed collections.
+//!
+//! `DistCollection<T>` plays the role of Spark's RDD: an immutable
+//! collection split into partitions, with one partition per logical worker
+//! node by default. Per-partition work runs concurrently on the rayon pool,
+//! so a `w`-worker simulated cluster genuinely does `w`-way parallel work
+//! (bounded by the machine's cores).
+//!
+//! Unlike Spark, collections here are **eager**; recomputation-versus-reuse
+//! decisions live one level up, in the pipeline executor, which is where the
+//! paper's materialization optimizer operates (§4.3).
+
+use rayon::prelude::*;
+use std::sync::Arc;
+
+use crate::rng_util::split_seed;
+
+/// An immutable, partitioned collection of `T`.
+#[derive(Debug)]
+pub struct DistCollection<T> {
+    partitions: Vec<Arc<Vec<T>>>,
+}
+
+impl<T> Clone for DistCollection<T> {
+    fn clone(&self) -> Self {
+        DistCollection {
+            partitions: self.partitions.clone(),
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> DistCollection<T> {
+    /// Splits `data` into `num_partitions` nearly equal partitions
+    /// (at least 1; empty collections get one empty partition).
+    pub fn from_vec(data: Vec<T>, num_partitions: usize) -> Self {
+        let p = num_partitions.max(1);
+        let n = data.len();
+        if n == 0 {
+            return DistCollection {
+                partitions: vec![Arc::new(Vec::new())],
+            };
+        }
+        let p = p.min(n);
+        let base = n / p;
+        let extra = n % p;
+        let mut partitions = Vec::with_capacity(p);
+        let mut it = data.into_iter();
+        for i in 0..p {
+            let take = base + usize::from(i < extra);
+            partitions.push(Arc::new(it.by_ref().take(take).collect::<Vec<T>>()));
+        }
+        DistCollection { partitions }
+    }
+
+    /// Builds directly from per-partition vectors.
+    pub fn from_partitions(parts: Vec<Vec<T>>) -> Self {
+        let partitions = if parts.is_empty() {
+            vec![Arc::new(Vec::new())]
+        } else {
+            parts.into_iter().map(Arc::new).collect()
+        };
+        DistCollection { partitions }
+    }
+
+    /// Number of partitions (logical workers touched).
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Identity of the underlying data: clones of a collection share their
+    /// partition allocations, so they report the same id. Used by the
+    /// pipeline optimizer to recognize that two bound sources are the same
+    /// dataset (common sub-expression elimination across `and_then_est`
+    /// calls).
+    pub fn content_id(&self) -> usize {
+        self.partitions
+            .first()
+            .map_or(0, |p| Arc::as_ptr(p) as *const () as usize)
+    }
+
+    /// Total number of elements.
+    pub fn count(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// Shared view of partition `i`.
+    pub fn partition(&self, i: usize) -> &Arc<Vec<T>> {
+        &self.partitions[i]
+    }
+
+    /// Iterator over all elements (sequential).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.partitions.iter().flat_map(|p| p.iter())
+    }
+
+    /// Element-wise transformation, preserving partitioning.
+    pub fn map<U, F>(&self, f: F) -> DistCollection<U>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(&T) -> U + Send + Sync,
+    {
+        let partitions = self
+            .partitions
+            .par_iter()
+            .map(|p| Arc::new(p.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        DistCollection { partitions }
+    }
+
+    /// Whole-partition transformation (the `mapPartitions` of Spark) —
+    /// lets operators amortize per-partition setup such as building a local
+    /// matrix.
+    pub fn map_partitions<U, F>(&self, f: F) -> DistCollection<U>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(&[T]) -> Vec<U> + Send + Sync,
+    {
+        let partitions = self
+            .partitions
+            .par_iter()
+            .map(|p| Arc::new(f(p)))
+            .collect();
+        DistCollection { partitions }
+    }
+
+    /// One-to-many element transformation.
+    pub fn flat_map<U, F>(&self, f: F) -> DistCollection<U>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(&T) -> Vec<U> + Send + Sync,
+    {
+        let partitions = self
+            .partitions
+            .par_iter()
+            .map(|p| Arc::new(p.iter().flat_map(&f).collect::<Vec<U>>()))
+            .collect();
+        DistCollection { partitions }
+    }
+
+    /// Keeps elements matching the predicate.
+    pub fn filter<F>(&self, f: F) -> DistCollection<T>
+    where
+        T: Clone,
+        F: Fn(&T) -> bool + Send + Sync,
+    {
+        let partitions = self
+            .partitions
+            .par_iter()
+            .map(|p| Arc::new(p.iter().filter(|x| f(x)).cloned().collect::<Vec<T>>()))
+            .collect();
+        DistCollection { partitions }
+    }
+
+    /// Zips two collections with identical partitioning element-by-element.
+    ///
+    /// # Panics
+    /// Panics if partition counts or sizes differ (same contract as Spark's
+    /// `zip`).
+    pub fn zip<U, V, F>(&self, other: &DistCollection<U>, f: F) -> DistCollection<V>
+    where
+        U: Send + Sync + 'static,
+        V: Send + Sync + 'static,
+        F: Fn(&T, &U) -> V + Send + Sync,
+    {
+        assert_eq!(
+            self.num_partitions(),
+            other.num_partitions(),
+            "zip: partition count mismatch"
+        );
+        let partitions = self
+            .partitions
+            .par_iter()
+            .zip(other.partitions.par_iter())
+            .map(|(a, b)| {
+                assert_eq!(a.len(), b.len(), "zip: partition size mismatch");
+                Arc::new(
+                    a.iter()
+                        .zip(b.iter())
+                        .map(|(x, y)| f(x, y))
+                        .collect::<Vec<V>>(),
+                )
+            })
+            .collect();
+        DistCollection { partitions }
+    }
+
+    /// Per-partition aggregation followed by an associative combine on the
+    /// driver. This is the `treeAggregate` pattern the distributed solvers
+    /// use; network accounting is done by their cost models (each partition
+    /// ships one `U` up an aggregation tree).
+    pub fn aggregate<U, SeqF, CombF>(&self, zero: U, seq: SeqF, comb: CombF) -> U
+    where
+        U: Send + Sync + Clone + 'static,
+        SeqF: Fn(U, &T) -> U + Send + Sync,
+        CombF: Fn(U, U) -> U + Send + Sync,
+    {
+        let partials: Vec<U> = self
+            .partitions
+            .par_iter()
+            .map(|p| p.iter().fold(zero.clone(), &seq))
+            .collect();
+        partials.into_iter().fold(zero, comb)
+    }
+
+    /// Per-partition map to a partial value, then an associative reduce.
+    /// Returns `None` for an empty collection.
+    pub fn map_reduce_partitions<U, MapF, RedF>(&self, map: MapF, red: RedF) -> Option<U>
+    where
+        U: Send + Sync + 'static,
+        MapF: Fn(&[T]) -> U + Send + Sync,
+        RedF: Fn(U, U) -> U + Send + Sync,
+    {
+        let partials: Vec<U> = self
+            .partitions
+            .par_iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| map(p))
+            .collect();
+        partials.into_iter().reduce(red)
+    }
+
+    /// Gathers all elements to the driver (clones).
+    pub fn collect(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.count());
+        for p in &self.partitions {
+            out.extend(p.iter().cloned());
+        }
+        out
+    }
+
+    /// First `n` elements in partition order.
+    pub fn take(&self, n: usize) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.iter().take(n).cloned().collect()
+    }
+
+    /// Deterministic uniform sample of about `n` elements (without
+    /// replacement, proportional across partitions).
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let total = self.count();
+        if total == 0 || n == 0 {
+            return vec![];
+        }
+        if n >= total {
+            return self.collect();
+        }
+        let mut out = Vec::with_capacity(n + self.partitions.len());
+        for (pi, p) in self.partitions.iter().enumerate() {
+            let want =
+                ((p.len() as f64 / total as f64) * n as f64).round() as usize;
+            let want = want.min(p.len());
+            if want == 0 {
+                continue;
+            }
+            // Deterministic stride sampling with a seeded offset: cheap and
+            // good enough for statistics collection.
+            let stride = p.len() / want;
+            let offset = (split_seed(seed, pi as u64) as usize) % stride.max(1);
+            out.extend(
+                (0..want).map(|i| p[(offset + i * stride).min(p.len() - 1)].clone()),
+            );
+        }
+        out.truncate(n);
+        out
+    }
+
+    /// Repartitions into `p` partitions (a full shuffle).
+    pub fn repartition(&self, p: usize) -> DistCollection<T>
+    where
+        T: Clone,
+    {
+        DistCollection::from_vec(self.collect(), p)
+    }
+
+    /// Concatenates two collections, keeping both partition sets.
+    pub fn union(&self, other: &DistCollection<T>) -> DistCollection<T> {
+        let mut partitions = self.partitions.clone();
+        partitions.extend(other.partitions.iter().cloned());
+        DistCollection { partitions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_balances_partitions() {
+        let c = DistCollection::from_vec((0..10).collect::<Vec<i64>>(), 4);
+        assert_eq!(c.num_partitions(), 4);
+        let sizes: Vec<usize> = (0..4).map(|i| c.partition(i).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        assert_eq!(c.count(), 10);
+        assert_eq!(c.collect(), (0..10).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c: DistCollection<i32> = DistCollection::from_vec(vec![], 8);
+        assert_eq!(c.num_partitions(), 1);
+        assert_eq!(c.count(), 0);
+        assert!(c.collect().is_empty());
+        assert!(c.sample(5, 1).is_empty());
+    }
+
+    #[test]
+    fn more_partitions_than_elements() {
+        let c = DistCollection::from_vec(vec![1, 2], 10);
+        assert_eq!(c.num_partitions(), 2);
+    }
+
+    #[test]
+    fn map_preserves_order_and_partitioning() {
+        let c = DistCollection::from_vec((0..100).collect::<Vec<i64>>(), 7);
+        let d = c.map(|x| x * 2);
+        assert_eq!(d.num_partitions(), 7);
+        assert_eq!(d.collect(), (0..100).map(|x| x * 2).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn flat_map_and_filter() {
+        let c = DistCollection::from_vec(vec![1, 2, 3], 2);
+        let d = c.flat_map(|&x| vec![x; x as usize]);
+        assert_eq!(d.count(), 6);
+        let e = d.filter(|&x| x > 1);
+        assert_eq!(e.collect(), vec![2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn map_partitions_sees_whole_partition() {
+        let c = DistCollection::from_vec((0..9).collect::<Vec<i64>>(), 3);
+        let sums = c.map_partitions(|p| vec![p.iter().sum::<i64>()]);
+        assert_eq!(sums.collect(), vec![3, 12, 21]);
+    }
+
+    #[test]
+    fn zip_matching_partitions() {
+        let a = DistCollection::from_vec((0..10).collect::<Vec<i64>>(), 3);
+        let b = a.map(|x| x * 10);
+        let z = a.zip(&b, |x, y| x + y);
+        assert_eq!(z.collect(), (0..10).map(|x| x * 11).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition count mismatch")]
+    fn zip_mismatched_panics() {
+        let a = DistCollection::from_vec(vec![1, 2, 3, 4], 2);
+        let b = DistCollection::from_vec(vec![1, 2, 3, 4], 4);
+        let _ = a.zip(&b, |x, y| x + y);
+    }
+
+    #[test]
+    fn aggregate_sums() {
+        let c = DistCollection::from_vec((1..=100).collect::<Vec<i64>>(), 8);
+        let s = c.aggregate(0i64, |acc, &x| acc + x, |a, b| a + b);
+        assert_eq!(s, 5050);
+    }
+
+    #[test]
+    fn map_reduce_partitions_max() {
+        let c = DistCollection::from_vec(vec![3, 9, 1, 7, 5], 2);
+        let m = c.map_reduce_partitions(|p| *p.iter().max().unwrap(), |a, b| a.max(b));
+        assert_eq!(m, Some(9));
+        let e: DistCollection<i32> = DistCollection::from_vec(vec![], 2);
+        assert_eq!(e.map_reduce_partitions(|p| p.len(), |a, b| a + b), None);
+    }
+
+    #[test]
+    fn sample_size_and_determinism() {
+        let c = DistCollection::from_vec((0..1000).collect::<Vec<i64>>(), 8);
+        let s1 = c.sample(100, 42);
+        let s2 = c.sample(100, 42);
+        assert_eq!(s1, s2);
+        assert!(s1.len() >= 90 && s1.len() <= 100, "len {}", s1.len());
+        // Sampling more than exists returns everything.
+        assert_eq!(c.sample(5000, 1).len(), 1000);
+    }
+
+    #[test]
+    fn union_and_repartition() {
+        let a = DistCollection::from_vec(vec![1, 2], 2);
+        let b = DistCollection::from_vec(vec![3], 1);
+        let u = a.union(&b);
+        assert_eq!(u.num_partitions(), 3);
+        assert_eq!(u.count(), 3);
+        let r = u.repartition(2);
+        assert_eq!(r.num_partitions(), 2);
+        assert_eq!(r.collect(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn take_in_order() {
+        let c = DistCollection::from_vec((0..50).collect::<Vec<i64>>(), 5);
+        assert_eq!(c.take(3), vec![0, 1, 2]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// from_vec → collect is the identity at any partition count.
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(-1000i64..1000, 0..200), p in 1usize..16) {
+            let c = DistCollection::from_vec(data.clone(), p);
+            prop_assert_eq!(c.collect(), data);
+        }
+
+        /// Aggregation equals a sequential fold regardless of partitioning.
+        #[test]
+        fn prop_aggregate_partition_invariant(data in proptest::collection::vec(-100i64..100, 1..150), p in 1usize..12) {
+            let c = DistCollection::from_vec(data.clone(), p);
+            let agg = c.aggregate(0i64, |a, &x| a + x, |a, b| a + b);
+            prop_assert_eq!(agg, data.iter().sum::<i64>());
+        }
+
+        /// map then collect == collect then map.
+        #[test]
+        fn prop_map_commutes_with_collect(data in proptest::collection::vec(-100i64..100, 0..150), p in 1usize..12) {
+            let c = DistCollection::from_vec(data.clone(), p);
+            let via_dist = c.map(|x| x * 3 - 1).collect();
+            let via_vec: Vec<i64> = data.iter().map(|x| x * 3 - 1).collect();
+            prop_assert_eq!(via_dist, via_vec);
+        }
+
+        /// Sample size is bounded and elements come from the collection.
+        #[test]
+        fn prop_sample_is_subset(data in proptest::collection::vec(0i64..1_000_000, 1..200), p in 1usize..10, n in 0usize..250, seed in 0u64..100) {
+            let c = DistCollection::from_vec(data.clone(), p);
+            let s = c.sample(n, seed);
+            prop_assert!(s.len() <= n.max(0).min(data.len()) || s.len() <= data.len());
+            for v in &s {
+                prop_assert!(data.contains(v));
+            }
+        }
+
+        /// map_reduce over max equals the global max.
+        #[test]
+        fn prop_map_reduce_max(data in proptest::collection::vec(-1000i64..1000, 1..150), p in 1usize..12) {
+            let c = DistCollection::from_vec(data.clone(), p);
+            let m = c.map_reduce_partitions(|part| *part.iter().max().expect("non-empty"), |a, b| a.max(b));
+            prop_assert_eq!(m, data.iter().max().copied());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The operator cost triple and its conversion to estimated time.
+//!
+//! Mirrors the paper's `class CostProfile(flops, bytes, network)` (Fig. 3)
+//! and the split cost model of §3:
+//!
+//! ```text
+//! c(f, As, R) = R_exec · c_exec(f, As, R_w) + R_coord · c_coord(f, As, R_w)
+//! ```
+//!
+//! where `c_exec` is the critical-path execution time on one node (FLOPs at
+//! the node's FLOP rate plus local bytes at memory bandwidth) and `c_coord`
+//! is the time the most-loaded network link spends moving `network` bytes.
+
+use crate::cluster::ResourceDesc;
+use serde::{Deserialize, Serialize};
+
+/// Per-operator resource consumption estimate.
+///
+/// All three fields describe the **critical path**: `flops` and `bytes` are
+/// the most any single node does, `network` is the traffic over the most
+/// loaded link — exactly the convention of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostProfile {
+    /// Floating-point operations on the busiest node.
+    pub flops: f64,
+    /// Local bytes moved (memory/disk) on the busiest node.
+    pub bytes: f64,
+    /// Bytes over the most loaded network link.
+    pub network: f64,
+    /// Cluster-wide synchronization points (distributed passes / barriers).
+    /// Each costs [`ResourceDesc::barrier_latency_secs`] of coordination —
+    /// the scheduling + straggler latency of one distributed job, which is
+    /// what makes per-iteration algorithms expensive at small problem sizes
+    /// and caps per-step-synchronized SGD's scalability (Table 6).
+    pub barriers: f64,
+}
+
+impl CostProfile {
+    /// A profile with only compute cost.
+    pub fn compute(flops: f64) -> Self {
+        CostProfile {
+            flops,
+            ..Default::default()
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &CostProfile) -> CostProfile {
+        CostProfile {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+            network: self.network + other.network,
+            barriers: self.barriers + other.barriers,
+        }
+    }
+
+    /// Scales every component (e.g. by an iteration count).
+    pub fn scaled(&self, s: f64) -> CostProfile {
+        CostProfile {
+            flops: self.flops * s,
+            bytes: self.bytes * s,
+            network: self.network * s,
+            barriers: self.barriers * s,
+        }
+    }
+
+    /// Execution-side estimated seconds on one node of `r`.
+    pub fn exec_seconds(&self, r: &ResourceDesc) -> f64 {
+        self.flops / r.gflops_per_worker + self.bytes / r.mem_bandwidth
+    }
+
+    /// Coordination-side estimated seconds: network transfer over the most
+    /// loaded link plus per-barrier scheduling latency.
+    pub fn coord_seconds(&self, r: &ResourceDesc) -> f64 {
+        self.network / r.net_bandwidth + self.barriers * r.barrier_latency_secs
+    }
+
+    /// The weighted total cost `R_exec·c_exec + R_coord·c_coord`, in
+    /// estimated seconds. This is the quantity the optimizer minimizes; as
+    /// the paper notes it need not equal real runtime — it must only rank
+    /// alternatives correctly.
+    pub fn estimated_seconds(&self, r: &ResourceDesc) -> f64 {
+        r.exec_weight * self.exec_seconds(r) + r.coord_weight * self.coord_seconds(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterProfile;
+
+    fn r() -> ResourceDesc {
+        ClusterProfile::R3_4xlarge.descriptor(16)
+    }
+
+    #[test]
+    fn compute_only_profile() {
+        let c = CostProfile::compute(1e9);
+        assert_eq!(c.bytes, 0.0);
+        assert_eq!(c.network, 0.0);
+        assert!(c.estimated_seconds(&r()) > 0.0);
+    }
+
+    #[test]
+    fn plus_and_scaled() {
+        let a = CostProfile {
+            flops: 1.0,
+            bytes: 2.0,
+            network: 3.0,
+            barriers: 4.0,
+        };
+        let b = a.scaled(2.0);
+        assert_eq!(b.flops, 2.0);
+        assert_eq!(b.network, 6.0);
+        assert_eq!(b.barriers, 8.0);
+        let c = a.plus(&b);
+        assert_eq!(c.bytes, 6.0);
+        assert_eq!(c.barriers, 12.0);
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_each_component() {
+        let rd = r();
+        let base = CostProfile {
+            flops: 1e9,
+            bytes: 1e8,
+            network: 1e7,
+            barriers: 0.0,
+        };
+        let t0 = base.estimated_seconds(&rd);
+        for bump in [
+            CostProfile { flops: 1e10, ..base },
+            CostProfile { bytes: 1e10, ..base },
+            CostProfile { network: 1e9, ..base },
+        ] {
+            assert!(bump.estimated_seconds(&rd) > t0);
+        }
+    }
+
+    #[test]
+    fn network_matters_more_on_slow_links() {
+        let fast = ClusterProfile::R3_4xlarge.descriptor(16);
+        let slow = ClusterProfile::CommodityGigabit.descriptor(16);
+        let c = CostProfile {
+            flops: 0.0,
+            bytes: 0.0,
+            network: 1e9,
+            barriers: 0.0,
+        };
+        assert!(c.estimated_seconds(&slow) > c.estimated_seconds(&fast));
+    }
+
+    #[test]
+    fn barriers_cost_scheduling_latency() {
+        let rd = r();
+        let c = CostProfile {
+            flops: 0.0,
+            bytes: 0.0,
+            network: 0.0,
+            barriers: 10.0,
+        };
+        let expect = 10.0 * rd.barrier_latency_secs;
+        assert!((c.estimated_seconds(&rd) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_select_components() {
+        let mut rd = r();
+        rd.coord_weight = 0.0;
+        let c = CostProfile {
+            flops: 0.0,
+            bytes: 0.0,
+            network: 1e12,
+            barriers: 0.0,
+        };
+        assert_eq!(c.estimated_seconds(&rd), 0.0);
+        rd.coord_weight = 1.0;
+        rd.exec_weight = 0.0;
+        let c2 = CostProfile::compute(1e12);
+        assert_eq!(c2.estimated_seconds(&rd), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! The simulated cluster clock.
+//!
+//! Real execution in this reproduction happens on one machine, so wall-clock
+//! time cannot exhibit cluster-scale effects (128-node scaling, 10 GbE
+//! bottlenecks). `SimClock` accumulates *estimated* time from
+//! [`CostProfile`]s charged by operators, split into execution and
+//! coordination components per stage, so experiments such as Fig. 12 and
+//! Table 6 can report the quantities the paper plots.
+
+use crate::cluster::ResourceDesc;
+use crate::cost::CostProfile;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One charged entry on the simulated clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimEntry {
+    /// Stage label (e.g. "featurize", "solve:lbfgs iter 3").
+    pub stage: String,
+    /// Execution seconds on the critical-path node.
+    pub exec_secs: f64,
+    /// Coordination (network) seconds on the most loaded link.
+    pub coord_secs: f64,
+}
+
+/// Thread-safe simulated clock. Cloning shares the underlying ledger.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    entries: Arc<Mutex<Vec<SimEntry>>>,
+}
+
+impl SimClock {
+    /// Fresh, empty clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges a cost profile under a stage label.
+    pub fn charge(&self, stage: &str, profile: &CostProfile, r: &ResourceDesc) {
+        let entry = SimEntry {
+            stage: stage.to_string(),
+            exec_secs: r.exec_weight * profile.exec_seconds(r),
+            coord_secs: r.coord_weight * profile.coord_seconds(r),
+        };
+        self.entries.lock().push(entry);
+    }
+
+    /// Charges raw seconds directly (used when an operator measures a
+    /// sample and extrapolates rather than deriving FLOPs analytically).
+    pub fn charge_seconds(&self, stage: &str, exec_secs: f64, coord_secs: f64) {
+        self.entries.lock().push(SimEntry {
+            stage: stage.to_string(),
+            exec_secs,
+            coord_secs,
+        });
+    }
+
+    /// Total simulated seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.entries
+            .lock()
+            .iter()
+            .map(|e| e.exec_secs + e.coord_secs)
+            .sum()
+    }
+
+    /// Total simulated seconds attributed to coordination.
+    pub fn coord_seconds(&self) -> f64 {
+        self.entries.lock().iter().map(|e| e.coord_secs).sum()
+    }
+
+    /// Seconds grouped by stage prefix (everything before the first ':').
+    pub fn by_stage(&self) -> Vec<(String, f64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut totals: std::collections::HashMap<String, f64> =
+            std::collections::HashMap::new();
+        for e in self.entries.lock().iter() {
+            let key = e
+                .stage
+                .split(':')
+                .next()
+                .unwrap_or(&e.stage)
+                .to_string();
+            if !totals.contains_key(&key) {
+                order.push(key.clone());
+            }
+            *totals.entry(key).or_insert(0.0) += e.exec_secs + e.coord_secs;
+        }
+        order
+            .into_iter()
+            .map(|k| {
+                let v = totals[&k];
+                (k, v)
+            })
+            .collect()
+    }
+
+    /// Snapshot of all entries.
+    pub fn entries(&self) -> Vec<SimEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Clears the ledger.
+    pub fn reset(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterProfile;
+
+    #[test]
+    fn charge_accumulates() {
+        let clock = SimClock::new();
+        let r = ClusterProfile::R3_4xlarge.descriptor(4);
+        clock.charge(
+            "solve",
+            &CostProfile {
+                flops: r.gflops_per_worker, // exactly 1 exec second
+                bytes: 0.0,
+                network: 0.0,
+                barriers: 0.0,
+            },
+            &r,
+        );
+        clock.charge(
+            "solve",
+            &CostProfile {
+                flops: 0.0,
+                bytes: 0.0,
+                network: r.net_bandwidth, // exactly 1 coord second
+                barriers: 0.0,
+            },
+            &r,
+        );
+        assert!((clock.total_seconds() - 2.0).abs() < 1e-12);
+        assert!((clock.coord_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn by_stage_groups_on_prefix() {
+        let clock = SimClock::new();
+        clock.charge_seconds("featurize:sift", 1.0, 0.0);
+        clock.charge_seconds("featurize:fisher", 2.0, 0.0);
+        clock.charge_seconds("solve:iter0", 0.0, 3.0);
+        let stages = clock.by_stage();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0], ("featurize".to_string(), 3.0));
+        assert_eq!(stages[1], ("solve".to_string(), 3.0));
+    }
+
+    #[test]
+    fn clones_share_ledger() {
+        let clock = SimClock::new();
+        let clone = clock.clone();
+        clone.charge_seconds("x", 1.5, 0.0);
+        assert_eq!(clock.total_seconds(), 1.5);
+        clock.reset();
+        assert_eq!(clone.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn weights_applied_at_charge_time() {
+        let mut r = ClusterProfile::R3_4xlarge.descriptor(1);
+        r.exec_weight = 2.0;
+        let clock = SimClock::new();
+        clock.charge(
+            "w",
+            &CostProfile::compute(r.gflops_per_worker),
+            &r,
+        );
+        assert!((clock.total_seconds() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,114 @@
+//! Wall-clock stage accounting for real (thread-pool) execution.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One completed stage measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRecord {
+    /// Stage label.
+    pub stage: String,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Records processed (0 when not applicable).
+    pub records: u64,
+}
+
+/// Shared ledger of wall-clock stage timings. Cloning shares the ledger.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    records: Arc<Mutex<Vec<StageRecord>>>,
+}
+
+impl ExecStats {
+    /// Fresh, empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times a closure and records it under `stage`.
+    pub fn time<T>(&self, stage: &str, records: u64, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.records.lock().push(StageRecord {
+            stage: stage.to_string(),
+            wall_secs: start.elapsed().as_secs_f64(),
+            records,
+        });
+        out
+    }
+
+    /// Records an externally measured duration.
+    pub fn record(&self, stage: &str, wall_secs: f64, records: u64) {
+        self.records.lock().push(StageRecord {
+            stage: stage.to_string(),
+            wall_secs,
+            records,
+        });
+    }
+
+    /// Total wall seconds recorded.
+    pub fn total_seconds(&self) -> f64 {
+        self.records.lock().iter().map(|r| r.wall_secs).sum()
+    }
+
+    /// Snapshot of records.
+    pub fn snapshot(&self) -> Vec<StageRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Sum of wall seconds for stages whose label starts with `prefix`.
+    pub fn seconds_for_prefix(&self, prefix: &str) -> f64 {
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| r.stage.starts_with(prefix))
+            .map(|r| r.wall_secs)
+            .sum()
+    }
+
+    /// Clears the ledger.
+    pub fn reset(&self) {
+        self.records.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_duration_and_result() {
+        let stats = ExecStats::new();
+        let out = stats.time("work", 10, || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(out, 42);
+        let snap = stats.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].records, 10);
+        assert!(snap[0].wall_secs >= 0.004, "{}", snap[0].wall_secs);
+    }
+
+    #[test]
+    fn prefix_filtering() {
+        let stats = ExecStats::new();
+        stats.record("featurize:a", 1.0, 0);
+        stats.record("featurize:b", 2.0, 0);
+        stats.record("solve", 4.0, 0);
+        assert_eq!(stats.seconds_for_prefix("featurize"), 3.0);
+        assert_eq!(stats.total_seconds(), 7.0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = ExecStats::new();
+        let b = a.clone();
+        b.record("x", 1.0, 1);
+        assert_eq!(a.total_seconds(), 1.0);
+        a.reset();
+        assert_eq!(b.total_seconds(), 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+//!
+//! Used by the distributed exact solver: workers tree-aggregate the Gram
+//! matrix `A^T A` (+ ridge) and the driver solves the normal equations
+//! `(A^T A + λI) X = A^T B` with one local Cholesky.
+
+use crate::dense::DenseMatrix;
+
+/// Error returned when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CholeskyError {
+    /// Pivot index at which factorization failed.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (non-positive pivot at {})",
+            self.pivot
+        )
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Lower-triangular Cholesky factor `L` with `L L^T = A`.
+#[derive(Debug)]
+pub struct Cholesky {
+    l: DenseMatrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    pub fn new(a: &DenseMatrix) -> Result<Self, CholeskyError> {
+        let n = a.rows();
+        assert_eq!(a.cols(), n, "Cholesky requires a square matrix");
+        let mut l = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a.get(i, j);
+                for p in 0..j {
+                    s -= l.get(i, p) * l.get(j, p);
+                }
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(CholeskyError { pivot: i });
+                    }
+                    l.set(i, j, s.sqrt());
+                } else {
+                    l.set(i, j, s / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &DenseMatrix {
+        &self.l
+    }
+
+    /// Solves `A X = B` via forward/back substitution.
+    pub fn solve(&self, b: &DenseMatrix) -> DenseMatrix {
+        let n = self.l.rows();
+        assert_eq!(b.rows(), n, "rhs row mismatch");
+        let k = b.cols();
+        // Forward: L Y = B.
+        let mut y = DenseMatrix::zeros(n, k);
+        for j in 0..k {
+            for i in 0..n {
+                let mut s = b.get(i, j);
+                for p in 0..i {
+                    s -= self.l.get(i, p) * y.get(p, j);
+                }
+                y.set(i, j, s / self.l.get(i, i));
+            }
+        }
+        // Backward: L^T X = Y.
+        let mut x = DenseMatrix::zeros(n, k);
+        for j in 0..k {
+            for i in (0..n).rev() {
+                let mut s = y.get(i, j);
+                for p in i + 1..n {
+                    s -= self.l.get(p, i) * x.get(p, j);
+                }
+                x.set(i, j, s / self.l.get(i, i));
+            }
+        }
+        x
+    }
+}
+
+/// Solves the ridge-regularized normal equations `(G + λI) X = R`.
+///
+/// Retries with growing regularization if `G` is numerically semi-definite,
+/// which happens for rank-deficient feature matrices; this mirrors the
+/// defensive jitter every production solver applies.
+pub fn solve_normal_equations(
+    gram: &DenseMatrix,
+    rhs: &DenseMatrix,
+    lambda: f64,
+) -> DenseMatrix {
+    let n = gram.rows();
+    let mut reg = lambda.max(0.0);
+    // Scale-aware floor for the jitter retries.
+    let trace: f64 = (0..n).map(|i| gram.get(i, i)).sum();
+    let base = (trace / n.max(1) as f64).max(1e-12);
+    for attempt in 0..8 {
+        let mut g = gram.clone();
+        if reg > 0.0 {
+            for i in 0..n {
+                let v = g.get(i, i) + reg;
+                g.set(i, i, v);
+            }
+        }
+        match Cholesky::new(&g) {
+            Ok(ch) => return ch.solve(rhs),
+            Err(_) => {
+                reg = if reg == 0.0 {
+                    base * 1e-10
+                } else {
+                    reg * 100.0
+                };
+                let _ = attempt;
+            }
+        }
+    }
+    // Hopeless conditioning: return zeros rather than NaNs.
+    DenseMatrix::zeros(n, rhs.cols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gram, matmul};
+
+    fn spd(n: usize, seed: u64) -> DenseMatrix {
+        // A^T A + I is SPD for any A.
+        let a = DenseMatrix::from_fn(n + 3, n, |i, j| {
+            ((i as u64 * 37 + j as u64 * 13 + seed) % 17) as f64 / 4.0 - 2.0
+        });
+        let mut g = gram(&a);
+        for i in 0..n {
+            let v = g.get(i, i) + 1.0;
+            g.set(i, i, v);
+        }
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd(6, 1);
+        let ch = Cholesky::new(&a).unwrap();
+        let llt = matmul(ch.l(), &ch.l().transpose());
+        assert!(llt.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd(5, 2);
+        let b = DenseMatrix::from_fn(5, 2, |i, j| (i + j) as f64);
+        let x = Cholesky::new(&a).unwrap().solve(&b);
+        let ax = matmul(&a, &x);
+        assert!(ax.max_abs_diff(&b) < 1e-9);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(Cholesky::new(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_definite() {
+        let m = DenseMatrix::from_diag(&[-1.0, -2.0]);
+        let err = Cholesky::new(&m).unwrap_err();
+        assert_eq!(err.pivot, 0);
+    }
+
+    #[test]
+    fn normal_equations_with_ridge() {
+        let a = spd(4, 3);
+        let b = DenseMatrix::from_fn(4, 1, |i, _| i as f64);
+        let x = solve_normal_equations(&a, &b, 0.0);
+        let ax = matmul(&a, &x);
+        assert!(ax.max_abs_diff(&b) < 1e-8);
+    }
+
+    #[test]
+    fn normal_equations_survives_singular_gram() {
+        // Rank-1 Gram matrix; plain Cholesky would fail, the jitter retry
+        // must still produce a finite solution.
+        let g = DenseMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let b = DenseMatrix::from_rows(&[&[1.0], &[1.0]]);
+        let x = solve_normal_equations(&g, &b, 0.0);
+        assert!(x.data().iter().all(|v| v.is_finite()));
+        // (G + eps I) x ≈ b means x ≈ [0.5, 0.5] for the rank-1 system.
+        assert!((x.get(0, 0) - 0.5).abs() < 1e-3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::gemm::{gram, matmul};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_solve_roundtrip(n in 1usize..7, seed in 0u64..500) {
+            // A = GᵀG + I is SPD; Cholesky solve must invert it.
+            let g = DenseMatrix::from_fn(n + 2, n, |i, j| {
+                ((i as u64 * 13 + j as u64 * 29 + seed) % 17) as f64 / 4.0 - 2.0
+            });
+            let mut a = gram(&g);
+            for i in 0..n {
+                let v = a.get(i, i) + 1.0;
+                a.set(i, i, v);
+            }
+            let b = DenseMatrix::from_fn(n, 2, |i, j| (i + j) as f64 - 1.0);
+            let x = Cholesky::new(&a).expect("SPD").solve(&b);
+            let ax = matmul(&a, &x);
+            prop_assert!(ax.max_abs_diff(&b) < 1e-7);
+        }
+
+        #[test]
+        fn prop_factor_diagonal_positive(n in 1usize..7, seed in 0u64..500) {
+            let g = DenseMatrix::from_fn(n + 2, n, |i, j| {
+                ((i as u64 * 7 + j as u64 * 3 + seed) % 13) as f64 / 3.0 - 2.0
+            });
+            let mut a = gram(&g);
+            for i in 0..n {
+                let v = a.get(i, i) + 1.0;
+                a.set(i, i, v);
+            }
+            let ch = Cholesky::new(&a).expect("SPD");
+            for i in 0..n {
+                prop_assert!(ch.l().get(i, i) > 0.0);
+            }
+        }
+    }
+}

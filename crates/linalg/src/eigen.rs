@@ -1,0 +1,214 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//!
+//! Used by the covariance-based PCA paths and by ZCA whitening. Jacobi is
+//! `O(n^3)` per sweep with excellent accuracy for the small-to-medium `d × d`
+//! covariance matrices these operators produce.
+
+use crate::dense::DenseMatrix;
+
+/// Eigendecomposition `A = V diag(λ) V^T` of a symmetric matrix.
+pub struct SymEigen {
+    /// Eigenvalues sorted in descending order.
+    pub values: Vec<f64>,
+    /// Column `j` of `vectors` is the eigenvector for `values[j]`.
+    pub vectors: DenseMatrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with cyclic Jacobi
+/// sweeps. Converges when all off-diagonal mass is below `1e-12` relative to
+/// the Frobenius norm, or after 64 sweeps.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn sym_eigen(a: &DenseMatrix) -> SymEigen {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "sym_eigen requires a square matrix");
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    let fro = m.frobenius_norm().max(1e-300);
+    let tol = 1e-12 * fro;
+
+    for _sweep in 0..64 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m.get(i, j).powi(2);
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of m.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate rotations into v.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&x, &y| diag[y].partial_cmp(&diag[x]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = v.select_cols(&order);
+    SymEigen { values, vectors }
+}
+
+impl SymEigen {
+    /// The top-`k` eigenvectors as a `n × k` matrix.
+    pub fn top_k(&self, k: usize) -> DenseMatrix {
+        let idx: Vec<usize> = (0..k.min(self.vectors.cols())).collect();
+        self.vectors.select_cols(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    fn symmetric(n: usize, seed: u64) -> DenseMatrix {
+        let mut a = DenseMatrix::from_fn(n, n, |i, j| {
+            ((i as u64 * 31 + j as u64 * 17 + seed) % 13) as f64 - 6.0
+        });
+        // Symmetrize.
+        let t = a.transpose();
+        a += &t;
+        a
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = DenseMatrix::from_diag(&[3.0, -1.0, 7.0]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 7.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+        assert!((e.values[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = symmetric(6, 1);
+        let e = sym_eigen(&a);
+        let lam = DenseMatrix::from_diag(&e.values);
+        let rec = matmul(&matmul(&e.vectors, &lam), &e.vectors.transpose());
+        assert!(rec.max_abs_diff(&a) < 1e-8, "diff {}", rec.max_abs_diff(&a));
+    }
+
+    #[test]
+    fn vectors_orthonormal() {
+        let a = symmetric(7, 2);
+        let e = sym_eigen(&a);
+        let vtv = matmul(&e.vectors.transpose(), &e.vectors);
+        assert!(vtv.max_abs_diff(&DenseMatrix::identity(7)) < 1e-9);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = symmetric(8, 3);
+        let e = sym_eigen(&a);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for 3 is [1,1]/sqrt(2) up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = symmetric(9, 4);
+        let tr: f64 = (0..9).map(|i| a.get(i, i)).sum();
+        let e = sym_eigen(&a);
+        let sum: f64 = e.values.iter().sum();
+        assert!((tr - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn top_k_shape() {
+        let a = symmetric(5, 5);
+        let e = sym_eigen(&a);
+        assert_eq!(e.top_k(2).shape(), (5, 2));
+        assert_eq!(e.top_k(99).shape(), (5, 5));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::gemm::matmul;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_reconstruction_random_symmetric(n in 2usize..8, seed in 0u64..500) {
+            let mut a = DenseMatrix::from_fn(n, n, |i, j| {
+                let h = (i as u64 + 1)
+                    .wrapping_mul(seed.wrapping_add(j as u64 * 31 + 7))
+                    .wrapping_mul(0x9E3779B97F4A7C15);
+                ((h >> 40) % 1000) as f64 / 100.0 - 5.0
+            });
+            let t = a.transpose();
+            a += &t;
+            let e = sym_eigen(&a);
+            let lam = DenseMatrix::from_diag(&e.values);
+            let rec = matmul(&matmul(&e.vectors, &lam), &e.vectors.transpose());
+            prop_assert!(rec.max_abs_diff(&a) < 1e-7, "diff {}", rec.max_abs_diff(&a));
+        }
+
+        #[test]
+        fn prop_rayleigh_bounds(n in 2usize..7, seed in 0u64..500) {
+            // For any unit vector v: λ_min <= vᵀAv <= λ_max.
+            let mut a = DenseMatrix::from_fn(n, n, |i, j| {
+                ((i * 3 + j * 7 + seed as usize) % 11) as f64 - 5.0
+            });
+            let t = a.transpose();
+            a += &t;
+            let e = sym_eigen(&a);
+            let v: Vec<f64> = (0..n).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect();
+            let av = a.matvec(&v);
+            let quad: f64 = v.iter().zip(&av).map(|(x, y)| x * y).sum();
+            prop_assert!(quad <= e.values[0] + 1e-8);
+            prop_assert!(quad >= *e.values.last().expect("non-empty") - 1e-8);
+        }
+    }
+}

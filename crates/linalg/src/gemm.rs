@@ -1,0 +1,232 @@
+//! General matrix-matrix multiplication: a cache-blocked sequential kernel
+//! and a rayon-parallel wrapper that splits over row panels.
+//!
+//! This is the "BLAS" strategy referenced by the convolution operator
+//! (im2col + GEMM) and by the dense solvers; its cost is the textbook
+//! `O(m·n·k)` the paper's cost models assume.
+
+use crate::dense::DenseMatrix;
+use rayon::prelude::*;
+
+/// Block edge used by the cache-blocked kernel. 64 doubles = 512 bytes per
+/// row segment, comfortably inside L1 for the three panels touched at once.
+const BLOCK: usize = 64;
+
+/// Computes `A * B`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul dimension mismatch: {:?} * {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = DenseMatrix::zeros(m, n);
+    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    out
+}
+
+/// Computes `A^T * A` exploiting symmetry (used for Gram matrices in the
+/// normal-equation solvers). Cost is `n·d²/2` multiply-adds.
+pub fn gram(a: &DenseMatrix) -> DenseMatrix {
+    let (n, d) = a.shape();
+    let mut g = DenseMatrix::zeros(d, d);
+    for r in 0..n {
+        let row = a.row(r);
+        for i in 0..d {
+            let ai = row[i];
+            if ai == 0.0 {
+                continue;
+            }
+            let grow = &mut g.data_mut()[i * d..(i + 1) * d];
+            for j in i..d {
+                grow[j] += ai * row[j];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..d {
+        for j in 0..i {
+            let v = g.get(j, i);
+            g.set(i, j, v);
+        }
+    }
+    g
+}
+
+/// Computes `A^T * B` (used for the right-hand side of normal equations).
+pub fn tr_matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(a.rows(), b.rows(), "tr_matmul dimension mismatch");
+    let (n, d) = a.shape();
+    let k = b.cols();
+    let mut out = DenseMatrix::zeros(d, k);
+    for r in 0..n {
+        let arow = a.row(r);
+        let brow = b.row(r);
+        for i in 0..d {
+            let ai = arow[i];
+            if ai == 0.0 {
+                continue;
+            }
+            let orow = &mut out.data_mut()[i * k..(i + 1) * k];
+            for j in 0..k {
+                orow[j] += ai * brow[j];
+            }
+        }
+    }
+    out
+}
+
+/// Parallel `A * B`, splitting A's rows across the rayon pool. Falls back to
+/// the sequential kernel for small products where fork overhead dominates.
+pub fn matmul_parallel(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "matmul dimension mismatch");
+    if m * k * n < 64 * 64 * 64 {
+        return matmul(a, b);
+    }
+    let mut out = DenseMatrix::zeros(m, n);
+    let panel = (m / rayon::current_num_threads().max(1)).max(16);
+    out.data_mut()
+        .par_chunks_mut(panel * n)
+        .enumerate()
+        .for_each(|(p, chunk)| {
+            let r0 = p * panel;
+            let rows = chunk.len() / n;
+            matmul_into(
+                &a.data()[r0 * k..(r0 + rows) * k],
+                b.data(),
+                chunk,
+                rows,
+                k,
+                n,
+            );
+        });
+    out
+}
+
+/// Cache-blocked row-major GEMM into a pre-zeroed output buffer.
+fn matmul_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    for kk in (0..k).step_by(BLOCK) {
+        let kmax = (kk + BLOCK).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for p in kk..kmax {
+                let aval = arow[p];
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aval * bv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut out = DenseMatrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.get(i, p) * b.get(p, j);
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = DenseMatrix::from_fn(5, 5, |i, j| (i * 5 + j) as f64);
+        let i = DenseMatrix::identity(5);
+        assert_eq!(matmul(&a, &i), a);
+        assert_eq!(matmul(&i, &a), a);
+    }
+
+    #[test]
+    fn matmul_rectangular_known() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = DenseMatrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.row(0), &[58.0, 64.0]);
+        assert_eq!(c.row(1), &[139.0, 154.0]);
+    }
+
+    #[test]
+    fn gram_matches_explicit() {
+        let a = DenseMatrix::from_fn(7, 4, |i, j| ((i * 3 + j * 5) % 11) as f64 - 5.0);
+        let g = gram(&a);
+        let expect = matmul(&a.transpose(), &a);
+        assert!(g.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn tr_matmul_matches_explicit() {
+        let a = DenseMatrix::from_fn(6, 3, |i, j| (i + j) as f64);
+        let b = DenseMatrix::from_fn(6, 2, |i, j| (i * 2 + j) as f64);
+        let out = tr_matmul(&a, &b);
+        let expect = matmul(&a.transpose(), &b);
+        assert!(out.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_large() {
+        let a = DenseMatrix::from_fn(130, 70, |i, j| ((i * 7 + j) % 13) as f64 - 6.0);
+        let b = DenseMatrix::from_fn(70, 90, |i, j| ((i * 5 + j) % 17) as f64 - 8.0);
+        let p = matmul_parallel(&a, &b);
+        let s = matmul(&a, &b);
+        assert!(p.max_abs_diff(&s) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_blocked_matches_naive(m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0u64..100) {
+            let a = DenseMatrix::from_fn(m, k, |i, j| ((i as u64 * 13 + j as u64 * 7 + seed) % 19) as f64 - 9.0);
+            let b = DenseMatrix::from_fn(k, n, |i, j| ((i as u64 * 5 + j as u64 * 11 + seed) % 23) as f64 - 11.0);
+            let fast = matmul(&a, &b);
+            let slow = naive(&a, &b);
+            prop_assert!(fast.max_abs_diff(&slow) < 1e-9);
+        }
+
+        #[test]
+        fn prop_matmul_associates_with_vector(m in 1usize..10, k in 1usize..10, n in 1usize..10) {
+            // (A * B) x == A * (B x)
+            let a = DenseMatrix::from_fn(m, k, |i, j| (i as f64 - j as f64) / 3.0);
+            let b = DenseMatrix::from_fn(k, n, |i, j| (i * j) as f64 / 5.0);
+            let x: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+            let lhs = matmul(&a, &b).matvec(&x);
+            let rhs = a.matvec(&b.matvec(&x));
+            for (l, r) in lhs.iter().zip(&rhs) {
+                prop_assert!((l - r).abs() < 1e-9 * (1.0 + r.abs()));
+            }
+        }
+    }
+}

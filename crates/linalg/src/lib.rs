@@ -1,0 +1,57 @@
+//! # keystone-linalg
+//!
+//! Dense and sparse linear-algebra kernels plus FFT routines used throughout
+//! the KeystoneML reproduction. Everything is implemented from scratch (no
+//! BLAS/LAPACK binding) so that the cost asymptotics the paper's optimizer
+//! reasons about — `O(nd^2)` QR, `O(nk^2)` truncated SVD, `O(n^2 log n)` FFT
+//! convolution, sparse `O(nnz)` products — are exactly the asymptotics of the
+//! code that runs.
+//!
+//! Conventions:
+//! * All scalars are `f64`.
+//! * Matrices are row-major [`DenseMatrix`] with `rows × cols` shape.
+//! * Sparse vectors keep strictly increasing indices.
+
+// Numeric kernels index multiple buffers in lockstep; indexed loops are the
+// clearer idiom there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cholesky;
+pub mod dense;
+pub mod eigen;
+pub mod fft;
+pub mod gemm;
+pub mod qr;
+pub mod rng;
+pub mod sparse;
+pub mod svd;
+pub mod tsvd;
+
+pub use cholesky::CholeskyError;
+pub use dense::DenseMatrix;
+pub use fft::Complex;
+pub use sparse::{CsrMatrix, SparseVector};
+
+/// Absolute tolerance used by the crate's own tests for floating-point
+/// comparisons of decomposition residuals.
+pub const TEST_TOL: f64 = 1e-8;
+
+/// Returns `true` if `a` and `b` agree within `tol` absolutely or relatively.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(approx_eq(1e12, 1e12 * (1.0 + 1e-12), 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(approx_eq(0.0, 0.0, 1e-15));
+    }
+}

@@ -1,0 +1,296 @@
+//! Householder QR factorization and least-squares solving.
+//!
+//! This is the workhorse of the "Exact" linear solver (§3, Table 1:
+//! `O(nd(d+k))` compute). The factorization is done in place with Householder
+//! reflectors; `Q` is never formed explicitly for least squares — reflectors
+//! are applied directly to the right-hand side, which is both faster and more
+//! accurate.
+
+use crate::dense::DenseMatrix;
+
+/// Compact Householder QR factorization of an `n × d` matrix with `n >= d`.
+pub struct QrFactorization {
+    /// Packed factor: upper triangle holds `R`, lower part holds the
+    /// Householder vectors (with implicit unit diagonal scaling).
+    packed: DenseMatrix,
+    /// Scalar `tau` coefficients of the reflectors.
+    tau: Vec<f64>,
+}
+
+impl QrFactorization {
+    /// Factors `a` (consumed). Requires `rows >= cols`.
+    ///
+    /// # Panics
+    /// Panics if the matrix is wider than tall.
+    pub fn new(mut a: DenseMatrix) -> Self {
+        let (n, d) = a.shape();
+        assert!(n >= d, "QR requires rows >= cols, got {}x{}", n, d);
+        let mut tau = vec![0.0; d];
+        for k in 0..d {
+            // Compute the norm of the k-th column below the diagonal.
+            let mut norm = 0.0;
+            for i in k..n {
+                let v = a.get(i, k);
+                norm += v * v;
+            }
+            norm = norm.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if a.get(k, k) >= 0.0 { -norm } else { norm };
+            let akk = a.get(k, k);
+            let v0 = akk - alpha;
+            // Householder vector v = [v0, a[k+1..n, k]] (stored scaled by v0).
+            tau[k] = -v0 / alpha;
+            let inv_v0 = 1.0 / v0;
+            for i in k + 1..n {
+                let v = a.get(i, k) * inv_v0;
+                a.set(i, k, v);
+            }
+            a.set(k, k, alpha);
+            // Apply the reflector to the remaining columns:
+            // A := (I - tau v v^T) A.
+            for j in k + 1..d {
+                let mut s = a.get(k, j);
+                for i in k + 1..n {
+                    s += a.get(i, k) * a.get(i, j);
+                }
+                s *= tau[k];
+                let akj = a.get(k, j);
+                a.set(k, j, akj - s);
+                for i in k + 1..n {
+                    let v = a.get(i, j) - s * a.get(i, k);
+                    a.set(i, j, v);
+                }
+            }
+        }
+        QrFactorization { packed: a, tau }
+    }
+
+    /// The `d × d` upper-triangular factor `R`.
+    pub fn r(&self) -> DenseMatrix {
+        let d = self.packed.cols();
+        let mut r = DenseMatrix::zeros(d, d);
+        for i in 0..d {
+            for j in i..d {
+                r.set(i, j, self.packed.get(i, j));
+            }
+        }
+        r
+    }
+
+    /// The thin `n × d` orthonormal factor `Q` formed explicitly.
+    pub fn q(&self) -> DenseMatrix {
+        let (n, d) = self.packed.shape();
+        let mut q = DenseMatrix::zeros(n, d);
+        for i in 0..d {
+            q.set(i, i, 1.0);
+        }
+        // Apply reflectors in reverse order: Q = H_0 H_1 ... H_{d-1} I.
+        for k in (0..d).rev() {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            for j in 0..d {
+                let mut s = q.get(k, j);
+                for i in k + 1..n {
+                    s += self.packed.get(i, k) * q.get(i, j);
+                }
+                s *= self.tau[k];
+                let v = q.get(k, j) - s;
+                q.set(k, j, v);
+                for i in k + 1..n {
+                    let v = q.get(i, j) - s * self.packed.get(i, k);
+                    q.set(i, j, v);
+                }
+            }
+        }
+        q
+    }
+
+    /// Applies `Q^T` to a (copied) right-hand-side matrix.
+    fn apply_qt(&self, b: &mut DenseMatrix) {
+        let (n, d) = self.packed.shape();
+        let k_rhs = b.cols();
+        assert_eq!(b.rows(), n, "rhs row mismatch");
+        for k in 0..d {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            for j in 0..k_rhs {
+                let mut s = b.get(k, j);
+                for i in k + 1..n {
+                    s += self.packed.get(i, k) * b.get(i, j);
+                }
+                s *= self.tau[k];
+                let v = b.get(k, j) - s;
+                b.set(k, j, v);
+                for i in k + 1..n {
+                    let v = b.get(i, j) - s * self.packed.get(i, k);
+                    b.set(i, j, v);
+                }
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min ||A X - B||_F` for `X` (`d × k`).
+    pub fn solve(&self, b: &DenseMatrix) -> DenseMatrix {
+        let d = self.packed.cols();
+        let mut bt = b.clone();
+        self.apply_qt(&mut bt);
+        // Back-substitute R X = (Q^T B)[0..d].
+        let k_rhs = bt.cols();
+        let mut x = DenseMatrix::zeros(d, k_rhs);
+        for j in 0..k_rhs {
+            for i in (0..d).rev() {
+                let mut s = bt.get(i, j);
+                for p in i + 1..d {
+                    s -= self.packed.get(i, p) * x.get(p, j);
+                }
+                let rii = self.packed.get(i, i);
+                x.set(i, j, if rii.abs() > 1e-300 { s / rii } else { 0.0 });
+            }
+        }
+        x
+    }
+}
+
+/// Convenience: solves `min ||A X - B||_F` by Householder QR.
+pub fn lstsq(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    QrFactorization::new(a.clone()).solve(b)
+}
+
+/// Solves an upper-triangular system `R x = b` by back substitution.
+pub fn solve_upper_triangular(r: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let d = r.rows();
+    assert_eq!(r.cols(), d, "R must be square");
+    assert_eq!(b.rows(), d, "rhs mismatch");
+    let k = b.cols();
+    let mut x = DenseMatrix::zeros(d, k);
+    for j in 0..k {
+        for i in (0..d).rev() {
+            let mut s = b.get(i, j);
+            for p in i + 1..d {
+                s -= r.get(i, p) * x.get(p, j);
+            }
+            let rii = r.get(i, i);
+            x.set(i, j, if rii.abs() > 1e-300 { s / rii } else { 0.0 });
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use proptest::prelude::*;
+
+    fn test_matrix(n: usize, d: usize, seed: u64) -> DenseMatrix {
+        DenseMatrix::from_fn(n, d, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((j as u64).wrapping_mul(1442695040888963407))
+                .wrapping_add(seed);
+            ((h >> 33) % 2000) as f64 / 100.0 - 10.0
+        })
+    }
+
+    #[test]
+    fn qr_reconstructs_a() {
+        let a = test_matrix(12, 5, 1);
+        let f = QrFactorization::new(a.clone());
+        let qa = matmul(&f.q(), &f.r());
+        assert!(qa.max_abs_diff(&a) < 1e-9, "QR != A");
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = test_matrix(20, 6, 2);
+        let q = QrFactorization::new(a).q();
+        let qtq = matmul(&q.transpose(), &q);
+        assert!(qtq.max_abs_diff(&DenseMatrix::identity(6)) < 1e-9);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = test_matrix(9, 4, 3);
+        let r = QrFactorization::new(a).r();
+        for i in 0..4 {
+            for j in 0..i {
+                assert_eq!(r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_solution() {
+        // When B = A X* exactly, least squares must recover X*.
+        let a = test_matrix(15, 4, 4);
+        let xstar = test_matrix(4, 3, 5);
+        let b = matmul(&a, &xstar);
+        let x = lstsq(&a, &b);
+        assert!(x.max_abs_diff(&xstar) < 1e-8);
+    }
+
+    #[test]
+    fn lstsq_residual_orthogonal_to_columns() {
+        // Normal-equation optimality: A^T (A x - b) = 0.
+        let a = test_matrix(18, 5, 6);
+        let b = test_matrix(18, 2, 7);
+        let x = lstsq(&a, &b);
+        let resid = &matmul(&a, &x) - &b;
+        let atr = matmul(&a.transpose(), &resid);
+        assert!(atr.frobenius_norm() < 1e-7, "residual not orthogonal: {}", atr.frobenius_norm());
+    }
+
+    #[test]
+    fn square_system_solves_exactly() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
+        let b = DenseMatrix::from_rows(&[&[1.0], &[2.0]]);
+        let x = lstsq(&a, &b);
+        let ax = matmul(&a, &x);
+        assert!(ax.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn upper_triangular_solve() {
+        let r = DenseMatrix::from_rows(&[&[2.0, 1.0, 0.5], &[0.0, 3.0, -1.0], &[0.0, 0.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[1.0], &[2.0], &[8.0]]);
+        let x = solve_upper_triangular(&r, &b);
+        let rx = matmul(&r, &x);
+        assert!(rx.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_does_not_blow_up() {
+        // Two identical columns: solution should still be finite.
+        let a = DenseMatrix::from_fn(10, 3, |i, j| if j == 2 { i as f64 } else { (i * (j + 1)) as f64 });
+        let b = DenseMatrix::from_fn(10, 1, |i, _| i as f64);
+        let x = lstsq(&a, &b);
+        assert!(x.data().iter().all(|v| v.is_finite()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_qr_reconstruction(n in 3usize..16, dd in 1usize..8, seed in 0u64..500) {
+            let d = dd.min(n);
+            let a = test_matrix(n, d, seed);
+            let f = QrFactorization::new(a.clone());
+            let qa = matmul(&f.q(), &f.r());
+            prop_assert!(qa.max_abs_diff(&a) < 1e-8);
+        }
+
+        #[test]
+        fn prop_lstsq_never_worse_than_zero(n in 4usize..14, seed in 0u64..500) {
+            let a = test_matrix(n, 3, seed);
+            let b = test_matrix(n, 1, seed + 99);
+            let x = lstsq(&a, &b);
+            let resid = &matmul(&a, &x) - &b;
+            // Optimal residual can't exceed ||b|| (x = 0 achieves that).
+            prop_assert!(resid.frobenius_norm() <= b.frobenius_norm() + 1e-9);
+        }
+    }
+}

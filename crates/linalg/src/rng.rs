@@ -1,0 +1,221 @@
+//! Small deterministic random-number utilities.
+//!
+//! A xorshift64* generator plus Box–Muller Gaussian and Zipf samplers. We
+//! keep these in-crate (rather than pulling `rand_distr`) so the linalg crate
+//! stays dependency-light and sampling is bit-reproducible across platforms.
+
+/// xorshift64* PRNG. Fast, decent quality, fully deterministic.
+#[derive(Debug, Clone)]
+pub struct XorShiftRng {
+    state: u64,
+    /// Cached second Gaussian from the last Box–Muller draw.
+    spare: Option<f64>,
+}
+
+impl XorShiftRng {
+    /// Creates a generator from a seed (0 is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        XorShiftRng {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+            spare: None,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn next_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "next_usize range must be non-empty");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Standard normal via Box–Muller (caches the spare value).
+    pub fn next_gaussian(&mut self) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        // Avoid log(0).
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_usize(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (reservoir sampling).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut res: Vec<usize> = (0..k).collect();
+        for i in k..n {
+            let j = self.next_usize(i + 1);
+            if j < k {
+                res[j] = i;
+            }
+        }
+        res
+    }
+}
+
+/// Zipf-distributed sampler over `{0, .., n-1}` with exponent `s`.
+///
+/// Uses an inverse-CDF table; construction is `O(n)`, sampling `O(log n)`.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for c in &mut cdf {
+            *c /= norm;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most frequent.
+    pub fn sample(&self, rng: &mut XorShiftRng) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_sequences() {
+        let mut a = XorShiftRng::new(42);
+        let mut b = XorShiftRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = XorShiftRng::new(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {}", mean);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = XorShiftRng::new(11);
+        let n = 50_000;
+        let (mut m1, mut m2) = (0.0, 0.0);
+        for _ in 0..n {
+            let g = rng.next_gaussian();
+            m1 += g;
+            m2 += g * g;
+        }
+        m1 /= n as f64;
+        m2 /= n as f64;
+        assert!(m1.abs() < 0.02, "mean {}", m1);
+        assert!((m2 - 1.0).abs() < 0.03, "var {}", m2);
+    }
+
+    #[test]
+    fn next_usize_bounds() {
+        let mut rng = XorShiftRng::new(3);
+        for _ in 0..1000 {
+            assert!(rng.next_usize(7) < 7);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = XorShiftRng::new(5);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = XorShiftRng::new(9);
+        let idx = rng.sample_indices(100, 10);
+        assert_eq!(idx.len(), 10);
+        let mut s = idx.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 10);
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_k_exceeds_n() {
+        let mut rng = XorShiftRng::new(10);
+        assert_eq!(rng.sample_indices(3, 10).len(), 3);
+    }
+
+    #[test]
+    fn zipf_head_heavier_than_tail() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = XorShiftRng::new(13);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[99] * 5, "head {} tail {}", counts[0], counts[99]);
+        // Rough Zipf check: rank-0 frequency about 1/H_n.
+        let hn: f64 = (1..=1000).map(|r| 1.0 / r as f64).sum();
+        let expect = 20_000.0 / hn;
+        assert!((counts[0] as f64 - expect).abs() < expect * 0.2);
+    }
+}

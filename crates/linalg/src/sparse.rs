@@ -1,0 +1,468 @@
+//! Sparse vectors and CSR matrices.
+//!
+//! Text featurization (§2's `TermFrequency`, `CommonSparseFeatures`) produces
+//! sparse vectors — the Amazon workload is 0.1% dense at d = 100k — and the
+//! sparse L-BFGS solver exploits them for `O(nnz)` gradient evaluation, which
+//! is the entire reason it wins Figure 6's Amazon panel.
+
+use crate::dense::DenseMatrix;
+
+/// A sparse vector with strictly increasing indices.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVector {
+    dim: usize,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseVector {
+    /// Builds from parallel `(index, value)` arrays.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch, indices are not strictly increasing, or
+    /// any index is out of range.
+    pub fn new(dim: usize, indices: Vec<u32>, values: Vec<f64>) -> Self {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        for w in indices.windows(2) {
+            assert!(w[0] < w[1], "indices must be strictly increasing");
+        }
+        if let Some(&last) = indices.last() {
+            assert!((last as usize) < dim, "index {} out of dim {}", last, dim);
+        }
+        SparseVector {
+            dim,
+            indices,
+            values,
+        }
+    }
+
+    /// Builds from unsorted pairs, merging duplicate indices by summation.
+    pub fn from_pairs(dim: usize, mut pairs: Vec<(u32, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|p| p.0);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values: Vec<f64> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            assert!((i as usize) < dim, "index {} out of dim {}", i, dim);
+            if indices.last() == Some(&i) {
+                *values.last_mut().expect("non-empty") += v;
+            } else {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        SparseVector {
+            dim,
+            indices,
+            values,
+        }
+    }
+
+    /// The all-zeros vector of the given dimension.
+    pub fn empty(dim: usize) -> Self {
+        SparseVector {
+            dim,
+            indices: vec![],
+            values: vec![],
+        }
+    }
+
+    /// Dimensionality of the ambient space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Stored indices.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Stored values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterator over `(index, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.indices
+            .iter()
+            .zip(&self.values)
+            .map(|(&i, &v)| (i as usize, v))
+    }
+
+    /// Value at `i` (zero if not stored).
+    pub fn get(&self, i: usize) -> f64 {
+        match self.indices.binary_search(&(i as u32)) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dot product with a dense slice of the same dimension.
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        debug_assert_eq!(dense.len(), self.dim);
+        self.iter().map(|(i, v)| v * dense[i]).sum()
+    }
+
+    /// Sparse-sparse dot product (two-pointer merge).
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        debug_assert_eq!(self.dim, other.dim);
+        let (mut a, mut b, mut s) = (0usize, 0usize, 0.0);
+        while a < self.indices.len() && b < other.indices.len() {
+            match self.indices[a].cmp(&other.indices[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    s += self.values[a] * other.values[b];
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// `dense += alpha * self`.
+    pub fn axpy_into(&self, alpha: f64, dense: &mut [f64]) {
+        debug_assert_eq!(dense.len(), self.dim);
+        for (i, v) in self.iter() {
+            dense[i] += alpha * v;
+        }
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm2_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// L2-normalized copy (zero vector stays zero).
+    pub fn l2_normalized(&self) -> SparseVector {
+        let n = self.norm2_sq().sqrt();
+        if n == 0.0 {
+            return self.clone();
+        }
+        let inv = 1.0 / n;
+        SparseVector {
+            dim: self.dim,
+            indices: self.indices.clone(),
+            values: self.values.iter().map(|v| v * inv).collect(),
+        }
+    }
+
+    /// Densifies into a `Vec<f64>`.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        for (i, v) in self.iter() {
+            out[i] = v;
+        }
+        out
+    }
+
+    /// Keeps only the entries whose index appears in `keep` (a sorted slice),
+    /// remapping index `keep[j] -> j`. This implements
+    /// `CommonSparseFeatures`' projection step.
+    pub fn project(&self, keep: &[u32]) -> SparseVector {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        let mut k = 0usize;
+        for (idx, v) in self.indices.iter().zip(&self.values) {
+            while k < keep.len() && keep[k] < *idx {
+                k += 1;
+            }
+            if k < keep.len() && keep[k] == *idx {
+                indices.push(k as u32);
+                values.push(*v);
+            }
+        }
+        SparseVector {
+            dim: keep.len(),
+            indices,
+            values,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.indices.len() * 4 + self.values.len() * 8 + std::mem::size_of::<Self>()
+    }
+}
+
+/// Compressed sparse row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from row sparse vectors.
+    ///
+    /// # Panics
+    /// Panics if the rows disagree on dimension.
+    pub fn from_rows(rows: &[SparseVector]) -> Self {
+        let cols = rows.first().map_or(0, |r| r.dim());
+        let nnz: usize = rows.iter().map(|r| r.nnz()).sum();
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for r in rows {
+            assert_eq!(r.dim(), cols, "row dimension mismatch");
+            col_idx.extend_from_slice(r.indices());
+            values.extend_from_slice(r.values());
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows: rows.len(),
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of structural non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(col_indices, values)` slice pair of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Sparse matrix × dense vector.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let (idx, vals) = self.row(i);
+                idx.iter()
+                    .zip(vals)
+                    .map(|(&j, &v)| v * x[j as usize])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Transposed sparse matrix × dense vector (`A^T x`).
+    pub fn tr_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "tr_matvec dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let (idx, vals) = self.row(i);
+            for (&j, &v) in idx.iter().zip(vals) {
+                out[j as usize] += xi * v;
+            }
+        }
+        out
+    }
+
+    /// Sparse matrix × dense matrix (`A · X`, with `X: cols × k`).
+    pub fn matmul_dense(&self, x: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(x.rows(), self.cols, "matmul dimension mismatch");
+        let k = x.cols();
+        let mut out = DenseMatrix::zeros(self.rows, k);
+        for i in 0..self.rows {
+            let (idx, vals) = self.row(i);
+            let orow = out.row_mut(i);
+            for (&j, &v) in idx.iter().zip(vals) {
+                let xrow = x.row(j as usize);
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of stored entries (`nnz / (rows*cols)`).
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// Densifies (for tests / tiny matrices).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (idx, vals) = self.row(i);
+            for (&j, &v) in idx.iter().zip(vals) {
+                m.set(i, j as usize, v);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sv(dim: usize, pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(dim, pairs.to_vec())
+    }
+
+    #[test]
+    fn new_validates() {
+        let v = SparseVector::new(5, vec![1, 3], vec![2.0, -1.0]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(3), -1.0);
+        assert_eq!(v.get(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn new_rejects_unsorted() {
+        let _ = SparseVector::new(5, vec![3, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dim")]
+    fn new_rejects_out_of_range() {
+        let _ = SparseVector::new(3, vec![5], vec![1.0]);
+    }
+
+    #[test]
+    fn from_pairs_merges_duplicates() {
+        let v = sv(10, &[(3, 1.0), (1, 2.0), (3, 4.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(3), 5.0);
+        assert_eq!(v.get(1), 2.0);
+    }
+
+    #[test]
+    fn dot_products_agree() {
+        let a = sv(8, &[(0, 1.0), (3, 2.0), (7, -1.0)]);
+        let b = sv(8, &[(3, 4.0), (5, 9.0), (7, 2.0)]);
+        assert_eq!(a.dot(&b), 8.0 - 2.0);
+        let bd = b.to_dense();
+        assert_eq!(a.dot_dense(&bd), a.dot(&b));
+    }
+
+    #[test]
+    fn axpy_into_dense() {
+        let a = sv(4, &[(1, 3.0), (2, -1.0)]);
+        let mut d = vec![1.0; 4];
+        a.axpy_into(2.0, &mut d);
+        assert_eq!(d, vec![1.0, 7.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn l2_normalization() {
+        let a = sv(4, &[(0, 3.0), (2, 4.0)]);
+        let n = a.l2_normalized();
+        assert!((n.norm2_sq() - 1.0).abs() < 1e-12);
+        let z = SparseVector::empty(4).l2_normalized();
+        assert_eq!(z.nnz(), 0);
+    }
+
+    #[test]
+    fn projection_remaps() {
+        let a = sv(10, &[(1, 1.0), (4, 2.0), (9, 3.0)]);
+        let p = a.project(&[4, 7, 9]);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.get(0), 2.0); // old index 4
+        assert_eq!(p.get(1), 0.0); // old index 7 absent
+        assert_eq!(p.get(2), 3.0); // old index 9
+    }
+
+    #[test]
+    fn csr_roundtrip_and_matvec() {
+        let rows = vec![
+            sv(4, &[(0, 1.0), (2, 2.0)]),
+            SparseVector::empty(4),
+            sv(4, &[(3, -1.0)]),
+        ];
+        let m = CsrMatrix::from_rows(&rows);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.nnz(), 3);
+        let x = vec![1.0, 1.0, 1.0, 1.0];
+        assert_eq!(m.matvec(&x), vec![3.0, 0.0, -1.0]);
+        let y = vec![1.0, 2.0, 3.0];
+        assert_eq!(m.tr_matvec(&y), vec![1.0, 0.0, 2.0, -3.0]);
+    }
+
+    #[test]
+    fn csr_matmul_dense_matches_dense() {
+        let rows = vec![sv(3, &[(0, 2.0), (2, 1.0)]), sv(3, &[(1, -1.0)])];
+        let m = CsrMatrix::from_rows(&rows);
+        let x = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]);
+        let out = m.matmul_dense(&x);
+        let expect = crate::gemm::matmul(&m.to_dense(), &x);
+        assert!(out.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn density_computation() {
+        let rows = vec![sv(10, &[(0, 1.0)]), sv(10, &[(1, 1.0), (2, 1.0)])];
+        let m = CsrMatrix::from_rows(&rows);
+        assert!((m.density() - 3.0 / 20.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_sparse_dot_matches_dense(
+            pairs_a in proptest::collection::vec((0u32..32, -5.0f64..5.0), 0..16),
+            pairs_b in proptest::collection::vec((0u32..32, -5.0f64..5.0), 0..16),
+        ) {
+            let a = SparseVector::from_pairs(32, pairs_a);
+            let b = SparseVector::from_pairs(32, pairs_b);
+            let sparse = a.dot(&b);
+            let dense = crate::dense::dot(&a.to_dense(), &b.to_dense());
+            prop_assert!((sparse - dense).abs() < 1e-9 * (1.0 + dense.abs()));
+        }
+
+        #[test]
+        fn prop_csr_matvec_matches_dense(
+            rows in proptest::collection::vec(
+                proptest::collection::vec((0u32..16, -3.0f64..3.0), 0..8), 1..8),
+        ) {
+            let svs: Vec<SparseVector> = rows.into_iter()
+                .map(|p| SparseVector::from_pairs(16, p)).collect();
+            let m = CsrMatrix::from_rows(&svs);
+            let x: Vec<f64> = (0..16).map(|i| (i as f64) / 3.0 - 2.0).collect();
+            let sparse = m.matvec(&x);
+            let dense = m.to_dense().matvec(&x);
+            for (s, d) in sparse.iter().zip(&dense) {
+                prop_assert!((s - d).abs() < 1e-9 * (1.0 + d.abs()));
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Singular value decomposition by one-sided Jacobi rotations.
+//!
+//! This is the "exact SVD" physical operator of the PCA cost study
+//! (§3, Table 2): `O(n d^2)` work, exact answers. One-sided Jacobi
+//! orthogonalizes the columns of `A` in place; singular values emerge as the
+//! column norms and `V` accumulates the rotations.
+
+use crate::dense::DenseMatrix;
+use crate::eigen::sym_eigen;
+use crate::gemm;
+
+/// Thin SVD `A = U diag(s) V^T` with `U: n×r`, `s: r`, `V: d×r`,
+/// `r = min(n, d)`.
+pub struct Svd {
+    /// Left singular vectors (columns).
+    pub u: DenseMatrix,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors (columns).
+    pub v: DenseMatrix,
+}
+
+/// Computes the thin SVD of `a`.
+///
+/// For tall matrices (`n >= d`) one-sided Jacobi runs directly. For wide
+/// matrices we decompose the transpose and swap `U`/`V`.
+pub fn svd(a: &DenseMatrix) -> Svd {
+    let (n, d) = a.shape();
+    if n >= d {
+        svd_tall(a)
+    } else {
+        let t = svd_tall(&a.transpose());
+        Svd {
+            u: t.v,
+            s: t.s,
+            v: t.u,
+        }
+    }
+}
+
+fn svd_tall(a: &DenseMatrix) -> Svd {
+    let (n, d) = a.shape();
+    // Work on column-major storage for fast column rotations.
+    let mut cols: Vec<Vec<f64>> = (0..d).map(|j| a.col(j)).collect();
+    let mut v = DenseMatrix::identity(d);
+    let fro2: f64 = a.data().iter().map(|x| x * x).sum();
+    let tol = 1e-14 * fro2.max(1e-300);
+
+    for _sweep in 0..60 {
+        let mut rotated = false;
+        for p in 0..d {
+            for q in p + 1..d {
+                let (mut app, mut aqq, mut apq) = (0.0, 0.0, 0.0);
+                for i in 0..n {
+                    app += cols[p][i] * cols[p][i];
+                    aqq += cols[q][i] * cols[q][i];
+                    apq += cols[p][i] * cols[q][i];
+                }
+                if apq.abs() <= tol || apq.abs() <= 1e-14 * (app * aqq).sqrt() {
+                    continue;
+                }
+                rotated = true;
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for i in 0..n {
+                    let xp = cols[p][i];
+                    let xq = cols[q][i];
+                    cols[p][i] = c * xp - s * xq;
+                    cols[q][i] = s * xp + c * xq;
+                }
+                for k in 0..d {
+                    let vp = v.get(k, p);
+                    let vq = v.get(k, q);
+                    v.set(k, p, c * vp - s * vq);
+                    v.set(k, q, s * vp + c * vq);
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Singular values are the column norms; U's columns are the normalized
+    // columns of the rotated A.
+    let mut sv: Vec<(f64, usize)> = cols
+        .iter()
+        .enumerate()
+        .map(|(j, col)| (col.iter().map(|x| x * x).sum::<f64>().sqrt(), j))
+        .collect();
+    sv.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    let mut u = DenseMatrix::zeros(n, d);
+    let mut s = Vec::with_capacity(d);
+    let mut order = Vec::with_capacity(d);
+    for (rank, &(sigma, j)) in sv.iter().enumerate() {
+        s.push(sigma);
+        order.push(j);
+        if sigma > 1e-300 {
+            let inv = 1.0 / sigma;
+            for i in 0..n {
+                u.set(i, rank, cols[j][i] * inv);
+            }
+        }
+    }
+    let v_sorted = v.select_cols(&order);
+    Svd {
+        u,
+        s,
+        v: v_sorted,
+    }
+}
+
+impl Svd {
+    /// Truncates the decomposition to the top `k` components.
+    pub fn truncate(self, k: usize) -> Svd {
+        let k = k.min(self.s.len());
+        let idx: Vec<usize> = (0..k).collect();
+        Svd {
+            u: self.u.select_cols(&idx),
+            s: self.s[..k].to_vec(),
+            v: self.v.select_cols(&idx),
+        }
+    }
+
+    /// Reconstructs `U diag(s) V^T`.
+    pub fn reconstruct(&self) -> DenseMatrix {
+        let us = scale_cols(&self.u, &self.s);
+        gemm::matmul(&us, &self.v.transpose())
+    }
+}
+
+/// Multiplies column `j` of `m` by `s[j]`.
+pub fn scale_cols(m: &DenseMatrix, s: &[f64]) -> DenseMatrix {
+    let mut out = m.clone();
+    let cols = out.cols();
+    for row in out.data_mut().chunks_exact_mut(cols) {
+        for (v, sc) in row.iter_mut().zip(s) {
+            *v *= sc;
+        }
+    }
+    out
+}
+
+/// PCA helper: top-`k` principal components of the (already centered) data
+/// matrix, via the covariance eigendecomposition. `O(n d^2 + d^3)` — the
+/// classic exact route when `d` is moderate.
+pub fn pca_via_covariance(centered: &DenseMatrix, k: usize) -> DenseMatrix {
+    let n = centered.rows().max(1) as f64;
+    let mut cov = gemm::gram(centered);
+    cov.scale_inplace(1.0 / n);
+    sym_eigen(&cov).top_k(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    fn test_matrix(n: usize, d: usize, seed: u64) -> DenseMatrix {
+        DenseMatrix::from_fn(n, d, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add((j as u64).wrapping_mul(3202034522624059733))
+                .wrapping_add(seed);
+            ((h >> 35) % 997) as f64 / 100.0 - 5.0
+        })
+    }
+
+    #[test]
+    fn svd_reconstructs_tall() {
+        let a = test_matrix(10, 4, 1);
+        let f = svd(&a);
+        assert!(f.reconstruct().max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn svd_reconstructs_wide() {
+        let a = test_matrix(3, 8, 2);
+        let f = svd(&a);
+        assert_eq!(f.u.shape(), (3, 3));
+        assert_eq!(f.v.shape(), (8, 3));
+        assert!(f.reconstruct().max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let a = test_matrix(12, 6, 3);
+        let f = svd(&a);
+        for w in f.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(f.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let a = test_matrix(9, 5, 4);
+        let f = svd(&a);
+        let utu = matmul(&f.u.transpose(), &f.u);
+        let vtv = matmul(&f.v.transpose(), &f.v);
+        assert!(utu.max_abs_diff(&DenseMatrix::identity(5)) < 1e-8);
+        assert!(vtv.max_abs_diff(&DenseMatrix::identity(5)) < 1e-8);
+    }
+
+    #[test]
+    fn known_diagonal_singular_values() {
+        let a = DenseMatrix::from_diag(&[5.0, 3.0, 1.0]);
+        let f = svd(&a);
+        assert!((f.s[0] - 5.0).abs() < 1e-10);
+        assert!((f.s[1] - 3.0).abs() < 1e-10);
+        assert!((f.s[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn frobenius_identity() {
+        // ||A||_F^2 == sum of squared singular values.
+        let a = test_matrix(8, 8, 5);
+        let f = svd(&a);
+        let fro2: f64 = a.data().iter().map(|x| x * x).sum();
+        let ssq: f64 = f.s.iter().map(|x| x * x).sum();
+        assert!((fro2 - ssq).abs() < 1e-6 * fro2);
+    }
+
+    #[test]
+    fn truncation_is_best_rank_k() {
+        // Eckart–Young: rank-k truncation residual equals the tail svs.
+        let a = test_matrix(10, 6, 6);
+        let f = svd(&a);
+        let tail: f64 = f.s[2..].iter().map(|x| x * x).sum::<f64>().sqrt();
+        let t = svd(&a).truncate(2);
+        let resid = (&t.reconstruct() - &a).frobenius_norm();
+        assert!((resid - tail).abs() < 1e-6 * (1.0 + tail));
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        let a = DenseMatrix::from_fn(6, 4, |i, j| (i as f64 + 1.0) * (j as f64 + 1.0));
+        let f = svd(&a);
+        assert!(f.s[0] > 1.0);
+        for &sv in &f.s[1..] {
+            assert!(sv < 1e-8 * f.s[0]);
+        }
+    }
+
+    #[test]
+    fn pca_covariance_finds_dominant_direction() {
+        // Data stretched along [1, 1]/sqrt(2).
+        let mut a = DenseMatrix::zeros(100, 2);
+        for i in 0..100 {
+            let t = (i as f64 - 50.0) / 10.0;
+            let noise = ((i * 2654435761) % 17) as f64 / 1000.0;
+            a.set(i, 0, t + noise);
+            a.set(i, 1, t - noise);
+        }
+        let mu = a.col_means();
+        a.center_rows(&mu);
+        let pc = pca_via_covariance(&a, 1);
+        let ratio = (pc.get(0, 0) / pc.get(1, 0)).abs();
+        assert!((ratio - 1.0).abs() < 0.05, "expected ~[1,1] direction, ratio {}", ratio);
+    }
+}

@@ -1,0 +1,162 @@
+//! Randomized truncated SVD (Halko, Martinsson & Tropp 2011) — the
+//! approximate "TSVD" physical operator of the PCA cost study.
+//!
+//! Cost is `O(n d k)` for the range finder plus `O(n k^2)` for the small
+//! factorization — the `O(n k^2)` regime of Table 2 that makes the
+//! approximate method win when `k << d`.
+
+use crate::dense::DenseMatrix;
+use crate::gemm::{matmul, matmul_parallel};
+use crate::qr::QrFactorization;
+use crate::rng::XorShiftRng;
+use crate::svd::{svd, Svd};
+
+/// Options for the randomized truncated SVD.
+#[derive(Debug, Clone, Copy)]
+pub struct TsvdOptions {
+    /// Oversampling columns added to the sketch (default 8).
+    pub oversample: usize,
+    /// Power iterations applied to sharpen the range (default 2).
+    pub power_iters: usize,
+    /// RNG seed so results are reproducible.
+    pub seed: u64,
+}
+
+impl Default for TsvdOptions {
+    fn default() -> Self {
+        TsvdOptions {
+            oversample: 8,
+            power_iters: 2,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Computes an approximate rank-`k` SVD of `a`.
+///
+/// Returns a decomposition with exactly `min(k, min(n,d))` components.
+pub fn truncated_svd(a: &DenseMatrix, k: usize, opts: TsvdOptions) -> Svd {
+    let (n, d) = a.shape();
+    let rank_cap = n.min(d);
+    let k = k.min(rank_cap);
+    if k == 0 {
+        return Svd {
+            u: DenseMatrix::zeros(n, 0),
+            s: vec![],
+            v: DenseMatrix::zeros(d, 0),
+        };
+    }
+    let l = (k + opts.oversample).min(rank_cap);
+
+    // Gaussian test matrix Ω: d × l.
+    let mut rng = XorShiftRng::new(opts.seed);
+    let omega = DenseMatrix::from_fn(d, l, |_, _| rng.next_gaussian());
+
+    // Range sketch Y = A Ω, refined by power iterations with QR
+    // re-orthonormalization for numerical stability.
+    let mut y = matmul_parallel(a, &omega);
+    let at = a.transpose();
+    for _ in 0..opts.power_iters {
+        let q = QrFactorization::new(y).q();
+        let z = matmul_parallel(&at, &q);
+        let qz = QrFactorization::new(z).q();
+        y = matmul_parallel(a, &qz);
+    }
+    let q = QrFactorization::new(y).q(); // n × l orthonormal basis
+
+    // Project: B = Q^T A (l × d), then exact SVD of the small B.
+    let b = matmul_parallel(&q.transpose(), a);
+    let small = svd(&b);
+    let u = matmul(&q, &small.u);
+    Svd {
+        u,
+        s: small.s,
+        v: small.v,
+    }
+    .truncate(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svd::scale_cols;
+
+    /// Low-rank matrix with a sharp spectrum so the sketch captures it.
+    fn low_rank(n: usize, d: usize, r: usize, seed: u64) -> DenseMatrix {
+        let mut rng = XorShiftRng::new(seed);
+        let u = DenseMatrix::from_fn(n, r, |_, _| rng.next_gaussian());
+        let v = DenseMatrix::from_fn(r, d, |_, _| rng.next_gaussian());
+        let s: Vec<f64> = (0..r).map(|i| 10.0_f64.powi(-(i as i32))).collect();
+        matmul(&scale_cols(&u, &s), &v)
+    }
+
+    #[test]
+    fn recovers_low_rank_exactly() {
+        let a = low_rank(40, 30, 3, 1);
+        let t = truncated_svd(&a, 3, TsvdOptions::default());
+        let resid = (&t.reconstruct() - &a).frobenius_norm();
+        assert!(
+            resid < 1e-8 * a.frobenius_norm(),
+            "residual {} too large",
+            resid
+        );
+    }
+
+    #[test]
+    fn singular_values_match_exact_svd() {
+        let a = low_rank(25, 20, 5, 2);
+        let exact = svd(&a);
+        let approx = truncated_svd(&a, 5, TsvdOptions::default());
+        for i in 0..5 {
+            let rel = (exact.s[i] - approx.s[i]).abs() / exact.s[i].max(1e-12);
+            assert!(rel < 1e-6, "sv {} mismatch: {} vs {}", i, exact.s[i], approx.s[i]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = low_rank(20, 15, 4, 3);
+        let t1 = truncated_svd(&a, 4, TsvdOptions::default());
+        let t2 = truncated_svd(&a, 4, TsvdOptions::default());
+        assert!(t1.u.max_abs_diff(&t2.u) == 0.0);
+        assert_eq!(t1.s, t2.s);
+    }
+
+    #[test]
+    fn k_larger_than_rank_cap() {
+        let a = low_rank(5, 4, 2, 4);
+        let t = truncated_svd(&a, 100, TsvdOptions::default());
+        assert_eq!(t.s.len(), 4);
+        assert_eq!(t.u.shape(), (5, 4));
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let a = low_rank(5, 4, 2, 5);
+        let t = truncated_svd(&a, 0, TsvdOptions::default());
+        assert!(t.s.is_empty());
+        assert_eq!(t.u.cols(), 0);
+    }
+
+    #[test]
+    fn orthonormal_factors() {
+        let a = low_rank(30, 25, 6, 6);
+        let t = truncated_svd(&a, 6, TsvdOptions::default());
+        let utu = matmul(&t.u.transpose(), &t.u);
+        assert!(utu.max_abs_diff(&DenseMatrix::identity(6)) < 1e-8);
+        let vtv = matmul(&t.v.transpose(), &t.v);
+        assert!(vtv.max_abs_diff(&DenseMatrix::identity(6)) < 1e-8);
+    }
+
+    #[test]
+    fn full_rank_matrix_top_k_close() {
+        // Even on a full-rank matrix the top singular value should be close
+        // after power iterations.
+        let mut rng = XorShiftRng::new(7);
+        let a = DenseMatrix::from_fn(30, 30, |_, _| rng.next_gaussian());
+        let exact = svd(&a);
+        let approx = truncated_svd(&a, 3, TsvdOptions { power_iters: 4, ..Default::default() });
+        let rel = (exact.s[0] - approx.s[0]).abs() / exact.s[0];
+        assert!(rel < 0.01, "top sv rel err {}", rel);
+    }
+}

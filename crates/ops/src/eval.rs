@@ -1,0 +1,157 @@
+//! Evaluation metrics: accuracy, top-k error (ImageNet reports top-5), mean
+//! average precision (VOC reports mAP), and confusion matrices.
+
+/// Fraction of predictions equal to the truth.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let correct = predicted
+        .iter()
+        .zip(truth)
+        .filter(|(p, t)| p == t)
+        .count();
+    correct as f64 / predicted.len() as f64
+}
+
+/// Fraction of examples whose true class appears in the top `k` scores.
+pub fn top_k_accuracy(scores: &[Vec<f64>], truth: &[usize], k: usize) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "length mismatch");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let hits = scores
+        .iter()
+        .zip(truth)
+        .filter(|(s, &t)| {
+            let target = s.get(t).copied().unwrap_or(f64::NEG_INFINITY);
+            let better = s.iter().filter(|&&v| v > target).count();
+            better < k
+        })
+        .count();
+    hits as f64 / scores.len() as f64
+}
+
+/// Top-k **error** (what the paper reports for ImageNet).
+pub fn top_k_error(scores: &[Vec<f64>], truth: &[usize], k: usize) -> f64 {
+    1.0 - top_k_accuracy(scores, truth, k)
+}
+
+/// `classes × classes` confusion matrix: `m[truth][pred]` counts.
+pub fn confusion_matrix(predicted: &[usize], truth: &[usize], classes: usize) -> Vec<Vec<u64>> {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    let mut m = vec![vec![0u64; classes]; classes];
+    for (&p, &t) in predicted.iter().zip(truth) {
+        if p < classes && t < classes {
+            m[t][p] += 1;
+        }
+    }
+    m
+}
+
+/// Average precision of one ranked binary-relevance list: `scores[i]` is
+/// the confidence that example `i` is positive, `relevant[i]` the truth.
+pub fn average_precision(scores: &[f64], relevant: &[bool]) -> f64 {
+    assert_eq!(scores.len(), relevant.len(), "length mismatch");
+    let total_pos = relevant.iter().filter(|&&r| r).count();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let mut hits = 0usize;
+    let mut ap = 0.0;
+    for (rank, &i) in order.iter().enumerate() {
+        if relevant[i] {
+            hits += 1;
+            ap += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    ap / total_pos as f64
+}
+
+/// Mean average precision over classes (VOC's metric): `class_scores[c][i]`
+/// is class `c`'s score for example `i`, truth is the class index per
+/// example.
+pub fn mean_average_precision(class_scores: &[Vec<f64>], truth: &[usize]) -> f64 {
+    if class_scores.is_empty() {
+        return 0.0;
+    }
+    let classes = class_scores.len();
+    let mut sum = 0.0;
+    for (c, scores) in class_scores.iter().enumerate() {
+        let relevant: Vec<bool> = truth.iter().map(|&t| t == c).collect();
+        sum += average_precision(scores, &relevant);
+    }
+    sum / classes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatch() {
+        let _ = accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn top_k_behaviour() {
+        let scores = vec![
+            vec![0.1, 0.9, 0.5], // truth 2 is rank 2
+            vec![0.8, 0.1, 0.1], // truth 0 is rank 1
+        ];
+        let truth = vec![2, 0];
+        assert_eq!(top_k_accuracy(&scores, &truth, 1), 0.5);
+        assert_eq!(top_k_accuracy(&scores, &truth, 2), 1.0);
+        assert!((top_k_error(&scores, &truth, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_with_ties_counts_strictly_better() {
+        // All scores equal: nothing is strictly better, so top-1 hits.
+        let scores = vec![vec![0.5, 0.5, 0.5]];
+        assert_eq!(top_k_accuracy(&scores, &[2], 1), 1.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 1], 2);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][0], 1);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_worst() {
+        // Perfect ranking.
+        let ap = average_precision(&[0.9, 0.8, 0.1, 0.0], &[true, true, false, false]);
+        assert!((ap - 1.0).abs() < 1e-12);
+        // Positives ranked last: AP = (1/3 + 2/4)/2.
+        let ap2 = average_precision(&[0.9, 0.8, 0.7, 0.6], &[false, false, true, true]);
+        assert!((ap2 - (1.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12);
+        // No positives.
+        assert_eq!(average_precision(&[1.0], &[false]), 0.0);
+    }
+
+    #[test]
+    fn map_averages_class_aps() {
+        // Two classes, two examples; class scores rank their own example
+        // first -> both APs are 1.
+        let class_scores = vec![vec![0.9, 0.1], vec![0.2, 0.8]];
+        let truth = vec![0, 1];
+        assert!((mean_average_precision(&class_scores, &truth) - 1.0).abs() < 1e-12);
+    }
+}

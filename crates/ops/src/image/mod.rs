@@ -1,0 +1,460 @@
+//! Image operators and the planar [`Image`] type.
+
+pub mod convolve;
+pub mod sift;
+pub mod zca;
+
+pub use convolve::{Convolver, ConvolverFft, ConvolverMatMul, ConvolverSeparable, FilterBank};
+pub use sift::Sift;
+pub use zca::ZcaWhitener;
+
+use keystone_core::operator::Transformer;
+use keystone_core::record::Record;
+use keystone_linalg::dense::DenseMatrix;
+use keystone_linalg::rng::XorShiftRng;
+
+/// A planar multi-channel image: channel `c` occupies
+/// `data[c·w·h .. (c+1)·w·h]`, row-major within the plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    channels: usize,
+    data: Vec<f64>,
+}
+
+impl Image {
+    /// Builds an image from planar data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != width * height * channels`.
+    pub fn new(width: usize, height: usize, channels: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            width * height * channels,
+            "image data length mismatch"
+        );
+        Image {
+            width,
+            height,
+            channels,
+            data,
+        }
+    }
+
+    /// All-zero image.
+    pub fn zeros(width: usize, height: usize, channels: usize) -> Self {
+        Image {
+            width,
+            height,
+            channels,
+            data: vec![0.0; width * height * channels],
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Raw planar data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Pixel accessor.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, c: usize) -> f64 {
+        debug_assert!(x < self.width && y < self.height && c < self.channels);
+        self.data[c * self.width * self.height + y * self.width + x]
+    }
+
+    /// Pixel assignment.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, c: usize, v: f64) {
+        debug_assert!(x < self.width && y < self.height && c < self.channels);
+        self.data[c * self.width * self.height + y * self.width + x] = v;
+    }
+
+    /// Borrow of one channel plane (row-major `height × width`).
+    pub fn plane(&self, c: usize) -> &[f64] {
+        let sz = self.width * self.height;
+        &self.data[c * sz..(c + 1) * sz]
+    }
+
+    /// Flattens to a plain vector (planar order).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.data.clone()
+    }
+
+    /// Crops the rectangle at `(x0, y0)` with the given size.
+    ///
+    /// # Panics
+    /// Panics if the rectangle exceeds the image bounds.
+    pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Image {
+        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        let mut out = Image::zeros(w, h, self.channels);
+        for c in 0..self.channels {
+            for y in 0..h {
+                for x in 0..w {
+                    out.set(x, y, c, self.get(x0 + x, y0 + y, c));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Record for Image {
+    fn approx_bytes(&self) -> usize {
+        self.data.len() * 8 + std::mem::size_of::<Self>()
+    }
+    fn dims(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Averages channels into a single-channel image.
+#[derive(Clone, Copy, Default)]
+pub struct GrayScale;
+
+impl Transformer<Image, Image> for GrayScale {
+    fn apply(&self, img: &Image) -> Image {
+        let mut out = Image::zeros(img.width(), img.height(), 1);
+        let inv = 1.0 / img.channels().max(1) as f64;
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let mut s = 0.0;
+                for c in 0..img.channels() {
+                    s += img.get(x, y, c);
+                }
+                out.set(x, y, 0, s * inv);
+            }
+        }
+        out
+    }
+    fn name(&self) -> String {
+        "GrayScale".into()
+    }
+}
+
+/// Symmetric rectifier: doubles channels into
+/// `[max(0, x − α), max(0, −x − α)]`.
+#[derive(Clone, Copy)]
+pub struct SymmetricRectifier {
+    /// Activation offset α.
+    pub alpha: f64,
+}
+
+impl Default for SymmetricRectifier {
+    fn default() -> Self {
+        SymmetricRectifier { alpha: 0.0 }
+    }
+}
+
+impl Transformer<Image, Image> for SymmetricRectifier {
+    fn apply(&self, img: &Image) -> Image {
+        let c = img.channels();
+        let mut out = Image::zeros(img.width(), img.height(), 2 * c);
+        for ch in 0..c {
+            for y in 0..img.height() {
+                for x in 0..img.width() {
+                    let v = img.get(x, y, ch);
+                    out.set(x, y, ch, (v - self.alpha).max(0.0));
+                    out.set(x, y, c + ch, (-v - self.alpha).max(0.0));
+                }
+            }
+        }
+        out
+    }
+    fn name(&self) -> String {
+        "SymmetricRectifier".into()
+    }
+}
+
+/// Sum-pools each channel over non-overlapping `pool × pool` cells.
+#[derive(Clone, Copy)]
+pub struct Pooler {
+    /// Pool cell edge.
+    pub pool: usize,
+}
+
+impl Pooler {
+    /// Pooler with the given cell edge.
+    pub fn new(pool: usize) -> Self {
+        assert!(pool >= 1, "pool size must be positive");
+        Pooler { pool }
+    }
+}
+
+impl Transformer<Image, Image> for Pooler {
+    fn apply(&self, img: &Image) -> Image {
+        let ow = (img.width() / self.pool).max(1);
+        let oh = (img.height() / self.pool).max(1);
+        let mut out = Image::zeros(ow, oh, img.channels());
+        for c in 0..img.channels() {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut s = 0.0;
+                    for dy in 0..self.pool {
+                        for dx in 0..self.pool {
+                            let x = (ox * self.pool + dx).min(img.width() - 1);
+                            let y = (oy * self.pool + dy).min(img.height() - 1);
+                            s += img.get(x, y, c);
+                        }
+                    }
+                    out.set(ox, oy, c, s);
+                }
+            }
+        }
+        out
+    }
+    fn name(&self) -> String {
+        "Pooler".into()
+    }
+}
+
+/// Flattens an image into a feature vector (planar order).
+#[derive(Clone, Copy, Default)]
+pub struct ImageVectorizer;
+
+impl Transformer<Image, Vec<f64>> for ImageVectorizer {
+    fn apply(&self, img: &Image) -> Vec<f64> {
+        img.to_vec()
+    }
+    fn name(&self) -> String {
+        "ImageVectorizer".into()
+    }
+}
+
+/// Slides a window over the image, emitting each sub-image.
+#[derive(Clone, Copy)]
+pub struct Windower {
+    /// Window edge.
+    pub size: usize,
+    /// Stride between windows.
+    pub stride: usize,
+}
+
+impl Transformer<Image, Vec<Image>> for Windower {
+    fn apply(&self, img: &Image) -> Vec<Image> {
+        let mut out = Vec::new();
+        if img.width() < self.size || img.height() < self.size {
+            return out;
+        }
+        let mut y = 0;
+        while y + self.size <= img.height() {
+            let mut x = 0;
+            while x + self.size <= img.width() {
+                out.push(img.crop(x, y, self.size, self.size));
+                x += self.stride;
+            }
+            y += self.stride;
+        }
+        out
+    }
+    fn name(&self) -> String {
+        "Windower".into()
+    }
+}
+
+/// Extracts `count` random square patches, flattened into rows of a matrix
+/// (used to train whiteners / filter banks).
+#[derive(Clone, Copy)]
+pub struct PatchExtractor {
+    /// Patch edge.
+    pub size: usize,
+    /// Patches per image.
+    pub count: usize,
+    /// Seed for deterministic extraction.
+    pub seed: u64,
+}
+
+impl Transformer<Image, DenseMatrix> for PatchExtractor {
+    fn apply(&self, img: &Image) -> DenseMatrix {
+        let dim = self.size * self.size * img.channels();
+        if img.width() < self.size || img.height() < self.size {
+            return DenseMatrix::zeros(0, dim);
+        }
+        // Seed from image content so different images give different
+        // patches deterministically.
+        let content = img.data().iter().take(8).fold(self.seed, |acc, v| {
+            acc.wrapping_mul(31).wrapping_add(v.to_bits())
+        });
+        let mut rng = XorShiftRng::new(content);
+        let mut out = DenseMatrix::zeros(self.count, dim);
+        for p in 0..self.count {
+            let x0 = rng.next_usize(img.width() - self.size + 1);
+            let y0 = rng.next_usize(img.height() - self.size + 1);
+            let patch = img.crop(x0, y0, self.size, self.size);
+            out.row_mut(p).copy_from_slice(patch.data());
+        }
+        out
+    }
+    fn name(&self) -> String {
+        "PatchExtractor".into()
+    }
+}
+
+/// Local color statistics descriptor: per grid cell and channel, the mean
+/// and standard deviation of intensities (the LCS features of the ImageNet
+/// pipeline, simplified).
+#[derive(Clone, Copy)]
+pub struct Lcs {
+    /// Grid cells per axis.
+    pub grid: usize,
+}
+
+impl Transformer<Image, DenseMatrix> for Lcs {
+    fn apply(&self, img: &Image) -> DenseMatrix {
+        let g = self.grid.max(1);
+        let cw = (img.width() / g).max(1);
+        let ch = (img.height() / g).max(1);
+        let mut out = DenseMatrix::zeros(g * g, 2 * img.channels());
+        for gy in 0..g {
+            for gx in 0..g {
+                let row = out.row_mut(gy * g + gx);
+                for c in 0..img.channels() {
+                    let (mut sum, mut sq, mut n) = (0.0, 0.0, 0.0);
+                    for y in (gy * ch)..((gy + 1) * ch).min(img.height()) {
+                        for x in (gx * cw)..((gx + 1) * cw).min(img.width()) {
+                            let v = img.get(x, y, c);
+                            sum += v;
+                            sq += v * v;
+                            n += 1.0;
+                        }
+                    }
+                    let mean = if n > 0.0 { sum / n } else { 0.0 };
+                    let var = if n > 0.0 { (sq / n - mean * mean).max(0.0) } else { 0.0 };
+                    row[2 * c] = mean;
+                    row[2 * c + 1] = var.sqrt();
+                }
+            }
+        }
+        out
+    }
+    fn name(&self) -> String {
+        "LCS".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_image(w: usize, h: usize, c: usize) -> Image {
+        let mut img = Image::zeros(w, h, c);
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    img.set(x, y, ch, (x + y * w + ch * 100) as f64);
+                }
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn image_accessors_roundtrip() {
+        let mut img = Image::zeros(4, 3, 2);
+        img.set(2, 1, 1, 7.5);
+        assert_eq!(img.get(2, 1, 1), 7.5);
+        assert_eq!(img.plane(1)[4 + 2], 7.5);
+        assert_eq!(Record::dims(&img), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn image_rejects_bad_data() {
+        let _ = Image::new(2, 2, 1, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn grayscale_averages_channels() {
+        let img = Image::new(1, 1, 3, vec![3.0, 6.0, 9.0]);
+        let g = GrayScale.apply(&img);
+        assert_eq!(g.channels(), 1);
+        assert_eq!(g.get(0, 0, 0), 6.0);
+    }
+
+    #[test]
+    fn rectifier_splits_sign() {
+        let img = Image::new(2, 1, 1, vec![2.0, -3.0]);
+        let r = SymmetricRectifier { alpha: 0.5 }.apply(&img);
+        assert_eq!(r.channels(), 2);
+        assert_eq!(r.get(0, 0, 0), 1.5); // max(0, 2-0.5)
+        assert_eq!(r.get(1, 0, 0), 0.0);
+        assert_eq!(r.get(0, 0, 1), 0.0);
+        assert_eq!(r.get(1, 0, 1), 2.5); // max(0, 3-0.5)
+    }
+
+    #[test]
+    fn pooler_sums_cells() {
+        let img = Image::new(4, 4, 1, (0..16).map(|i| i as f64).collect());
+        let p = Pooler::new(2).apply(&img);
+        assert_eq!(p.width(), 2);
+        // Top-left cell: 0+1+4+5 = 10.
+        assert_eq!(p.get(0, 0, 0), 10.0);
+        assert_eq!(p.get(1, 1, 0), 10.0 + 11.0 + 14.0 + 15.0);
+    }
+
+    #[test]
+    fn windower_counts_windows() {
+        let img = gradient_image(6, 6, 1);
+        let wins = Windower { size: 4, stride: 2 }.apply(&img);
+        assert_eq!(wins.len(), 4);
+        assert!(wins.iter().all(|w| w.width() == 4 && w.height() == 4));
+        // Too-small image yields nothing.
+        let tiny = gradient_image(2, 2, 1);
+        assert!(Windower { size: 4, stride: 2 }.apply(&tiny).is_empty());
+    }
+
+    #[test]
+    fn patch_extractor_shapes_and_determinism() {
+        let img = gradient_image(8, 8, 2);
+        let pe = PatchExtractor {
+            size: 3,
+            count: 5,
+            seed: 1,
+        };
+        let a = pe.apply(&img);
+        let b = pe.apply(&img);
+        assert_eq!(a.shape(), (5, 3 * 3 * 2));
+        assert!(a.max_abs_diff(&b) == 0.0, "must be deterministic");
+    }
+
+    #[test]
+    fn lcs_constant_image_zero_std() {
+        let img = Image::new(4, 4, 1, vec![5.0; 16]);
+        let d = Lcs { grid: 2 }.apply(&img);
+        assert_eq!(d.shape(), (4, 2));
+        for r in 0..4 {
+            assert!((d.get(r, 0) - 5.0).abs() < 1e-12);
+            assert!(d.get(r, 1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn crop_extracts_expected_region() {
+        let img = gradient_image(5, 5, 1);
+        let c = img.crop(1, 2, 3, 2);
+        assert_eq!(c.get(0, 0, 0), img.get(1, 2, 0));
+        assert_eq!(c.get(2, 1, 0), img.get(3, 3, 0));
+    }
+
+    #[test]
+    fn vectorizer_flattens() {
+        let img = Image::new(2, 1, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ImageVectorizer.apply(&img), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

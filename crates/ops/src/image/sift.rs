@@ -1,0 +1,177 @@
+//! Simplified dense SIFT descriptors.
+//!
+//! The real SIFT detector finds scale-space keypoints; the image pipelines
+//! in the paper use *dense* SIFT — descriptors extracted on a regular grid —
+//! which is what we implement: per grid patch, a 4×4 spatial histogram of
+//! gradient orientations over 8 bins (128-dim), L2-normalized and clipped,
+//! matching the descriptor's statistical shape.
+
+use keystone_core::operator::Transformer;
+use keystone_linalg::dense::DenseMatrix;
+
+use super::Image;
+
+/// Dense SIFT descriptor extractor (expects single-channel images; apply
+/// [`super::GrayScale`] first).
+#[derive(Clone, Copy)]
+pub struct Sift {
+    /// Patch edge in pixels (must be a multiple of 4).
+    pub patch: usize,
+    /// Stride between patch origins.
+    pub stride: usize,
+}
+
+impl Default for Sift {
+    fn default() -> Self {
+        Sift {
+            patch: 16,
+            stride: 8,
+        }
+    }
+}
+
+/// Descriptor dimensionality: 4×4 cells × 8 orientations.
+pub const SIFT_DIM: usize = 128;
+
+impl Sift {
+    fn descriptor(&self, img: &Image, x0: usize, y0: usize) -> [f64; SIFT_DIM] {
+        let mut desc = [0.0; SIFT_DIM];
+        let cell = self.patch / 4;
+        for dy in 0..self.patch {
+            for dx in 0..self.patch {
+                let x = x0 + dx;
+                let y = y0 + dy;
+                // Central-difference gradient with clamped borders.
+                let xm = img.get(x.saturating_sub(1), y, 0);
+                let xp = img.get((x + 1).min(img.width() - 1), y, 0);
+                let ym = img.get(x, y.saturating_sub(1), 0);
+                let yp = img.get(x, (y + 1).min(img.height() - 1), 0);
+                let gx = xp - xm;
+                let gy = yp - ym;
+                let mag = gx.hypot(gy);
+                if mag == 0.0 {
+                    continue;
+                }
+                let angle = gy.atan2(gx); // (-π, π]
+                let bin = (((angle + std::f64::consts::PI)
+                    / (2.0 * std::f64::consts::PI)
+                    * 8.0) as usize)
+                    .min(7);
+                let cx = (dx / cell).min(3);
+                let cy = (dy / cell).min(3);
+                desc[(cy * 4 + cx) * 8 + bin] += mag;
+            }
+        }
+        // L2 normalize, clip at 0.2, renormalize (standard SIFT).
+        let norm = desc.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for v in &mut desc {
+                *v = (*v / norm).min(0.2);
+            }
+            let norm2 = desc.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm2 > 1e-12 {
+                for v in &mut desc {
+                    *v /= norm2;
+                }
+            }
+        }
+        desc
+    }
+}
+
+impl Transformer<Image, DenseMatrix> for Sift {
+    fn apply(&self, img: &Image) -> DenseMatrix {
+        assert!(self.patch.is_multiple_of(4), "SIFT patch must be a multiple of 4");
+        if img.width() < self.patch || img.height() < self.patch {
+            return DenseMatrix::zeros(0, SIFT_DIM);
+        }
+        let mut descs = Vec::new();
+        let mut y = 0;
+        while y + self.patch <= img.height() {
+            let mut x = 0;
+            while x + self.patch <= img.width() {
+                descs.push(self.descriptor(img, x, y));
+                x += self.stride;
+            }
+            y += self.stride;
+        }
+        let mut out = DenseMatrix::zeros(descs.len(), SIFT_DIM);
+        for (i, d) in descs.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(d);
+        }
+        out
+    }
+    fn name(&self) -> String {
+        "SIFT".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keystone_linalg::rng::XorShiftRng;
+
+    fn noise_image(n: usize, seed: u64) -> Image {
+        let mut rng = XorShiftRng::new(seed);
+        Image::new(n, n, 1, (0..n * n).map(|_| rng.next_f64()).collect())
+    }
+
+    #[test]
+    fn descriptor_grid_shape() {
+        let img = noise_image(32, 1);
+        let d = Sift::default().apply(&img);
+        // Origins at 0 and 8 and 16: (32-16)/8+1 = 3 per axis.
+        assert_eq!(d.shape(), (9, SIFT_DIM));
+    }
+
+    #[test]
+    fn descriptors_unit_norm() {
+        let img = noise_image(16, 2);
+        let d = Sift::default().apply(&img);
+        for i in 0..d.rows() {
+            let norm: f64 = d.row(i).iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "norm {}", norm);
+        }
+    }
+
+    #[test]
+    fn flat_image_gives_zero_descriptor() {
+        let img = Image::new(16, 16, 1, vec![3.0; 256]);
+        let d = Sift::default().apply(&img);
+        assert!(d.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn horizontal_edge_activates_vertical_gradient_bins() {
+        // Top half dark, bottom half bright: gradient points in +y.
+        let mut img = Image::zeros(16, 16, 1);
+        for y in 8..16 {
+            for x in 0..16 {
+                img.set(x, y, 0, 10.0);
+            }
+        }
+        let d = Sift::default().apply(&img);
+        assert_eq!(d.rows(), 1);
+        // angle = atan2(+g, 0) = π/2 -> bin floor((π/2+π)/2π*8) = 6.
+        let row = d.row(0);
+        let bin6: f64 = (0..16).map(|cell| row[cell * 8 + 6]).sum();
+        let others: f64 = row.iter().sum::<f64>() - bin6;
+        assert!(bin6 > others, "edge energy must land in bin 6: {} vs {}", bin6, others);
+    }
+
+    #[test]
+    fn small_image_yields_no_descriptors() {
+        let img = noise_image(8, 3);
+        let d = Sift::default().apply(&img);
+        assert_eq!(d.rows(), 0);
+    }
+
+    #[test]
+    fn values_clipped_at_point_two_before_renorm() {
+        let img = noise_image(16, 4);
+        let d = Sift::default().apply(&img);
+        // After clipping at 0.2 and renormalizing, no value can exceed
+        // 0.2 / 0.2 = 1; realistically far below. Sanity bound:
+        assert!(d.data().iter().all(|&v| v <= 1.0 + 1e-12));
+    }
+}

@@ -1,0 +1,181 @@
+//! Fisher-vector encoding (Sánchez et al., the paper's image featurizer).
+//!
+//! `FisherVectorEstimator` fits a GMM codebook on sampled descriptors and
+//! returns a transformer that aggregates each image's descriptor matrix
+//! into a `2·K·d` gradient vector (mean and variance gradients per
+//! component).
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::{Estimator, Transformer};
+use keystone_dataflow::collection::DistCollection;
+use keystone_linalg::dense::DenseMatrix;
+
+use super::gmm::{fit_gmm, gather_rows, Gmm, GmmModel};
+
+/// Fits a GMM and encodes descriptor matrices as Fisher vectors.
+#[derive(Debug, Clone, Copy)]
+pub struct FisherVectorEstimator {
+    /// GMM configuration (K components over descriptor space).
+    pub gmm: Gmm,
+}
+
+impl FisherVectorEstimator {
+    /// Fisher vectors over a `k`-component codebook.
+    pub fn new(k: usize) -> Self {
+        FisherVectorEstimator { gmm: Gmm::new(k) }
+    }
+}
+
+/// The fitted Fisher-vector encoder.
+#[derive(Clone)]
+pub struct FisherVectorModel {
+    /// The codebook.
+    pub gmm: GmmModel,
+}
+
+impl FisherVectorModel {
+    /// Output dimensionality `2·K·d`.
+    pub fn out_dim(&self) -> usize {
+        2 * self.gmm.k() * self.gmm.d()
+    }
+
+    /// Encodes a descriptor matrix.
+    pub fn encode(&self, descs: &DenseMatrix) -> Vec<f64> {
+        let k = self.gmm.k();
+        let d = self.gmm.d();
+        let mut fv = vec![0.0; 2 * k * d];
+        let t = descs.rows();
+        if t == 0 {
+            return fv;
+        }
+        for i in 0..t {
+            let x = descs.row(i);
+            let gamma = self.gmm.posteriors(x);
+            for c in 0..k {
+                let g = gamma[c];
+                if g < 1e-12 {
+                    continue;
+                }
+                let (mean_part, var_part) = (c * d, k * d + c * d);
+                for j in 0..d {
+                    let sigma = self.gmm.vars.get(c, j).sqrt();
+                    let z = (x[j] - self.gmm.means.get(c, j)) / sigma;
+                    fv[mean_part + j] += g * z;
+                    fv[var_part + j] += g * (z * z - 1.0);
+                }
+            }
+        }
+        // Normalize by count and weight (the FV scaling).
+        for c in 0..k {
+            let wc = self.gmm.weights[c].max(1e-12);
+            let mscale = 1.0 / (t as f64 * wc.sqrt());
+            let vscale = 1.0 / (t as f64 * (2.0 * wc).sqrt());
+            for j in 0..d {
+                fv[c * d + j] *= mscale;
+                fv[k * d + c * d + j] *= vscale;
+            }
+        }
+        fv
+    }
+}
+
+impl Transformer<DenseMatrix, Vec<f64>> for FisherVectorModel {
+    fn apply(&self, descs: &DenseMatrix) -> Vec<f64> {
+        self.encode(descs)
+    }
+    fn name(&self) -> String {
+        "FisherVector".into()
+    }
+}
+
+impl Estimator<DenseMatrix, Vec<f64>> for FisherVectorEstimator {
+    fn fit(
+        &self,
+        data: &DistCollection<DenseMatrix>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<DenseMatrix, Vec<f64>>> {
+        let sample = gather_rows(data, self.gmm.max_samples);
+        let gmm = fit_gmm(&self.gmm, &sample);
+        Box::new(FisherVectorModel { gmm })
+    }
+
+    fn name(&self) -> String {
+        "FisherVector".into()
+    }
+
+    fn weight(&self) -> u32 {
+        self.gmm.iters as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keystone_linalg::rng::XorShiftRng;
+
+    fn descriptor_set(n: usize, d: usize, shift: f64, seed: u64) -> DenseMatrix {
+        let mut rng = XorShiftRng::new(seed);
+        DenseMatrix::from_fn(n, d, |_, _| rng.next_gaussian() + shift)
+    }
+
+    fn fitted(seed: u64) -> FisherVectorModel {
+        let mats = vec![
+            descriptor_set(30, 4, -2.0, seed),
+            descriptor_set(30, 4, 2.0, seed + 1),
+        ];
+        let data = DistCollection::from_vec(mats, 2);
+        let sample = gather_rows(&data, 10_000);
+        FisherVectorModel {
+            gmm: fit_gmm(&Gmm::new(2), &sample),
+        }
+    }
+
+    #[test]
+    fn output_dimensionality() {
+        let model = fitted(1);
+        assert_eq!(model.out_dim(), 2 * 2 * 4);
+        let fv = model.encode(&descriptor_set(10, 4, 0.0, 9));
+        assert_eq!(fv.len(), 16);
+    }
+
+    #[test]
+    fn empty_descriptor_set_encodes_to_zero() {
+        let model = fitted(2);
+        let fv = model.encode(&DenseMatrix::zeros(0, 4));
+        assert!(fv.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn different_content_gives_different_codes() {
+        let model = fitted(3);
+        let a = model.encode(&descriptor_set(20, 4, -2.0, 11));
+        let b = model.encode(&descriptor_set(20, 4, 2.0, 12));
+        let dist: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum();
+        assert!(dist > 0.1, "codes too similar: {}", dist);
+    }
+
+    #[test]
+    fn similar_content_gives_similar_codes() {
+        let model = fitted(4);
+        let a = model.encode(&descriptor_set(200, 4, -2.0, 21));
+        let b = model.encode(&descriptor_set(200, 4, -2.0, 22));
+        let cross: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum();
+        let c = model.encode(&descriptor_set(200, 4, 2.0, 23));
+        let far: f64 = a.iter().zip(&c).map(|(x, y)| (x - y).powi(2)).sum();
+        assert!(cross < far, "same-class distance {} >= cross-class {}", cross, far);
+    }
+
+    #[test]
+    fn estimator_end_to_end() {
+        let mats = vec![
+            descriptor_set(40, 3, -1.5, 31),
+            descriptor_set(40, 3, 1.5, 32),
+        ];
+        let data = DistCollection::from_vec(mats.clone(), 2);
+        let ctx = ExecContext::default_cluster();
+        let model = FisherVectorEstimator::new(2).fit(&data, &ctx);
+        let fv = model.apply(&mats[0]);
+        assert_eq!(fv.len(), 2 * 2 * 3);
+        assert!(fv.iter().any(|&v| v != 0.0));
+    }
+}

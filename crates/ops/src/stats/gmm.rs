@@ -1,0 +1,319 @@
+//! Diagonal-covariance Gaussian mixture models via EM, k-means-initialized.
+//! The GMM is the codebook underneath Fisher-vector encoding (Table 4's
+//! image pipelines).
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::{Estimator, Transformer};
+use keystone_dataflow::collection::DistCollection;
+use keystone_linalg::dense::DenseMatrix;
+
+use super::kmeans::KMeans;
+
+/// GMM estimator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Gmm {
+    /// Mixture components.
+    pub k: usize,
+    /// EM iterations.
+    pub iters: usize,
+    /// Variance floor.
+    pub var_floor: f64,
+    /// Cap on rows gathered for fitting.
+    pub max_samples: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Gmm {
+    /// `k` components, 25 EM iterations.
+    pub fn new(k: usize) -> Self {
+        Gmm {
+            k,
+            iters: 25,
+            var_floor: 1e-4,
+            max_samples: 20_000,
+            seed: 0x6A,
+        }
+    }
+}
+
+/// Fitted diagonal GMM.
+#[derive(Debug, Clone)]
+pub struct GmmModel {
+    /// Mixture weights, length `k`.
+    pub weights: Vec<f64>,
+    /// Component means, `k × d`.
+    pub means: DenseMatrix,
+    /// Component variances (diagonal), `k × d`.
+    pub vars: DenseMatrix,
+}
+
+impl GmmModel {
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Feature dimensionality.
+    pub fn d(&self) -> usize {
+        self.means.cols()
+    }
+
+    /// Log density of `x` under component `c` (up to the shared constant).
+    fn log_component(&self, c: usize, x: &[f64]) -> f64 {
+        let mut log_det = 0.0;
+        let mut maha = 0.0;
+        for (j, &xv) in x.iter().enumerate() {
+            let var = self.vars.get(c, j);
+            log_det += var.ln();
+            let diff = xv - self.means.get(c, j);
+            maha += diff * diff / var;
+        }
+        -0.5 * (log_det + maha)
+    }
+
+    /// Posterior responsibilities `γ_c(x)`.
+    pub fn posteriors(&self, x: &[f64]) -> Vec<f64> {
+        let k = self.k();
+        let mut logp: Vec<f64> = (0..k)
+            .map(|c| self.weights[c].max(1e-300).ln() + self.log_component(c, x))
+            .collect();
+        let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for lp in &mut logp {
+            *lp = (*lp - max).exp();
+            sum += *lp;
+        }
+        let inv = 1.0 / sum.max(1e-300);
+        logp.iter().map(|p| p * inv).collect()
+    }
+
+    /// Average log-likelihood of rows of `x` (used to verify EM ascends).
+    pub fn avg_log_likelihood(&self, x: &DenseMatrix) -> f64 {
+        let k = self.k();
+        let mut total = 0.0;
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            let logs: Vec<f64> = (0..k)
+                .map(|c| self.weights[c].max(1e-300).ln() + self.log_component(c, row))
+                .collect();
+            let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let s: f64 = logs.iter().map(|l| (l - max).exp()).sum();
+            total += max + s.ln();
+        }
+        total / x.rows().max(1) as f64
+    }
+}
+
+impl Transformer<Vec<f64>, Vec<f64>> for GmmModel {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        self.posteriors(x)
+    }
+    fn name(&self) -> String {
+        "GMMModel".into()
+    }
+}
+
+/// Fits a diagonal GMM on the rows of a local matrix.
+pub fn fit_gmm(cfg: &Gmm, x: &DenseMatrix) -> GmmModel {
+    let (n, d) = x.shape();
+    assert!(n > 0, "GMM needs data");
+    let k = cfg.k.min(n);
+
+    // Initialize from k-means.
+    let means = KMeans {
+        k,
+        iters: 10,
+        seed: cfg.seed,
+    }
+    .fit(x);
+    // Global variance as the starting spread.
+    let gmean = x.col_means();
+    let mut gvar = vec![0.0; d];
+    for i in 0..n {
+        for (j, &v) in x.row(i).iter().enumerate() {
+            let diff = v - gmean[j];
+            gvar[j] += diff * diff;
+        }
+    }
+    for v in &mut gvar {
+        *v = (*v / n as f64).max(cfg.var_floor);
+    }
+    let mut model = GmmModel {
+        weights: vec![1.0 / k as f64; k],
+        means,
+        vars: DenseMatrix::from_fn(k, d, |_, j| gvar[j]),
+    };
+
+    let mut resp = DenseMatrix::zeros(n, k);
+    for _ in 0..cfg.iters {
+        // E-step.
+        for i in 0..n {
+            let post = model.posteriors(x.row(i));
+            resp.row_mut(i).copy_from_slice(&post);
+        }
+        // M-step.
+        for c in 0..k {
+            let nk: f64 = (0..n).map(|i| resp.get(i, c)).sum();
+            let nk_safe = nk.max(1e-10);
+            model.weights[c] = nk / n as f64;
+            for j in 0..d {
+                let mu: f64 = (0..n)
+                    .map(|i| resp.get(i, c) * x.get(i, j))
+                    .sum::<f64>()
+                    / nk_safe;
+                model.means.set(c, j, mu);
+            }
+            for j in 0..d {
+                let mu = model.means.get(c, j);
+                let var: f64 = (0..n)
+                    .map(|i| {
+                        let diff = x.get(i, j) - mu;
+                        resp.get(i, c) * diff * diff
+                    })
+                    .sum::<f64>()
+                    / nk_safe;
+                model.vars.set(c, j, var.max(cfg.var_floor));
+            }
+        }
+    }
+    model
+}
+
+/// Gathers up to `max` descriptor rows from a collection of matrices.
+pub fn gather_rows(data: &DistCollection<DenseMatrix>, max: usize) -> DenseMatrix {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    'outer: for m in data.iter() {
+        for i in 0..m.rows() {
+            rows.push(m.row(i).to_vec());
+            if rows.len() >= max {
+                break 'outer;
+            }
+        }
+    }
+    let d = rows.first().map_or(0, |r| r.len());
+    let mut out = DenseMatrix::zeros(rows.len(), d);
+    for (i, r) in rows.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(r);
+    }
+    out
+}
+
+impl Estimator<Vec<f64>, Vec<f64>> for Gmm {
+    fn fit(
+        &self,
+        data: &DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        let rows = data.sample(self.max_samples, self.seed);
+        let d = rows.first().map_or(0, |r| r.len());
+        let mut m = DenseMatrix::zeros(rows.len(), d);
+        for (i, r) in rows.iter().enumerate() {
+            m.row_mut(i).copy_from_slice(r);
+        }
+        Box::new(fit_gmm(self, &m))
+    }
+
+    fn name(&self) -> String {
+        "GMM".into()
+    }
+
+    fn weight(&self) -> u32 {
+        self.iters as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keystone_linalg::rng::XorShiftRng;
+
+    fn two_blobs(per: usize, seed: u64) -> DenseMatrix {
+        let mut rng = XorShiftRng::new(seed);
+        DenseMatrix::from_fn(per * 2, 2, |i, j| {
+            let c = if i < per { -4.0 } else { 4.0 };
+            let base = if j == 0 { c } else { 0.0 };
+            base + rng.next_gaussian() * 0.5
+        })
+    }
+
+    #[test]
+    fn recovers_two_components() {
+        let x = two_blobs(100, 1);
+        let model = fit_gmm(&Gmm::new(2), &x);
+        let mut centers: Vec<f64> = (0..2).map(|c| model.means.get(c, 0)).collect();
+        centers.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert!((centers[0] + 4.0).abs() < 0.5, "left {}", centers[0]);
+        assert!((centers[1] - 4.0).abs() < 0.5, "right {}", centers[1]);
+        assert!((model.weights[0] - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn posteriors_sum_to_one_and_separate() {
+        let x = two_blobs(80, 2);
+        let model = fit_gmm(&Gmm::new(2), &x);
+        let p_left = model.posteriors(&[-4.0, 0.0]);
+        let p_right = model.posteriors(&[4.0, 0.0]);
+        assert!((p_left.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The dominant component must differ between the two probes.
+        let arg = |p: &[f64]| if p[0] > p[1] { 0 } else { 1 };
+        assert_ne!(arg(&p_left), arg(&p_right));
+        assert!(p_left.iter().cloned().fold(0.0, f64::max) > 0.99);
+    }
+
+    #[test]
+    fn em_increases_likelihood() {
+        let x = two_blobs(60, 3);
+        let short = fit_gmm(
+            &Gmm {
+                iters: 1,
+                ..Gmm::new(2)
+            },
+            &x,
+        );
+        let long = fit_gmm(
+            &Gmm {
+                iters: 25,
+                ..Gmm::new(2)
+            },
+            &x,
+        );
+        assert!(
+            long.avg_log_likelihood(&x) >= short.avg_log_likelihood(&x) - 1e-9,
+            "EM must not decrease likelihood"
+        );
+    }
+
+    #[test]
+    fn variance_floor_enforced() {
+        // Identical points would give zero variance without the floor.
+        let x = DenseMatrix::from_fn(20, 2, |_, _| 1.0);
+        let model = fit_gmm(&Gmm::new(2), &x);
+        for c in 0..model.k() {
+            for j in 0..2 {
+                assert!(model.vars.get(c, j) >= 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_interface_over_collection() {
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![if i < 50 { -4.0 } else { 4.0 }, 0.1 * (i % 7) as f64])
+            .collect();
+        let data = DistCollection::from_vec(rows, 4);
+        let ctx = ExecContext::default_cluster();
+        let model = Gmm::new(2).fit(&data, &ctx);
+        let p = model.apply(&vec![-4.0, 0.3]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gather_rows_caps() {
+        let mats = vec![DenseMatrix::zeros(10, 3); 5];
+        let data = DistCollection::from_vec(mats, 2);
+        let g = gather_rows(&data, 25);
+        assert_eq!(g.shape(), (25, 3));
+    }
+}

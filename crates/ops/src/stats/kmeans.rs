@@ -1,0 +1,181 @@
+//! K-Means (Lloyd's algorithm with k-means++ seeding). Used to learn
+//! convolution filter banks in the CIFAR pipeline and to initialize GMMs.
+
+use keystone_linalg::dense::DenseMatrix;
+use keystone_linalg::rng::XorShiftRng;
+
+/// K-Means configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeans {
+    /// Cluster count.
+    pub k: usize,
+    /// Lloyd iterations.
+    pub iters: usize,
+    /// Seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl KMeans {
+    /// `k` clusters, 20 iterations.
+    pub fn new(k: usize) -> Self {
+        KMeans {
+            k,
+            iters: 20,
+            seed: 0xC1,
+        }
+    }
+
+    /// Runs Lloyd's algorithm on rows of `x`; returns `k × d` centroids.
+    pub fn fit(&self, x: &DenseMatrix) -> DenseMatrix {
+        let (n, d) = x.shape();
+        assert!(n > 0, "k-means needs data");
+        let k = self.k.min(n);
+        let mut rng = XorShiftRng::new(self.seed);
+
+        // k-means++ seeding.
+        let mut centers = DenseMatrix::zeros(k, d);
+        let first = rng.next_usize(n);
+        centers.row_mut(0).copy_from_slice(x.row(first));
+        let mut dists: Vec<f64> = (0..n)
+            .map(|i| sq_dist(x.row(i), centers.row(0)))
+            .collect();
+        for c in 1..k {
+            let total: f64 = dists.iter().sum();
+            let mut target = rng.next_f64() * total.max(1e-300);
+            let mut chosen = n - 1;
+            for (i, &dv) in dists.iter().enumerate() {
+                target -= dv;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            centers.row_mut(c).copy_from_slice(x.row(chosen));
+            for i in 0..n {
+                let nd = sq_dist(x.row(i), centers.row(c));
+                if nd < dists[i] {
+                    dists[i] = nd;
+                }
+            }
+        }
+
+        // Lloyd iterations.
+        let mut assign = vec![0usize; n];
+        for _ in 0..self.iters {
+            let mut moved = false;
+            for i in 0..n {
+                let row = x.row(i);
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for c in 0..k {
+                    let dv = sq_dist(row, centers.row(c));
+                    if dv < best_d {
+                        best_d = dv;
+                        best = c;
+                    }
+                }
+                if assign[i] != best {
+                    moved = true;
+                    assign[i] = best;
+                }
+            }
+            let mut sums = DenseMatrix::zeros(k, d);
+            let mut counts = vec![0usize; k];
+            for i in 0..n {
+                let c = assign[i];
+                counts[c] += 1;
+                let srow = sums.row_mut(c);
+                for (s, &v) in srow.iter_mut().zip(x.row(i)) {
+                    *s += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed empty cluster at a random point.
+                    let i = rng.next_usize(n);
+                    centers.row_mut(c).copy_from_slice(x.row(i));
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f64;
+                let crow = centers.row_mut(c);
+                for (cv, &sv) in crow.iter_mut().zip(sums.row(c)) {
+                    *cv = sv * inv;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        centers
+    }
+
+    /// Index of the nearest centroid to `x`.
+    pub fn assign(centers: &DenseMatrix, x: &[f64]) -> usize {
+        (0..centers.rows())
+            .min_by(|&a, &b| {
+                sq_dist(centers.row(a), x)
+                    .partial_cmp(&sq_dist(centers.row(b), x))
+                    .expect("finite distances")
+            })
+            .unwrap_or(0)
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2-D.
+    fn blobs(per: usize, seed: u64) -> DenseMatrix {
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let mut rng = XorShiftRng::new(seed);
+        DenseMatrix::from_fn(per * 3, 2, |i, j| {
+            let (cx, cy) = centers[i / per];
+            let c = if j == 0 { cx } else { cy };
+            c + rng.next_gaussian() * 0.3
+        })
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let x = blobs(50, 1);
+        let centers = KMeans::new(3).fit(&x);
+        assert_eq!(centers.shape(), (3, 2));
+        // Each true center must have a learned centroid within 1.0.
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)] {
+            let best = (0..3)
+                .map(|c| sq_dist(centers.row(c), &[cx, cy]))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 1.0, "no centroid near ({}, {}): {}", cx, cy, best);
+        }
+    }
+
+    #[test]
+    fn assignment_consistent_with_centers() {
+        let x = blobs(30, 2);
+        let centers = KMeans::new(3).fit(&x);
+        // Points from the same blob must agree on assignment.
+        let a0 = KMeans::assign(&centers, x.row(0));
+        let a1 = KMeans::assign(&centers, x.row(1));
+        assert_eq!(a0, a1);
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let x = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let centers = KMeans::new(10).fit(&x);
+        assert_eq!(centers.rows(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = blobs(20, 3);
+        let c1 = KMeans::new(3).fit(&x);
+        let c2 = KMeans::new(3).fit(&x);
+        assert!(c1.max_abs_diff(&c2) == 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Random Fourier features (Rahimi & Recht) — the kernel approximation the
+//! TIMIT pipeline uses to turn a kernel SVM into a linear solve (§5.1).
+//!
+//! `z(x) = sqrt(2/D) · cos(W x + b)` with `W ~ N(0, γ)` approximates the RBF
+//! kernel. `W` entries are derived on demand from a hash of `(seed, i, j)`,
+//! so the operator needs no knowledge of the input dimension up front and
+//! several blocks with different seeds can be merged with `gather`.
+
+use keystone_core::operator::Transformer;
+
+/// Random cosine feature block.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomFeatures {
+    /// Output features `D` of this block.
+    pub out_dim: usize,
+    /// Kernel bandwidth multiplier: `W ~ N(0, gamma²)`.
+    pub gamma: f64,
+    /// Block seed (different seeds give independent blocks).
+    pub seed: u64,
+}
+
+impl RandomFeatures {
+    /// A block of `out_dim` features with unit bandwidth.
+    pub fn new(out_dim: usize, seed: u64) -> Self {
+        RandomFeatures {
+            out_dim,
+            gamma: 1.0,
+            seed,
+        }
+    }
+
+    #[inline]
+    fn hash2(&self, i: u64, j: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15))
+            .wrapping_add(j.wrapping_mul(0xD1B54A32D192ED03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Deterministic standard normal for weight `(i, j)`.
+    #[inline]
+    fn w(&self, i: usize, j: usize) -> f64 {
+        let h1 = self.hash2(i as u64, 2 * j as u64);
+        let h2 = self.hash2(i as u64, 2 * j as u64 + 1);
+        let u1 = ((h1 >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+        let u2 = (h2 >> 11) as f64 / (1u64 << 53) as f64;
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Deterministic uniform phase for output `i`.
+    #[inline]
+    fn phase(&self, i: usize) -> f64 {
+        let h = self.hash2(i as u64, u64::MAX);
+        (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 * std::f64::consts::PI
+    }
+}
+
+impl Transformer<Vec<f64>, Vec<f64>> for RandomFeatures {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        let scale = (2.0 / self.out_dim as f64).sqrt();
+        (0..self.out_dim)
+            .map(|i| {
+                let mut proj = self.phase(i);
+                for (j, &xv) in x.iter().enumerate() {
+                    proj += self.gamma * self.w(i, j) * xv;
+                }
+                scale * proj.cos()
+            })
+            .collect()
+    }
+    fn name(&self) -> String {
+        "RandomFeatures".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keystone_linalg::rng::XorShiftRng;
+
+    #[test]
+    fn output_shape_and_determinism() {
+        let rf = RandomFeatures::new(64, 1);
+        let x = vec![0.5, -1.0, 2.0];
+        let a = rf.apply(&x);
+        let b = rf.apply(&x);
+        assert_eq!(a.len(), 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_features() {
+        let x = vec![1.0, 1.0];
+        let a = RandomFeatures::new(32, 1).apply(&x);
+        let b = RandomFeatures::new(32, 2).apply(&x);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn values_bounded_by_scale() {
+        let rf = RandomFeatures::new(16, 3);
+        let x = vec![3.0, -2.0, 0.5, 1.0];
+        let z = rf.apply(&x);
+        let bound = (2.0 / 16.0f64).sqrt() + 1e-12;
+        assert!(z.iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn kernel_approximation_quality() {
+        // E[z(x)·z(y)] ≈ exp(-γ²||x−y||²/2) for RBF.
+        let gamma = 0.7;
+        let rf = RandomFeatures {
+            out_dim: 4096,
+            gamma,
+            seed: 5,
+        };
+        let mut rng = XorShiftRng::new(9);
+        let mut worst = 0.0f64;
+        for _ in 0..5 {
+            let x: Vec<f64> = (0..4).map(|_| rng.next_gaussian() * 0.5).collect();
+            let y: Vec<f64> = (0..4).map(|_| rng.next_gaussian() * 0.5).collect();
+            let zx = rf.apply(&x);
+            let zy = rf.apply(&y);
+            let approx: f64 = zx.iter().zip(&zy).map(|(a, b)| a * b).sum();
+            let dist2: f64 = x.iter().zip(&y).map(|(a, b)| (a - b).powi(2)).sum();
+            let exact = (-gamma * gamma * dist2 / 2.0).exp();
+            worst = worst.max((approx - exact).abs());
+        }
+        assert!(worst < 0.08, "kernel approximation error {}", worst);
+    }
+
+    #[test]
+    fn self_kernel_is_one() {
+        let rf = RandomFeatures {
+            out_dim: 4096,
+            gamma: 1.0,
+            seed: 6,
+        };
+        let x = vec![0.3, 0.1, -0.7];
+        let z = rf.apply(&x);
+        let k: f64 = z.iter().map(|v| v * v).sum();
+        assert!((k - 1.0).abs() < 0.08, "self-kernel {}", k);
+    }
+}

@@ -1,0 +1,234 @@
+//! Scaling and normalization operators.
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::{Estimator, Transformer};
+use keystone_dataflow::collection::DistCollection;
+use keystone_linalg::dense::DenseMatrix;
+use keystone_linalg::rng::XorShiftRng;
+
+/// L2 normalization of feature vectors (the image pipelines' `Normalize`).
+#[derive(Clone, Copy, Default)]
+pub struct Normalizer;
+
+impl Transformer<Vec<f64>, Vec<f64>> for Normalizer {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm <= 1e-300 {
+            return x.clone();
+        }
+        let inv = 1.0 / norm;
+        x.iter().map(|v| v * inv).collect()
+    }
+    fn name(&self) -> String {
+        "Normalize".into()
+    }
+}
+
+/// Signed power ("improved Fisher vector") normalization followed by L2:
+/// `sign(x)·|x|^p`, then unit norm.
+#[derive(Clone, Copy)]
+pub struct SignedPowerNormalizer {
+    /// Power exponent (0.5 in the improved-FV recipe).
+    pub power: f64,
+}
+
+impl Default for SignedPowerNormalizer {
+    fn default() -> Self {
+        SignedPowerNormalizer { power: 0.5 }
+    }
+}
+
+impl Transformer<Vec<f64>, Vec<f64>> for SignedPowerNormalizer {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        let powered: Vec<f64> = x
+            .iter()
+            .map(|v| v.signum() * v.abs().powf(self.power))
+            .collect();
+        Normalizer.apply(&powered)
+    }
+    fn name(&self) -> String {
+        "SignedPowerNormalize".into()
+    }
+}
+
+/// Fitted standardization transform.
+#[derive(Clone)]
+pub struct StandardScalerModel {
+    mean: Vec<f64>,
+    inv_std: Vec<f64>,
+}
+
+impl Transformer<Vec<f64>, Vec<f64>> for StandardScalerModel {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.inv_std)
+            .map(|((v, m), s)| (v - m) * s)
+            .collect()
+    }
+    fn name(&self) -> String {
+        "StandardScalerModel".into()
+    }
+}
+
+/// Standardizes each dimension to zero mean, unit variance (distributed
+/// moment aggregation).
+#[derive(Clone, Copy, Default)]
+pub struct StandardScaler;
+
+impl Estimator<Vec<f64>, Vec<f64>> for StandardScaler {
+    fn fit(
+        &self,
+        data: &DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        let d = data.iter().next().map_or(0, |x| x.len());
+        let n = data.count().max(1) as f64;
+        let (sum, sq) = data
+            .map_reduce_partitions(
+                |part| {
+                    let mut sum = vec![0.0; d];
+                    let mut sq = vec![0.0; d];
+                    for x in part {
+                        for (j, &v) in x.iter().enumerate() {
+                            sum[j] += v;
+                            sq[j] += v * v;
+                        }
+                    }
+                    (sum, sq)
+                },
+                |(mut s1, mut q1), (s2, q2)| {
+                    for (a, b) in s1.iter_mut().zip(&s2) {
+                        *a += b;
+                    }
+                    for (a, b) in q1.iter_mut().zip(&q2) {
+                        *a += b;
+                    }
+                    (s1, q1)
+                },
+            )
+            .unwrap_or_else(|| (vec![0.0; d], vec![0.0; d]));
+        let mean: Vec<f64> = sum.iter().map(|s| s / n).collect();
+        let inv_std: Vec<f64> = sq
+            .iter()
+            .zip(&mean)
+            .map(|(q, m)| {
+                let var = (q / n - m * m).max(0.0);
+                if var > 1e-300 {
+                    1.0 / var.sqrt()
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Box::new(StandardScalerModel { mean, inv_std })
+    }
+
+    fn name(&self) -> String {
+        "StandardScaler".into()
+    }
+}
+
+/// Randomly samples up to `count` rows of a descriptor matrix (the image
+/// pipelines' `ColumnSampler`).
+#[derive(Clone, Copy)]
+pub struct ColumnSampler {
+    /// Rows kept per record.
+    pub count: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Transformer<DenseMatrix, DenseMatrix> for ColumnSampler {
+    fn apply(&self, m: &DenseMatrix) -> DenseMatrix {
+        if m.rows() <= self.count {
+            return m.clone();
+        }
+        let content = m.data().iter().take(4).fold(self.seed, |acc, v| {
+            acc.wrapping_mul(37).wrapping_add(v.to_bits())
+        });
+        let mut rng = XorShiftRng::new(content);
+        let mut idx = rng.sample_indices(m.rows(), self.count);
+        idx.sort_unstable();
+        m.select_rows(&idx)
+    }
+    fn name(&self) -> String {
+        "ColumnSampler".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_normalizer_unit_norm() {
+        let x = vec![3.0, 4.0];
+        let n = Normalizer.apply(&x);
+        assert!((n[0] - 0.6).abs() < 1e-12);
+        assert!((n[1] - 0.8).abs() < 1e-12);
+        // Zero vector passes through.
+        assert_eq!(Normalizer.apply(&vec![0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn signed_power_preserves_sign() {
+        let x = vec![4.0, -9.0];
+        let n = SignedPowerNormalizer::default().apply(&x);
+        assert!(n[0] > 0.0 && n[1] < 0.0);
+        let norm: f64 = n.iter().map(|v| v * v).sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+        // sqrt compresses: ratio 2:3 rather than 4:9.
+        assert!((n[1].abs() / n[0] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_scaler_standardizes() {
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, 1000.0 + 2.0 * i as f64])
+            .collect();
+        let data = DistCollection::from_vec(rows, 4);
+        let ctx = ExecContext::default_cluster();
+        let model = StandardScaler.fit(&data, &ctx);
+        let scaled = data.map(|x| model.apply(x));
+        // Mean ~0, var ~1 per dim.
+        let n = scaled.count() as f64;
+        for j in 0..2 {
+            let mean: f64 = scaled.iter().map(|x| x[j]).sum::<f64>() / n;
+            let var: f64 = scaled.iter().map(|x| x[j] * x[j]).sum::<f64>() / n;
+            assert!(mean.abs() < 1e-9, "mean {}", mean);
+            assert!((var - 1.0).abs() < 1e-9, "var {}", var);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_constant_dim_is_noop() {
+        let rows = vec![vec![5.0]; 10];
+        let data = DistCollection::from_vec(rows, 2);
+        let ctx = ExecContext::default_cluster();
+        let model = StandardScaler.fit(&data, &ctx);
+        let out = model.apply(&vec![5.0]);
+        assert!(out[0].abs() < 1e-12);
+        assert!(out[0].is_finite());
+    }
+
+    #[test]
+    fn column_sampler_caps_rows() {
+        let m = DenseMatrix::from_fn(100, 3, |i, j| (i * 3 + j) as f64);
+        let s = ColumnSampler { count: 10, seed: 1 }.apply(&m);
+        assert_eq!(s.shape(), (10, 3));
+        // Small matrices pass through unchanged.
+        let small = DenseMatrix::zeros(5, 3);
+        assert_eq!(
+            ColumnSampler { count: 10, seed: 1 }.apply(&small).shape(),
+            (5, 3)
+        );
+    }
+
+    #[test]
+    fn column_sampler_deterministic() {
+        let m = DenseMatrix::from_fn(50, 2, |i, j| (i + j) as f64);
+        let cs = ColumnSampler { count: 7, seed: 2 };
+        assert!(cs.apply(&m).max_abs_diff(&cs.apply(&m)) == 0.0);
+    }
+}

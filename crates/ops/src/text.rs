@@ -1,0 +1,351 @@
+//! Text operators: the building blocks of the Fig. 2 classification
+//! pipeline (`Trim andThen LowerCase andThen Tokenizer andThen
+//! NGramsFeaturizer andThen TermFrequency andThen CommonSparseFeatures`).
+
+use std::collections::HashMap;
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::{Estimator, Transformer};
+use keystone_dataflow::collection::DistCollection;
+use keystone_linalg::sparse::SparseVector;
+
+/// Trims surrounding whitespace.
+#[derive(Clone, Copy, Default)]
+pub struct Trim;
+
+impl Transformer<String, String> for Trim {
+    fn apply(&self, s: &String) -> String {
+        s.trim().to_string()
+    }
+    fn name(&self) -> String {
+        "Trim".into()
+    }
+}
+
+/// Lowercases the text.
+#[derive(Clone, Copy, Default)]
+pub struct LowerCase;
+
+impl Transformer<String, String> for LowerCase {
+    fn apply(&self, s: &String) -> String {
+        s.to_lowercase()
+    }
+    fn name(&self) -> String {
+        "LowerCase".into()
+    }
+}
+
+/// Splits on non-alphanumeric characters, dropping empties.
+#[derive(Clone, Copy, Default)]
+pub struct Tokenizer;
+
+impl Transformer<String, Vec<String>> for Tokenizer {
+    fn apply(&self, s: &String) -> Vec<String> {
+        s.split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(|t| t.to_string())
+            .collect()
+    }
+    fn name(&self) -> String {
+        "Tokenizer".into()
+    }
+}
+
+/// Produces all n-grams for n in the configured range (inclusive), joined
+/// with spaces — `NGramsFeaturizer(1 to 2)` in the paper.
+#[derive(Clone)]
+pub struct NGrams {
+    /// Smallest n.
+    pub min_n: usize,
+    /// Largest n (inclusive).
+    pub max_n: usize,
+}
+
+impl NGrams {
+    /// N-grams for `min_n..=max_n`.
+    pub fn new(min_n: usize, max_n: usize) -> Self {
+        assert!(min_n >= 1 && min_n <= max_n, "invalid n-gram range");
+        NGrams { min_n, max_n }
+    }
+}
+
+impl Transformer<Vec<String>, Vec<String>> for NGrams {
+    fn apply(&self, tokens: &Vec<String>) -> Vec<String> {
+        let mut out = Vec::new();
+        for n in self.min_n..=self.max_n {
+            if tokens.len() < n {
+                break;
+            }
+            for window in tokens.windows(n) {
+                out.push(window.join(" "));
+            }
+        }
+        out
+    }
+    fn name(&self) -> String {
+        "NGrams".into()
+    }
+}
+
+/// Hashes terms into a fixed-dimensional sparse count vector (feature
+/// hashing). `binary` mode emits presence indicators instead of counts —
+/// the `TermFrequency(x => 1)` of Fig. 2.
+#[derive(Clone)]
+pub struct HashingTF {
+    /// Output dimensionality.
+    pub dim: usize,
+    /// Emit 1.0 per present term instead of counts.
+    pub binary: bool,
+}
+
+impl HashingTF {
+    /// Count-valued hashing featurizer.
+    pub fn new(dim: usize) -> Self {
+        HashingTF { dim, binary: false }
+    }
+
+    /// Presence-valued hashing featurizer.
+    pub fn binary(dim: usize) -> Self {
+        HashingTF { dim, binary: true }
+    }
+
+    fn hash(&self, term: &str) -> u32 {
+        // FNV-1a over the term bytes.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in term.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % self.dim as u64) as u32
+    }
+}
+
+impl Transformer<Vec<String>, SparseVector> for HashingTF {
+    fn apply(&self, terms: &Vec<String>) -> SparseVector {
+        let mut pairs: Vec<(u32, f64)> = terms
+            .iter()
+            .map(|t| (self.hash(t), 1.0))
+            .collect();
+        if self.binary {
+            pairs.sort_unstable_by_key(|p| p.0);
+            pairs.dedup_by_key(|p| p.0);
+        }
+        SparseVector::from_pairs(self.dim, pairs)
+    }
+    fn name(&self) -> String {
+        "HashingTF".into()
+    }
+}
+
+/// Per-document term frequency over an explicit vocabulary (the model
+/// produced by [`CommonSparseFeatures`]).
+#[derive(Clone)]
+pub struct VocabTermFrequency {
+    vocab: HashMap<String, u32>,
+    dim: usize,
+    binary: bool,
+}
+
+impl Transformer<Vec<String>, SparseVector> for VocabTermFrequency {
+    fn apply(&self, terms: &Vec<String>) -> SparseVector {
+        let mut pairs: Vec<(u32, f64)> = terms
+            .iter()
+            .filter_map(|t| self.vocab.get(t).map(|&i| (i, 1.0)))
+            .collect();
+        if self.binary {
+            pairs.sort_unstable_by_key(|p| p.0);
+            pairs.dedup_by_key(|p| p.0);
+        }
+        SparseVector::from_pairs(self.dim, pairs)
+    }
+    fn name(&self) -> String {
+        "VocabTermFrequency".into()
+    }
+}
+
+/// Estimator selecting the `max_features` most frequent terms in the corpus
+/// and featurizing documents against that vocabulary — the paper's
+/// `CommonSparseFeatures(1e5)`. The frequency count is a distributed
+/// aggregation (this is the "aggregation tree which does not scale
+/// linearly" noted for the Amazon pipeline in §5.5).
+#[derive(Clone)]
+pub struct CommonSparseFeatures {
+    /// Vocabulary size cap.
+    pub max_features: usize,
+    /// Emit presence indicators instead of counts.
+    pub binary: bool,
+}
+
+impl CommonSparseFeatures {
+    /// Keeps the `max_features` most common terms.
+    pub fn new(max_features: usize) -> Self {
+        CommonSparseFeatures {
+            max_features,
+            binary: true,
+        }
+    }
+}
+
+impl Estimator<Vec<String>, SparseVector> for CommonSparseFeatures {
+    fn fit(
+        &self,
+        data: &DistCollection<Vec<String>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<String>, SparseVector>> {
+        // Per-partition term counts merged on the driver.
+        let counts = data
+            .map_reduce_partitions(
+                |part| {
+                    let mut m: HashMap<String, u64> = HashMap::new();
+                    for doc in part {
+                        for t in doc {
+                            *m.entry(t.clone()).or_insert(0) += 1;
+                        }
+                    }
+                    m
+                },
+                |mut a, b| {
+                    for (t, c) in b {
+                        *a.entry(t).or_insert(0) += c;
+                    }
+                    a
+                },
+            )
+            .unwrap_or_default();
+        let mut by_freq: Vec<(String, u64)> = counts.into_iter().collect();
+        // Sort by frequency descending, term ascending for determinism.
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        by_freq.truncate(self.max_features);
+        let dim = by_freq.len();
+        let vocab: HashMap<String, u32> = by_freq
+            .into_iter()
+            .enumerate()
+            .map(|(i, (t, _))| (t, i as u32))
+            .collect();
+        Box::new(VocabTermFrequency {
+            vocab,
+            dim,
+            binary: self.binary,
+        })
+    }
+
+    fn name(&self) -> String {
+        "CommonSparseFeatures".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExecContext {
+        ExecContext::default_cluster()
+    }
+
+    #[test]
+    fn trim_and_lowercase() {
+        assert_eq!(Trim.apply(&"  Hello ".to_string()), "Hello");
+        assert_eq!(LowerCase.apply(&"HeLLo".to_string()), "hello");
+    }
+
+    #[test]
+    fn tokenizer_splits_and_drops_empties() {
+        let t = Tokenizer.apply(&"great product, would buy!".to_string());
+        assert_eq!(t, vec!["great", "product", "would", "buy"]);
+        assert!(Tokenizer.apply(&"...".to_string()).is_empty());
+    }
+
+    #[test]
+    fn ngrams_1_to_2() {
+        let toks: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let grams = NGrams::new(1, 2).apply(&toks);
+        assert_eq!(grams, vec!["a", "b", "c", "a b", "b c"]);
+    }
+
+    #[test]
+    fn ngrams_short_input() {
+        let toks = vec!["only".to_string()];
+        assert_eq!(NGrams::new(1, 3).apply(&toks), vec!["only"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid n-gram range")]
+    fn ngrams_rejects_bad_range() {
+        let _ = NGrams::new(2, 1);
+    }
+
+    #[test]
+    fn hashing_tf_counts_and_binary() {
+        let terms: Vec<String> = ["x", "x", "y"].iter().map(|s| s.to_string()).collect();
+        let counted = HashingTF::new(64).apply(&terms);
+        assert_eq!(counted.values().iter().sum::<f64>(), 3.0);
+        let binary = HashingTF::binary(64).apply(&terms);
+        assert!(binary.values().iter().all(|&v| v == 1.0));
+        assert!(binary.nnz() <= 2);
+    }
+
+    #[test]
+    fn hashing_tf_deterministic() {
+        let terms = vec!["stable".to_string()];
+        let a = HashingTF::new(1000).apply(&terms);
+        let b = HashingTF::new(1000).apply(&terms);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn common_sparse_features_keeps_most_frequent() {
+        let docs: Vec<Vec<String>> = vec![
+            vec!["apple", "banana", "apple"],
+            vec!["apple", "cherry"],
+            vec!["banana", "apple"],
+        ]
+        .into_iter()
+        .map(|d| d.into_iter().map(String::from).collect())
+        .collect();
+        let data = DistCollection::from_vec(docs.clone(), 2);
+        let model = CommonSparseFeatures::new(2).fit(&data, &ctx());
+        // apple (4) and banana (2) survive; cherry is dropped.
+        let fv = model.apply(&docs[1]);
+        assert_eq!(fv.dim(), 2);
+        assert_eq!(fv.nnz(), 1, "only apple remains from doc 1");
+        let fv0 = model.apply(&docs[0]);
+        assert_eq!(fv0.nnz(), 2);
+    }
+
+    #[test]
+    fn common_sparse_features_binary_values() {
+        let docs: Vec<Vec<String>> =
+            vec![vec!["w".to_string(), "w".to_string(), "w".to_string()]];
+        let data = DistCollection::from_vec(docs.clone(), 1);
+        let model = CommonSparseFeatures::new(10).fit(&data, &ctx());
+        let fv = model.apply(&docs[0]);
+        assert_eq!(fv.values(), &[1.0], "binary mode collapses counts");
+    }
+
+    #[test]
+    fn vocabulary_is_deterministic_across_partitionings() {
+        let docs: Vec<Vec<String>> = (0..40)
+            .map(|i| vec![format!("tok{}", i % 7), "common".to_string()])
+            .collect();
+        let d2 = DistCollection::from_vec(docs.clone(), 2);
+        let d8 = DistCollection::from_vec(docs.clone(), 8);
+        let m2 = CommonSparseFeatures::new(5).fit(&d2, &ctx());
+        let m8 = CommonSparseFeatures::new(5).fit(&d8, &ctx());
+        for doc in &docs {
+            assert_eq!(m2.apply(doc), m8.apply(doc));
+        }
+    }
+
+    #[test]
+    fn full_fig2_chain_produces_sparse_features() {
+        // Trim -> LowerCase -> Tokenizer -> NGrams -> CommonSparseFeatures.
+        let raw = "  Great Product  ".to_string();
+        let tokens = Tokenizer.apply(&LowerCase.apply(&Trim.apply(&raw)));
+        let grams = NGrams::new(1, 2).apply(&tokens);
+        assert!(grams.contains(&"great product".to_string()));
+        let corpus = DistCollection::from_vec(vec![grams.clone()], 1);
+        let model = CommonSparseFeatures::new(100).fit(&corpus, &ctx());
+        let fv = model.apply(&grams);
+        assert_eq!(fv.nnz(), 3); // great, product, great product
+    }
+}

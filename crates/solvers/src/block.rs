@@ -1,0 +1,377 @@
+//! The block solver (Table 1 row 4): partitions features into blocks and
+//! applies exact block coordinate descent (block Gauss–Seidel — one of the
+//! two second-order schemes the paper cites).
+//!
+//! Per sweep, each block is minimized exactly against the current residual
+//! and the per-row scores are updated incrementally, so a sweep costs
+//! `O(n·d·(b+k)/w)` compute and `O(d·(b+k))` communication — linear rather
+//! than quadratic in `d`, which is why this overtakes the exact solver past
+//! ~8k dense features in Fig. 6. Exact block minimization of a convex
+//! quadratic descends monotonically, so the solver cannot diverge.
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::{LabelEstimator, Transformer};
+use keystone_dataflow::collection::DistCollection;
+use keystone_linalg::cholesky::solve_normal_equations;
+use keystone_linalg::dense::DenseMatrix;
+
+use crate::cost::{block_solve_cost, SolveShape};
+use crate::features::Features;
+use crate::linear_map::LinearMapModel;
+
+/// Block Gauss–Seidel least-squares solver.
+#[derive(Debug, Clone)]
+pub struct BlockSolver {
+    /// Feature-block size `b`.
+    pub block_size: usize,
+    /// Sweeps over all blocks (`i` in Table 1; also the Iterative weight).
+    pub sweeps: usize,
+    /// Step scale in `(0, 1]`; 1.0 = exact block minimization.
+    pub damping: f64,
+    /// Ridge regularization.
+    pub lambda: f64,
+}
+
+impl Default for BlockSolver {
+    fn default() -> Self {
+        BlockSolver {
+            block_size: 1024,
+            sweeps: 3,
+            damping: 1.0,
+            lambda: 1e-8,
+        }
+    }
+}
+
+impl BlockSolver {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Custom block size and sweep count.
+    pub fn with_config(block_size: usize, sweeps: usize) -> Self {
+        BlockSolver {
+            block_size: block_size.max(1),
+            sweeps,
+            ..Default::default()
+        }
+    }
+
+    /// Runs the solver with a data-pull closure (one call per sweep).
+    pub fn minimize<F: Features>(
+        &self,
+        pull_data: &dyn Fn() -> DistCollection<F>,
+        labels: &DistCollection<Vec<f64>>,
+        ctx: &ExecContext,
+    ) -> LinearMapModel {
+        let data0 = pull_data();
+        let n = data0.count();
+        let d = data0.iter().next().map_or(0, |x| x.dim());
+        let k = labels.iter().next().map_or(1, |y| y.len());
+        let b = self.block_size.min(d.max(1));
+        let shape = SolveShape::new(n, d, k, None);
+        ctx.sim.charge(
+            "solve:block",
+            &block_solve_cost(&shape, self.sweeps, b, &ctx.resources),
+            &ctx.resources,
+        );
+
+        let blocks: Vec<(usize, usize)> = (0..d)
+            .step_by(b)
+            .map(|lo| (lo, (lo + b).min(d)))
+            .collect();
+        let mut w = DenseMatrix::zeros(d, k);
+        // Per-row scores S = X·W, maintained incrementally as a distributed
+        // collection aligned with the data.
+        let mut scores = data0.map(move |_| vec![0.0f64; k]);
+        drop(data0);
+
+        for _sweep in 0..self.sweeps {
+            let data = pull_data();
+            for &(lo, hi) in &blocks {
+                let bs = hi - lo;
+                // Pass 1: accumulate G_j = X_jᵀX_j and R_j = X_jᵀ(Y − S).
+                let with_labels = data.zip(labels, |x, y| (x.clone(), y.clone()));
+                let triples = with_labels.zip(&scores, |(x, y), s| {
+                    (x.clone(), y.clone(), s.clone())
+                });
+                let partial = triples.map_reduce_partitions(
+                    |part| {
+                        let mut gram = DenseMatrix::zeros(bs, bs);
+                        let mut rhs = DenseMatrix::zeros(bs, k);
+                        for (x, y, s) in part {
+                            let row = x.to_dense_row();
+                            let sub = &row[lo..hi];
+                            for i in 0..bs {
+                                let xi = sub[i];
+                                if xi == 0.0 {
+                                    continue;
+                                }
+                                let grow = &mut gram.data_mut()[i * bs..(i + 1) * bs];
+                                for (j, &xj) in sub.iter().enumerate() {
+                                    grow[j] += xi * xj;
+                                }
+                                let rrow = rhs.row_mut(i);
+                                for ((rv, &yv), &sv) in
+                                    rrow.iter_mut().zip(y.iter()).zip(s.iter())
+                                {
+                                    *rv += xi * (yv - sv);
+                                }
+                            }
+                        }
+                        (gram, rhs)
+                    },
+                    |(mut g1, mut r1), (g2, r2)| {
+                        g1 += &g2;
+                        r1 += &r2;
+                        (g1, r1)
+                    },
+                );
+                let Some((gram, rhs)) = partial else { break };
+                let mut delta = solve_normal_equations(&gram, &rhs, self.lambda);
+                if self.damping != 1.0 {
+                    delta.scale_inplace(self.damping);
+                }
+                // Apply the update to W.
+                for i in 0..bs {
+                    let wrow = w.row_mut(lo + i);
+                    for (wv, &dv) in wrow.iter_mut().zip(delta.row(i)) {
+                        *wv += dv;
+                    }
+                }
+                // Pass 2: S += X_j · ΔW_j.
+                let delta = std::sync::Arc::new(delta);
+                let d2 = delta.clone();
+                scores = data.zip(&scores, move |x, s| {
+                    let row = x.to_dense_row();
+                    let sub = &row[lo..hi];
+                    let mut out = s.clone();
+                    for (i, &xi) in sub.iter().enumerate() {
+                        if xi == 0.0 {
+                            continue;
+                        }
+                        for (o, &dv) in out.iter_mut().zip(d2.row(i)) {
+                            *o += xi * dv;
+                        }
+                    }
+                    out
+                });
+            }
+        }
+        LinearMapModel::new(w)
+    }
+}
+
+impl<F: Features> LabelEstimator<F, Vec<f64>, Vec<f64>> for BlockSolver {
+    fn fit(
+        &self,
+        data: &DistCollection<F>,
+        labels: &DistCollection<Vec<f64>>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<F, Vec<f64>>> {
+        let data = data.clone();
+        Box::new(self.minimize(&move || data.clone(), labels, ctx))
+    }
+
+    fn fit_lazy(
+        &self,
+        data: &dyn Fn() -> DistCollection<F>,
+        labels: &DistCollection<Vec<f64>>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<F, Vec<f64>>> {
+        Box::new(self.minimize(data, labels, ctx))
+    }
+
+    fn weight(&self) -> u32 {
+        self.sweeps as u32
+    }
+
+    fn name(&self) -> String {
+        "LinearSolver[block]".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_qr::LocalQrSolver;
+    use keystone_linalg::rng::XorShiftRng;
+
+    fn problem(
+        n: usize,
+        d: usize,
+        k: usize,
+        seed: u64,
+    ) -> (DistCollection<Vec<f64>>, DistCollection<Vec<f64>>) {
+        let mut rng = XorShiftRng::new(seed);
+        let wstar: Vec<Vec<f64>> = (0..d)
+            .map(|_| (0..k).map(|_| rng.next_gaussian()).collect())
+            .collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.next_gaussian()).collect())
+            .collect();
+        let labels: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| {
+                (0..k)
+                    .map(|c| r.iter().zip(&wstar).map(|(x, w)| x * w[c]).sum())
+                    .collect()
+            })
+            .collect();
+        (
+            DistCollection::from_vec(rows, 4),
+            DistCollection::from_vec(labels, 4),
+        )
+    }
+
+    fn train_mse(
+        m: &LinearMapModel,
+        data: &DistCollection<Vec<f64>>,
+        labels: &DistCollection<Vec<f64>>,
+    ) -> f64 {
+        let n = data.count().max(1) as f64;
+        data.collect()
+            .iter()
+            .zip(labels.collect())
+            .map(|(x, y)| {
+                let p = m.scores(x);
+                p.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            })
+            .sum::<f64>()
+            / n
+    }
+
+    #[test]
+    fn single_block_one_sweep_is_exact() {
+        let (data, labels) = problem(60, 6, 2, 1);
+        let ctx = ExecContext::default_cluster();
+        let solver = BlockSolver {
+            block_size: 6,
+            sweeps: 1,
+            damping: 1.0,
+            lambda: 1e-10,
+        };
+        let block = solver.minimize(&|| data.clone(), &labels, &ctx);
+        let exact = LocalQrSolver::new().fit(&data, &labels, &ctx);
+        for x in data.collect().iter().take(5) {
+            let pb = block.scores(x);
+            let pe = exact.apply(x);
+            for (a, b) in pb.iter().zip(&pe) {
+                assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_block_converges_to_exact_solution() {
+        let (data, labels) = problem(120, 8, 2, 2);
+        let ctx = ExecContext::default_cluster();
+        let solver = BlockSolver {
+            block_size: 3,
+            sweeps: 25,
+            damping: 1.0,
+            lambda: 1e-10,
+        };
+        let block = solver.minimize(&|| data.clone(), &labels, &ctx);
+        let exact = LocalQrSolver::new().fit(&data, &labels, &ctx);
+        for x in data.collect().iter().take(5) {
+            let pb = block.scores(x);
+            let pe = exact.apply(x);
+            for (a, b) in pb.iter().zip(&pe) {
+                assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_descends_monotonically() {
+        let (data, labels) = problem(100, 16, 2, 3);
+        let ctx = ExecContext::default_cluster();
+        let mse_for = |sweeps: usize| {
+            let solver = BlockSolver {
+                block_size: 4,
+                sweeps,
+                damping: 1.0,
+                lambda: 1e-10,
+            };
+            let m = solver.minimize(&|| data.clone(), &labels, &ctx);
+            train_mse(&m, &data, &labels)
+        };
+        let m1 = mse_for(1);
+        let m3 = mse_for(3);
+        let m10 = mse_for(10);
+        assert!(m3 <= m1 + 1e-9, "{} -> {}", m1, m3);
+        assert!(m10 <= m3 + 1e-9, "{} -> {}", m3, m10);
+        assert!(m10 < m1 * 0.5, "insufficient progress: {} -> {}", m1, m10);
+    }
+
+    #[test]
+    fn never_diverges_on_strongly_coupled_dense_data() {
+        // Dense Gaussian design with many blocks: damped Jacobi would
+        // diverge here; Gauss–Seidel must not.
+        let (data, labels) = problem(200, 64, 2, 4);
+        let ctx = ExecContext::default_cluster();
+        let solver = BlockSolver {
+            block_size: 8,
+            sweeps: 5,
+            damping: 1.0,
+            lambda: 1e-8,
+        };
+        let m = solver.minimize(&|| data.clone(), &labels, &ctx);
+        let mse = train_mse(&m, &data, &labels);
+        // Labels are exact linear functions: residual must be small.
+        assert!(mse < 0.5, "mse {}", mse);
+        assert!(m.weights.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn pulls_once_per_sweep() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (data, labels) = problem(30, 4, 1, 5);
+        let ctx = ExecContext::default_cluster();
+        let pulls = AtomicUsize::new(0);
+        let solver = BlockSolver {
+            block_size: 2,
+            sweeps: 7,
+            ..Default::default()
+        };
+        let _ = solver.minimize(
+            &|| {
+                pulls.fetch_add(1, Ordering::SeqCst);
+                data.clone()
+            },
+            &labels,
+            &ctx,
+        );
+        assert_eq!(pulls.load(Ordering::SeqCst), 8, "1 probe + 7 sweeps");
+    }
+
+    #[test]
+    fn works_on_sparse_features() {
+        use keystone_linalg::sparse::SparseVector;
+        let mut rng = XorShiftRng::new(6);
+        let rows: Vec<SparseVector> = (0..150)
+            .map(|_| {
+                SparseVector::from_pairs(
+                    12,
+                    (0..3)
+                        .map(|_| (rng.next_usize(12) as u32, rng.next_gaussian()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let labels: Vec<Vec<f64>> = rows.iter().map(|r| vec![2.0 * r.get(5)]).collect();
+        let data = DistCollection::from_vec(rows, 3);
+        let labels = DistCollection::from_vec(labels, 3);
+        let ctx = ExecContext::default_cluster();
+        let m = BlockSolver {
+            block_size: 4,
+            sweeps: 15,
+            damping: 1.0,
+            lambda: 1e-10,
+        }
+        .minimize(&|| data.clone(), &labels, &ctx);
+        assert!((m.weights.get(5, 0) - 2.0).abs() < 1e-2, "w5 {}", m.weights.get(5, 0));
+    }
+}

@@ -1,0 +1,284 @@
+//! Conjugate-gradient least squares — the SystemML-style baseline (§5.2).
+//!
+//! SystemML optimizes the linear-algebra *implementation* of a fixed
+//! algorithm (CG) but never switches algorithms; it also requires a data
+//! conversion pass before solving. Both properties are modeled here: CG on
+//! the normal equations `(XᵀX + λI)w = Xᵀy` without ever forming the Gram
+//! matrix (one fused `Xᵀ(Xp)` pass per iteration), preceded by an optional
+//! conversion pass that copies the dataset once.
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::{LabelEstimator, Transformer};
+use keystone_dataflow::collection::DistCollection;
+use keystone_linalg::dense::DenseMatrix;
+
+use crate::cost::SolveShape;
+use crate::features::Features;
+use crate::linear_map::LinearMapModel;
+use keystone_dataflow::cost::CostProfile;
+
+/// CG-based least-squares solver.
+#[derive(Debug, Clone)]
+pub struct CgSolver {
+    /// CG iterations per class column.
+    pub iters: usize,
+    /// Ridge regularization.
+    pub lambda: f64,
+    /// Model SystemML's input-format conversion pass.
+    pub conversion_pass: bool,
+}
+
+impl Default for CgSolver {
+    fn default() -> Self {
+        CgSolver {
+            iters: 30,
+            lambda: 1e-8,
+            conversion_pass: true,
+        }
+    }
+}
+
+impl CgSolver {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fused `q = Xᵀ(X p) + λ p` in one distributed pass.
+    fn apply_normal<F: Features>(
+        data: &DistCollection<F>,
+        p: &[f64],
+        lambda: f64,
+    ) -> Vec<f64> {
+        let d = p.len();
+        let q = data
+            .map_reduce_partitions(
+                |part| {
+                    let mut acc = vec![0.0; d];
+                    for x in part {
+                        let t = x.dot(p);
+                        if t != 0.0 {
+                            // acc += t · x
+                            let row = x.to_dense_row();
+                            for (a, &xv) in acc.iter_mut().zip(&row) {
+                                *a += t * xv;
+                            }
+                        }
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            )
+            .unwrap_or_else(|| vec![0.0; d]);
+        q.iter().zip(p).map(|(qv, pv)| qv + lambda * pv).collect()
+    }
+
+    /// Solves one right-hand side with CG.
+    fn solve_column<F: Features>(
+        &self,
+        data: &DistCollection<F>,
+        rhs: &[f64],
+    ) -> Vec<f64> {
+        let d = rhs.len();
+        let mut w = vec![0.0; d];
+        let mut r = rhs.to_vec();
+        let mut p = r.clone();
+        let mut rs_old: f64 = r.iter().map(|v| v * v).sum();
+        for _ in 0..self.iters {
+            if rs_old.sqrt() < 1e-12 {
+                break;
+            }
+            let ap = Self::apply_normal(data, &p, self.lambda);
+            let p_ap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            if p_ap <= 0.0 {
+                break;
+            }
+            let alpha = rs_old / p_ap;
+            for ((wv, pv), (rv, apv)) in w
+                .iter_mut()
+                .zip(&p)
+                .zip(r.iter_mut().zip(&ap))
+            {
+                *wv += alpha * pv;
+                *rv -= alpha * apv;
+            }
+            let rs_new: f64 = r.iter().map(|v| v * v).sum();
+            let beta = rs_new / rs_old;
+            for (pv, &rv) in p.iter_mut().zip(&r) {
+                *pv = rv + beta * *pv;
+            }
+            rs_old = rs_new;
+        }
+        w
+    }
+}
+
+impl<F: Features> LabelEstimator<F, Vec<f64>, Vec<f64>> for CgSolver {
+    fn fit(
+        &self,
+        data: &DistCollection<F>,
+        labels: &DistCollection<Vec<f64>>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<F, Vec<f64>>> {
+        let n = data.count();
+        let d = data.iter().next().map_or(0, |x| x.dim());
+        let k = labels.iter().next().map_or(1, |y| y.len());
+        let shape = SolveShape::new(n, d, k, None);
+        let w_nodes = ctx.resources.workers.max(1) as f64;
+
+        // SystemML-style conversion pass: one full copy of the dataset.
+        let data = if self.conversion_pass {
+            let bytes = shape.n * shape.s * 8.0;
+            ctx.sim.charge(
+                "solve:cg-convert",
+                &CostProfile {
+                    flops: 0.0,
+                    bytes: 2.0 * bytes / w_nodes,
+                    network: 0.0,
+                    barriers: 1.0,
+                },
+                &ctx.resources,
+            );
+            data.map(|x| x.clone())
+        } else {
+            data.clone()
+        };
+
+        // Per-iteration: one fused pass (2·n·s flops) + a d-length allreduce.
+        let i = (self.iters * k.max(1)) as f64;
+        ctx.sim.charge(
+            "solve:cg",
+            &CostProfile {
+                flops: 4.0 * i * shape.n * shape.s / w_nodes,
+                bytes: 8.0 * shape.n * shape.s / w_nodes,
+                network: 8.0 * i * shape.d * (w_nodes.log2().max(1.0)),
+                barriers: 2.0 * i,
+            },
+            &ctx.resources,
+        );
+
+        // rhs_c = Xᵀ y_c for every class, in one pass.
+        let pairs = data.zip(labels, |x, y| (x.clone(), y.clone()));
+        let rhs = pairs
+            .map_reduce_partitions(
+                |part| {
+                    let mut acc = DenseMatrix::zeros(d, k);
+                    for (x, y) in part {
+                        x.add_outer(y, 1.0, &mut acc);
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    a += &b;
+                    a
+                },
+            )
+            .unwrap_or_else(|| DenseMatrix::zeros(d, k));
+
+        let mut weights = DenseMatrix::zeros(d, k);
+        for c in 0..k {
+            let col: Vec<f64> = rhs.col(c);
+            let w = self.solve_column(&data, &col);
+            for (j, v) in w.into_iter().enumerate() {
+                weights.set(j, c, v);
+            }
+        }
+        Box::new(LinearMapModel::new(weights))
+    }
+
+    fn weight(&self) -> u32 {
+        self.iters as u32
+    }
+
+    fn name(&self) -> String {
+        "LinearSolver[cg-systemml]".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_qr::LocalQrSolver;
+    use keystone_linalg::rng::XorShiftRng;
+
+    fn problem(n: usize, d: usize, seed: u64) -> (DistCollection<Vec<f64>>, DistCollection<Vec<f64>>) {
+        let mut rng = XorShiftRng::new(seed);
+        let wstar: Vec<f64> = (0..d).map(|_| rng.next_gaussian()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.next_gaussian()).collect())
+            .collect();
+        let labels: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| vec![r.iter().zip(&wstar).map(|(x, w)| x * w).sum::<f64>()])
+            .collect();
+        (
+            DistCollection::from_vec(rows, 4),
+            DistCollection::from_vec(labels, 4),
+        )
+    }
+
+    #[test]
+    fn cg_matches_exact_solver() {
+        let (data, labels) = problem(100, 8, 1);
+        let ctx = ExecContext::default_cluster();
+        let cg = CgSolver {
+            iters: 50,
+            lambda: 0.0,
+            conversion_pass: false,
+        }
+        .fit(&data, &labels, &ctx);
+        let exact = LocalQrSolver::new().fit(&data, &labels, &ctx);
+        for x in data.collect().iter().take(10) {
+            let a = cg.apply(x)[0];
+            let b = exact.apply(x)[0];
+            assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn conversion_pass_charges_extra_sim_time() {
+        let (data, labels) = problem(50, 4, 2);
+        let with = {
+            let ctx = ExecContext::default_cluster();
+            let _ = CgSolver::new().fit(&data, &labels, &ctx);
+            ctx.sim.total_seconds()
+        };
+        let without = {
+            let ctx = ExecContext::default_cluster();
+            let _ = CgSolver {
+                conversion_pass: false,
+                ..CgSolver::new()
+            }
+            .fit(&data, &labels, &ctx);
+            ctx.sim.total_seconds()
+        };
+        assert!(with > without, "conversion must cost time: {} vs {}", with, without);
+    }
+
+    #[test]
+    fn multiclass_columns_solved_independently() {
+        let mut rng = XorShiftRng::new(3);
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|_| (0..4).map(|_| rng.next_gaussian()).collect())
+            .collect();
+        // Two targets: y0 = x0, y1 = -x2.
+        let labels: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0], -r[2]]).collect();
+        let data = DistCollection::from_vec(rows.clone(), 2);
+        let labels = DistCollection::from_vec(labels, 2);
+        let ctx = ExecContext::default_cluster();
+        let model = CgSolver {
+            iters: 30,
+            lambda: 0.0,
+            conversion_pass: false,
+        }
+        .fit(&data, &labels, &ctx);
+        let pred = model.apply(&rows[0]);
+        assert!((pred[0] - rows[0][0]).abs() < 1e-6);
+        assert!((pred[1] + rows[0][2]).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,239 @@
+//! Table 1 cost models for the linear solvers.
+//!
+//! Each function maps problem shape `(n, d, k, sparsity, …)` and the worker
+//! count to a [`CostProfile`] whose components follow Table 1's asymptotics
+//! with calibrated constants. Memory requirements act as feasibility
+//! constraints: a physical operator whose working set exceeds a node's
+//! memory gets an effectively infinite cost (the paper's exact solver
+//! "crashes for greater than 4k features" on Amazon — our optimizer must
+//! never pick it there).
+
+use keystone_dataflow::cluster::ResourceDesc;
+use keystone_dataflow::cost::CostProfile;
+
+/// Shape of a least-squares problem as seen by the cost models.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveShape {
+    /// Examples.
+    pub n: f64,
+    /// Features.
+    pub d: f64,
+    /// Classes / targets.
+    pub k: f64,
+    /// Average non-zeros per example (`= d` when dense).
+    pub s: f64,
+}
+
+impl SolveShape {
+    /// Builds a shape; `s` defaults to `d` when `None`.
+    pub fn new(n: usize, d: usize, k: usize, s: Option<f64>) -> Self {
+        SolveShape {
+            n: n as f64,
+            d: d as f64,
+            k: (k.max(1)) as f64,
+            s: s.unwrap_or(d as f64),
+        }
+    }
+}
+
+const BYTES: f64 = 8.0;
+/// Effort multiplier for a fused multiply-add pair.
+const FLOP: f64 = 2.0;
+/// Cost returned for infeasible plans.
+pub const INFEASIBLE: f64 = 1e18;
+
+fn infeasible() -> CostProfile {
+    CostProfile {
+        flops: INFEASIBLE,
+        bytes: 0.0,
+        network: 0.0,
+        barriers: 0.0,
+    }
+}
+
+/// Local QR (Table 1 row 1): compute `O(nd(d+k))` **on the driver**,
+/// network `O(n(d+k))` to gather the data, memory `O(d(n+k))` on one node.
+pub fn local_qr_cost(shape: &SolveShape, r: &ResourceDesc) -> CostProfile {
+    let mem = BYTES * shape.n * (shape.d + shape.k);
+    if mem > r.mem_per_worker as f64 * 0.5 {
+        return infeasible();
+    }
+    CostProfile {
+        flops: FLOP * shape.n * shape.d * (shape.d + shape.k),
+        bytes: BYTES * shape.d * (shape.n + shape.k),
+        network: BYTES * shape.n * (shape.d + shape.k),
+        barriers: 1.0,
+    }
+}
+
+/// Distributed QR / normal equations (Table 1 row 2): compute
+/// `O(nd(d+k)/w)`, network `O(d(d+k))` (the aggregated Gram matrix),
+/// memory `O(nd/w + d²)` per node.
+pub fn dist_qr_cost(shape: &SolveShape, r: &ResourceDesc) -> CostProfile {
+    let w = r.workers.max(1) as f64;
+    let mem = BYTES * (shape.n * shape.d / w + shape.d * shape.d);
+    if mem > r.mem_per_worker as f64 * 0.5 {
+        return infeasible();
+    }
+    CostProfile {
+        // Gram accumulation dominates; the d³ Cholesky runs on the driver.
+        flops: FLOP * shape.n * shape.d * (shape.d + shape.k) / w
+            + shape.d * shape.d * shape.d / 3.0,
+        bytes: mem,
+        network: BYTES * shape.d * (shape.d + shape.k) * (w.log2().max(1.0)),
+        barriers: 2.0,
+    }
+}
+
+/// L-BFGS (Table 1 row 3): compute `O(i·n·s·k/w)` (sparse-aware), network
+/// `O(i·d·k)` (one gradient aggregation per iteration), memory
+/// `O(ns/w + dk)`.
+pub fn lbfgs_cost(shape: &SolveShape, iters: usize, r: &ResourceDesc) -> CostProfile {
+    let w = r.workers.max(1) as f64;
+    let i = iters as f64;
+    CostProfile {
+        // ~2 gradient-equivalent passes per iteration (gradient + line
+        // search), each 2·n·s·k multiply-adds.
+        flops: 2.0 * FLOP * i * shape.n * shape.s * shape.k / w,
+        bytes: BYTES * (shape.n * shape.s / w + shape.d * shape.k),
+        network: BYTES * i * shape.d * shape.k * (w.log2().max(1.0)),
+        // Gradient pass + ~2 line-search loss evaluations per iteration.
+        barriers: 3.0 * i,
+    }
+}
+
+/// Block solver (Table 1 row 4): compute `O(i·n·d·(b+k)/w)`, network
+/// `O(i·d·(b+k))`, memory `O(nb/w + dk)`.
+pub fn block_solve_cost(
+    shape: &SolveShape,
+    iters: usize,
+    block: usize,
+    r: &ResourceDesc,
+) -> CostProfile {
+    let w = r.workers.max(1) as f64;
+    let b = (block as f64).min(shape.d.max(1.0));
+    // A single block (b >= d) makes one sweep exact — the cost degenerates
+    // to the distributed normal-equation solve plus block bookkeeping, so
+    // the plain exact solver always (weakly) dominates in that regime.
+    if b >= shape.d {
+        let mut c = dist_qr_cost(shape, r);
+        c.barriers += 1.0;
+        return c;
+    }
+    let i = iters as f64;
+    let num_blocks = (shape.d / b).ceil().max(1.0);
+    CostProfile {
+        // Per sweep: the data pass plus one b³/3 Cholesky per block on the
+        // driver.
+        flops: FLOP * i * shape.n * shape.d * (b + shape.k) / w
+            + i * num_blocks * b * b * b / 3.0,
+        bytes: BYTES * (shape.n * b / w + shape.d * shape.k),
+        network: BYTES * i * shape.d * (b + shape.k),
+        barriers: 2.0 * i,
+    }
+}
+
+/// Synchronous minibatch SGD: per-step compute `O(m·s·k/w)` over minibatch
+/// `m`, but a full model synchronization (`O(dk)` network) **every step** —
+/// the coordination bound that caps Table 6's TensorFlow-style scaling.
+pub fn sync_sgd_cost(
+    shape: &SolveShape,
+    steps: usize,
+    minibatch: usize,
+    r: &ResourceDesc,
+) -> CostProfile {
+    let w = r.workers.max(1) as f64;
+    let t = steps as f64;
+    let m = minibatch as f64;
+    CostProfile {
+        flops: FLOP * t * m * shape.s * shape.k / w,
+        bytes: BYTES * shape.n * shape.s / w,
+        network: BYTES * t * shape.d * shape.k * (w.log2().max(1.0) + 1.0),
+        // One model synchronization per step: the scalability ceiling.
+        barriers: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keystone_dataflow::cluster::ClusterProfile;
+
+    fn r16() -> ResourceDesc {
+        ClusterProfile::R3_4xlarge.descriptor(16)
+    }
+
+    #[test]
+    fn sparse_lbfgs_cheaper_than_exact_on_sparse_data() {
+        // Amazon-like: n=65M (scaled: 1e6), d=100k, k=2, 0.1% dense.
+        let shape = SolveShape::new(1_000_000, 100_000, 2, Some(100.0));
+        let r = r16();
+        let lbfgs = lbfgs_cost(&shape, 20, &r).estimated_seconds(&r);
+        let exact = local_qr_cost(&shape, &r).estimated_seconds(&r);
+        let dist = dist_qr_cost(&shape, &r).estimated_seconds(&r);
+        assert!(lbfgs < exact, "lbfgs {} exact {}", lbfgs, exact);
+        assert!(lbfgs < dist, "lbfgs {} dist {}", lbfgs, dist);
+    }
+
+    #[test]
+    fn exact_wins_small_dense_problems() {
+        // TIMIT-like small: dense, d=1024.
+        let shape = SolveShape::new(100_000, 1024, 147, None);
+        let r = r16();
+        let exact = dist_qr_cost(&shape, &r).estimated_seconds(&r);
+        let lbfgs = lbfgs_cost(&shape, 50, &r).estimated_seconds(&r);
+        assert!(exact < lbfgs, "exact {} lbfgs {}", exact, lbfgs);
+    }
+
+    #[test]
+    fn block_beats_exact_at_high_dimension() {
+        // Dense, very wide: d=64k. Exact grows ~d², block stays linear in d
+        // per block sweep.
+        let shape = SolveShape::new(200_000, 65_536, 147, None);
+        let r = r16();
+        let exact = dist_qr_cost(&shape, &r).estimated_seconds(&r);
+        let block = block_solve_cost(&shape, 10, 4096, &r).estimated_seconds(&r);
+        assert!(block < exact, "block {} exact {}", block, exact);
+    }
+
+    #[test]
+    fn local_qr_infeasible_when_data_exceeds_node_memory() {
+        // 1e9 × 1e4 dense doubles = 80 TB: cannot be gathered to one node.
+        let shape = SolveShape::new(1_000_000_000, 10_000, 2, None);
+        let c = local_qr_cost(&shape, &r16());
+        assert!(c.flops >= INFEASIBLE);
+    }
+
+    #[test]
+    fn sync_sgd_network_grows_with_steps_not_data() {
+        let shape = SolveShape::new(1_000_000, 1000, 10, None);
+        let r = r16();
+        let few = sync_sgd_cost(&shape, 100, 128, &r);
+        let many = sync_sgd_cost(&shape, 10_000, 128, &r);
+        assert!(many.network > few.network * 50.0);
+    }
+
+    #[test]
+    fn sgd_coordination_dominates_at_scale() {
+        // With many workers, sync SGD's coordination share grows.
+        let shape = SolveShape::new(500_000, 3000, 10, None);
+        let steps = 2000;
+        let r2 = ClusterProfile::R3_4xlarge.descriptor(2);
+        let r32 = ClusterProfile::R3_4xlarge.descriptor(32);
+        let c2 = sync_sgd_cost(&shape, steps, 128, &r2);
+        let c32 = sync_sgd_cost(&shape, steps, 128, &r32);
+        let frac2 = c2.coord_seconds(&r2) / c2.estimated_seconds(&r2);
+        let frac32 = c32.coord_seconds(&r32) / c32.estimated_seconds(&r32);
+        assert!(frac32 > frac2, "coord share must grow: {} vs {}", frac2, frac32);
+    }
+
+    #[test]
+    fn dist_qr_scales_with_workers() {
+        let shape = SolveShape::new(1_000_000, 4096, 100, None);
+        let r8 = ClusterProfile::R3_4xlarge.descriptor(8);
+        let r64 = ClusterProfile::R3_4xlarge.descriptor(64);
+        let t8 = dist_qr_cost(&shape, &r8).estimated_seconds(&r8);
+        let t64 = dist_qr_cost(&shape, &r64).estimated_seconds(&r64);
+        assert!(t64 < t8, "more workers must be faster: {} vs {}", t64, t8);
+    }
+}

@@ -1,0 +1,205 @@
+//! The distributed exact solver (Table 1 row 2): workers compute partial
+//! Gram matrices `A_p^T A_p` and cross-products `A_p^T B_p`, the driver
+//! tree-aggregates them and solves the (ridge-regularized) normal equations
+//! with one Cholesky. Communication is `O(d(d+k))` regardless of `n` — the
+//! communication-avoiding structure that lets the CIFAR pipeline keep
+//! scaling where per-step-synchronized SGD stops (Table 6).
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::{LabelEstimator, Transformer};
+use keystone_dataflow::collection::DistCollection;
+use keystone_linalg::cholesky::solve_normal_equations;
+use keystone_linalg::dense::DenseMatrix;
+
+use crate::cost::{dist_qr_cost, SolveShape};
+use crate::features::Features;
+use crate::linear_map::LinearMapModel;
+
+/// Distributed normal-equations solver.
+#[derive(Debug, Clone)]
+pub struct DistQrSolver {
+    /// Ridge regularization; a small default keeps rank-deficient feature
+    /// matrices solvable.
+    pub lambda: f64,
+}
+
+impl Default for DistQrSolver {
+    fn default() -> Self {
+        DistQrSolver { lambda: 1e-8 }
+    }
+}
+
+impl DistQrSolver {
+    /// Solver with the default tiny ridge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solver with an explicit ridge.
+    pub fn with_lambda(lambda: f64) -> Self {
+        DistQrSolver { lambda }
+    }
+}
+
+impl<F: Features> LabelEstimator<F, Vec<f64>, Vec<f64>> for DistQrSolver {
+    fn fit(
+        &self,
+        data: &DistCollection<F>,
+        labels: &DistCollection<Vec<f64>>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<F, Vec<f64>>> {
+        let n = data.count();
+        assert_eq!(n, labels.count(), "data/label count mismatch");
+        let d = data.iter().next().map_or(0, |x| x.dim());
+        let k = labels.iter().next().map_or(0, |y| y.len());
+        let shape = SolveShape::new(n, d, k, None);
+        ctx.sim.charge(
+            "solve:dist-qr",
+            &dist_qr_cost(&shape, &ctx.resources),
+            &ctx.resources,
+        );
+
+        let pairs = data.zip(labels, |x, y| (x.clone(), y.clone()));
+        let (gram, rhs) = pairs
+            .map_reduce_partitions(
+                |part| {
+                    let mut gram = DenseMatrix::zeros(d, d);
+                    let mut rhs = DenseMatrix::zeros(d, k);
+                    for (x, y) in part {
+                        let row = x.to_dense_row();
+                        // gram += x xᵀ (upper triangle), rhs += x ⊗ y.
+                        for i in 0..d {
+                            let xi = row[i];
+                            if xi == 0.0 {
+                                continue;
+                            }
+                            let grow = &mut gram.data_mut()[i * d..(i + 1) * d];
+                            for (j, &xj) in row.iter().enumerate().skip(i) {
+                                grow[j] += xi * xj;
+                            }
+                        }
+                        x.add_outer(y, 1.0, &mut rhs);
+                    }
+                    (gram, rhs)
+                },
+                |(mut g1, mut r1), (g2, r2)| {
+                    g1 += &g2;
+                    r1 += &r2;
+                    (g1, r1)
+                },
+            )
+            .unwrap_or_else(|| (DenseMatrix::zeros(d, d), DenseMatrix::zeros(d, k)));
+
+        // Mirror the upper triangle.
+        let mut gram = gram;
+        for i in 0..d {
+            for j in 0..i {
+                let v = gram.get(j, i);
+                gram.set(i, j, v);
+            }
+        }
+        let x = solve_normal_equations(&gram, &rhs, self.lambda);
+        Box::new(LinearMapModel::new(x))
+    }
+
+    fn name(&self) -> String {
+        "LinearSolver[dist-qr]".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_qr::LocalQrSolver;
+    use keystone_linalg::rng::XorShiftRng;
+    use keystone_linalg::sparse::SparseVector;
+
+    fn noisy_problem(
+        n: usize,
+        d: usize,
+        k: usize,
+        seed: u64,
+    ) -> (DistCollection<Vec<f64>>, DistCollection<Vec<f64>>) {
+        let mut rng = XorShiftRng::new(seed);
+        let xstar: Vec<Vec<f64>> = (0..d)
+            .map(|_| (0..k).map(|_| rng.next_gaussian()).collect())
+            .collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.next_gaussian()).collect())
+            .collect();
+        let labels: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| {
+                (0..k)
+                    .map(|c| {
+                        r.iter().zip(&xstar).map(|(x, w)| x * w[c]).sum::<f64>()
+                            + rng.next_gaussian() * 0.01
+                    })
+                    .collect()
+            })
+            .collect();
+        (
+            DistCollection::from_vec(rows, 4),
+            DistCollection::from_vec(labels, 4),
+        )
+    }
+
+    #[test]
+    fn matches_local_qr_solution() {
+        let (data, labels) = noisy_problem(80, 6, 3, 1);
+        let ctx = ExecContext::default_cluster();
+        let dist = DistQrSolver::new().fit(&data, &labels, &ctx);
+        let local = LocalQrSolver::new().fit(&data, &labels, &ctx);
+        for x in data.collect().iter().take(10) {
+            let pd = dist.apply(x);
+            let pl = local.apply(x);
+            for (a, b) in pd.iter().zip(&pl) {
+                assert!((a - b).abs() < 1e-5, "{} vs {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_sparse_features() {
+        // y = 2·x_3 with sparse inputs.
+        let mut rng = XorShiftRng::new(2);
+        let rows: Vec<SparseVector> = (0..50)
+            .map(|_| {
+                let v = rng.next_gaussian();
+                SparseVector::from_pairs(8, vec![(3, v), (6, rng.next_gaussian())])
+            })
+            .collect();
+        let labels: Vec<Vec<f64>> = rows.iter().map(|r| vec![2.0 * r.get(3)]).collect();
+        let data = DistCollection::from_vec(rows, 3);
+        let labels = DistCollection::from_vec(labels, 3);
+        let ctx = ExecContext::default_cluster();
+        let model = DistQrSolver::new().fit(&data, &labels, &ctx);
+        let test = SparseVector::from_pairs(8, vec![(3, 1.0)]);
+        let pred = model.apply(&test);
+        assert!((pred[0] - 2.0).abs() < 1e-4, "pred {}", pred[0]);
+    }
+
+    #[test]
+    fn partition_count_does_not_change_result() {
+        let (data, labels) = noisy_problem(64, 5, 2, 3);
+        let ctx = ExecContext::default_cluster();
+        let model_4 = DistQrSolver::new().fit(&data, &labels, &ctx);
+        let data1 = data.repartition(1);
+        let labels1 = labels.repartition(1);
+        let model_1 = DistQrSolver::new().fit(&data1, &labels1, &ctx);
+        let probe = vec![0.5; 5];
+        let p4 = model_4.apply(&probe);
+        let p1 = model_1.apply(&probe);
+        for (a, b) in p4.iter().zip(&p1) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn charges_dist_qr_on_sim_clock() {
+        let (data, labels) = noisy_problem(32, 4, 2, 4);
+        let ctx = ExecContext::default_cluster();
+        let _ = DistQrSolver::new().fit(&data, &labels, &ctx);
+        assert!(ctx.sim.entries().iter().any(|e| e.stage.contains("dist-qr")));
+    }
+}

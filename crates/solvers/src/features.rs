@@ -1,0 +1,169 @@
+//! The [`Features`] abstraction: one row of a design matrix, dense or
+//! sparse. Solvers are generic over it, so the same L-BFGS code runs in
+//! `O(d)` per row on dense TIMIT features and `O(nnz)` per row on the 0.1%
+//! dense Amazon text features — the asymmetry behind Fig. 6.
+
+use keystone_core::record::Record;
+use keystone_linalg::dense::DenseMatrix;
+use keystone_linalg::sparse::SparseVector;
+
+/// A feature vector usable as a design-matrix row.
+pub trait Features: Record {
+    /// Ambient dimensionality `d`.
+    fn dim(&self) -> usize;
+
+    /// Structural non-zeros (`s·d` for sparsity `s`).
+    fn nnz(&self) -> usize;
+
+    /// `scores += x · W` where `W` is `d × k` and `scores` has length `k`.
+    fn add_scores(&self, w: &DenseMatrix, scores: &mut [f64]);
+
+    /// `grad += scale · (x ⊗ err)`, i.e. `grad[j][c] += scale·x[j]·err[c]`.
+    fn add_outer(&self, err: &[f64], scale: f64, grad: &mut DenseMatrix);
+
+    /// Dense copy of the row (used by exact solvers that build matrices).
+    fn to_dense_row(&self) -> Vec<f64>;
+
+    /// Dot product with a dense vector of length `dim()`.
+    fn dot(&self, v: &[f64]) -> f64;
+}
+
+impl Features for Vec<f64> {
+    fn dim(&self) -> usize {
+        self.len()
+    }
+
+    fn nnz(&self) -> usize {
+        self.len()
+    }
+
+    fn add_scores(&self, w: &DenseMatrix, scores: &mut [f64]) {
+        debug_assert_eq!(w.rows(), self.len());
+        for (j, &xj) in self.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            let wrow = w.row(j);
+            for (s, &wv) in scores.iter_mut().zip(wrow) {
+                *s += xj * wv;
+            }
+        }
+    }
+
+    fn add_outer(&self, err: &[f64], scale: f64, grad: &mut DenseMatrix) {
+        debug_assert_eq!(grad.rows(), self.len());
+        for (j, &xj) in self.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            let f = scale * xj;
+            let grow = grad.row_mut(j);
+            for (g, &e) in grow.iter_mut().zip(err) {
+                *g += f * e;
+            }
+        }
+    }
+
+    fn to_dense_row(&self) -> Vec<f64> {
+        self.clone()
+    }
+
+    fn dot(&self, v: &[f64]) -> f64 {
+        keystone_linalg::dense::dot(self, v)
+    }
+}
+
+impl Features for SparseVector {
+    fn dim(&self) -> usize {
+        SparseVector::dim(self)
+    }
+
+    fn nnz(&self) -> usize {
+        SparseVector::nnz(self)
+    }
+
+    fn add_scores(&self, w: &DenseMatrix, scores: &mut [f64]) {
+        debug_assert_eq!(w.rows(), SparseVector::dim(self));
+        for (j, xj) in self.iter() {
+            let wrow = w.row(j);
+            for (s, &wv) in scores.iter_mut().zip(wrow) {
+                *s += xj * wv;
+            }
+        }
+    }
+
+    fn add_outer(&self, err: &[f64], scale: f64, grad: &mut DenseMatrix) {
+        debug_assert_eq!(grad.rows(), SparseVector::dim(self));
+        for (j, xj) in self.iter() {
+            let f = scale * xj;
+            let grow = grad.row_mut(j);
+            for (g, &e) in grow.iter_mut().zip(err) {
+                *g += f * e;
+            }
+        }
+    }
+
+    fn to_dense_row(&self) -> Vec<f64> {
+        self.to_dense()
+    }
+
+    fn dot(&self, v: &[f64]) -> f64 {
+        self.dot_dense(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_scores_match_matvec() {
+        let x = vec![1.0, 2.0, 0.0];
+        let w = DenseMatrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]);
+        let mut scores = vec![0.0; 2];
+        x.add_scores(&w, &mut scores);
+        assert_eq!(scores, vec![5.0, 50.0]);
+    }
+
+    #[test]
+    fn sparse_scores_match_dense() {
+        let sx = SparseVector::from_pairs(3, vec![(0, 1.0), (1, 2.0)]);
+        let dx = sx.to_dense_row();
+        let w = DenseMatrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]);
+        let mut s1 = vec![0.0; 2];
+        let mut s2 = vec![0.0; 2];
+        sx.add_scores(&w, &mut s1);
+        dx.add_scores(&w, &mut s2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn outer_product_accumulation() {
+        let x = vec![1.0, -1.0];
+        let err = vec![2.0, 3.0];
+        let mut grad = DenseMatrix::zeros(2, 2);
+        x.add_outer(&err, 0.5, &mut grad);
+        assert_eq!(grad.row(0), &[1.0, 1.5]);
+        assert_eq!(grad.row(1), &[-1.0, -1.5]);
+    }
+
+    #[test]
+    fn sparse_outer_matches_dense() {
+        let sx = SparseVector::from_pairs(4, vec![(1, 3.0), (3, -2.0)]);
+        let dx = sx.to_dense_row();
+        let err = vec![1.0, -1.0, 2.0];
+        let mut g1 = DenseMatrix::zeros(4, 3);
+        let mut g2 = DenseMatrix::zeros(4, 3);
+        sx.add_outer(&err, 1.5, &mut g1);
+        dx.add_outer(&err, 1.5, &mut g2);
+        assert!(g1.max_abs_diff(&g2) < 1e-15);
+    }
+
+    #[test]
+    fn nnz_reporting() {
+        assert_eq!(Features::nnz(&vec![1.0, 0.0, 2.0]), 3); // dense counts length
+        let s = SparseVector::from_pairs(10, vec![(1, 1.0)]);
+        assert_eq!(Features::nnz(&s), 1);
+        assert_eq!(Features::dim(&s), 10);
+    }
+}

@@ -1,0 +1,38 @@
+//! # keystone-solvers
+//!
+//! Linear-solver physical operators (§3, Table 1) and the baseline systems
+//! used in the paper's comparisons (§5.2):
+//!
+//! * [`local_qr`] — "Local QR": gather data to the driver, Householder QR.
+//! * [`dist_qr`] — "Dist. QR": tree-aggregated Gram matrix + Cholesky on
+//!   the normal equations.
+//! * [`block`] — block-coordinate (Jacobi) solver over feature blocks.
+//! * [`lbfgs`] — L-BFGS over dense or sparse features (the sparse path is
+//!   `O(nnz)` per gradient, which is what wins Fig. 6's Amazon panel).
+//! * [`sgd`] — synchronous minibatch SGD with per-step coordination costs
+//!   (the TensorFlow-style baseline of Table 6).
+//! * [`cg`] — conjugate gradient with a data-conversion pass (the
+//!   SystemML-style baseline of Fig. 8).
+//! * [`vw`] — online SGD with per-epoch model averaging (the Vowpal
+//!   Wabbit-style baseline of Fig. 8).
+//! * [`solver_op`] — `LinearSolverOp`, the **Optimizable** logical operator
+//!   whose cost models implement Table 1 and drive operator-level selection.
+//! * [`logistic`] — logistic-loss variants used by the text pipeline.
+
+pub mod block;
+pub mod cg;
+pub mod cost;
+pub mod dist_qr;
+pub mod features;
+pub mod lbfgs;
+pub mod linear_map;
+pub mod local_qr;
+pub mod logistic;
+pub mod losses;
+pub mod sgd;
+pub mod solver_op;
+pub mod vw;
+
+pub use features::Features;
+pub use linear_map::LinearMapModel;
+pub use solver_op::LinearSolverOp;

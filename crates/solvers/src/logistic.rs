@@ -1,0 +1,150 @@
+//! Logistic regression — the classifier the Amazon text pipeline trains
+//! (Table 4). Thin configuration over the L-BFGS engine with softmax loss.
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::{LabelEstimator, Transformer};
+use keystone_dataflow::collection::DistCollection;
+
+use crate::features::Features;
+use crate::lbfgs::LbfgsSolver;
+use crate::losses::LossKind;
+
+/// Multinomial logistic regression via L-BFGS.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// L-BFGS iterations.
+    pub max_iters: usize,
+    /// Ridge regularization.
+    pub lambda: f64,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        LogisticRegression {
+            max_iters: 30,
+            lambda: 1e-6,
+        }
+    }
+}
+
+impl LogisticRegression {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Custom iteration budget.
+    pub fn with_iters(max_iters: usize) -> Self {
+        LogisticRegression {
+            max_iters,
+            ..Default::default()
+        }
+    }
+
+    fn engine(&self) -> LbfgsSolver {
+        LbfgsSolver {
+            max_iters: self.max_iters,
+            lambda: self.lambda,
+            loss: LossKind::Logistic,
+            ..Default::default()
+        }
+    }
+}
+
+impl<F: Features> LabelEstimator<F, Vec<f64>, Vec<f64>> for LogisticRegression {
+    fn fit(
+        &self,
+        data: &DistCollection<F>,
+        labels: &DistCollection<Vec<f64>>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<F, Vec<f64>>> {
+        let data = data.clone();
+        Box::new(self.engine().minimize(&move || data.clone(), labels, ctx))
+    }
+
+    fn fit_lazy(
+        &self,
+        data: &dyn Fn() -> DistCollection<F>,
+        labels: &DistCollection<Vec<f64>>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<F, Vec<f64>>> {
+        Box::new(self.engine().minimize(data, labels, ctx))
+    }
+
+    fn weight(&self) -> u32 {
+        self.max_iters as u32
+    }
+
+    fn name(&self) -> String {
+        "LogisticRegression".to_string()
+    }
+}
+
+/// Encodes class indices as one-hot vectors for the solvers.
+pub fn one_hot(labels: &DistCollection<usize>, classes: usize) -> DistCollection<Vec<f64>> {
+    labels.map(move |&c| {
+        let mut v = vec![0.0; classes];
+        if c < classes {
+            v[c] = 1.0;
+        }
+        v
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keystone_linalg::rng::XorShiftRng;
+    use keystone_linalg::sparse::SparseVector;
+
+    #[test]
+    fn one_hot_encoding() {
+        let labels = DistCollection::from_vec(vec![0usize, 2, 1], 1);
+        let oh = one_hot(&labels, 3);
+        assert_eq!(
+            oh.collect(),
+            vec![
+                vec![1.0, 0.0, 0.0],
+                vec![0.0, 0.0, 1.0],
+                vec![0.0, 1.0, 0.0]
+            ]
+        );
+    }
+
+    #[test]
+    fn one_hot_out_of_range_is_zero_vector() {
+        let labels = DistCollection::from_vec(vec![5usize], 1);
+        let oh = one_hot(&labels, 3);
+        assert_eq!(oh.collect(), vec![vec![0.0, 0.0, 0.0]]);
+    }
+
+    #[test]
+    fn classifies_sparse_text_like_data() {
+        // Two "topics": class 0 uses features 0..5, class 1 uses 5..10.
+        let mut rng = XorShiftRng::new(1);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..300 {
+            let class = rng.next_usize(2);
+            let base = if class == 0 { 0 } else { 5 };
+            let pairs: Vec<(u32, f64)> = (0..3)
+                .map(|_| ((base + rng.next_usize(5)) as u32, 1.0))
+                .collect();
+            rows.push(SparseVector::from_pairs(10, pairs));
+            labels.push(class);
+        }
+        let data = DistCollection::from_vec(rows.clone(), 4);
+        let y = one_hot(&DistCollection::from_vec(labels.clone(), 4), 2);
+        let ctx = ExecContext::default_cluster();
+        let model = LogisticRegression::with_iters(25).fit(&data, &y, &ctx);
+        let correct = rows
+            .iter()
+            .zip(&labels)
+            .filter(|(x, &c)| {
+                let s = model.apply(*x);
+                (s[1] > s[0]) == (c == 1)
+            })
+            .count();
+        assert!(correct as f64 / rows.len() as f64 > 0.95);
+    }
+}

@@ -1,0 +1,271 @@
+//! Loss functions and distributed gradient evaluation shared by the
+//! iterative solvers.
+
+use keystone_dataflow::collection::DistCollection;
+use keystone_linalg::dense::DenseMatrix;
+
+use crate::features::Features;
+
+/// Which loss the iterative solvers minimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossKind {
+    /// `1/(2n)·||XW − Y||²` — least squares.
+    Squared,
+    /// Softmax cross-entropy against one-hot labels.
+    Logistic,
+}
+
+/// Numerically stable softmax in place.
+pub fn softmax_inplace(scores: &mut [f64]) {
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+        sum += *s;
+    }
+    let inv = 1.0 / sum.max(1e-300);
+    for s in scores.iter_mut() {
+        *s *= inv;
+    }
+}
+
+/// Loss and gradient accumulated over one `(x, y)` pair.
+///
+/// For squared loss the per-row residual is `x·W − y`; for logistic it is
+/// `softmax(x·W) − y`. Both yield `grad += x ⊗ residual`.
+fn row_loss_grad<F: Features>(
+    x: &F,
+    y: &[f64],
+    w: &DenseMatrix,
+    kind: LossKind,
+    grad: &mut DenseMatrix,
+) -> f64 {
+    let k = w.cols();
+    let mut scores = vec![0.0; k];
+    x.add_scores(w, &mut scores);
+    match kind {
+        LossKind::Squared => {
+            let mut loss = 0.0;
+            for (s, &yv) in scores.iter_mut().zip(y) {
+                *s -= yv;
+                loss += *s * *s;
+            }
+            x.add_outer(&scores, 1.0, grad);
+            0.5 * loss
+        }
+        LossKind::Logistic => {
+            softmax_inplace(&mut scores);
+            let mut loss = 0.0;
+            for (s, &yv) in scores.iter_mut().zip(y) {
+                if yv > 0.0 {
+                    loss -= yv * s.max(1e-300).ln();
+                }
+                *s -= yv;
+            }
+            x.add_outer(&scores, 1.0, grad);
+            loss
+        }
+    }
+}
+
+/// Distributed loss + gradient of the regularized objective
+/// `1/n Σ ℓ(x_i, y_i; W) + λ/2·||W||²`.
+///
+/// One pass over the data: per-partition partial `(loss, grad)` pairs are
+/// combined on the driver (the tree-aggregate pattern; the solvers charge
+/// its `O(d·k)` network cost on the simulated clock).
+pub fn distributed_loss_grad<F: Features>(
+    data: &DistCollection<F>,
+    labels: &DistCollection<Vec<f64>>,
+    w: &DenseMatrix,
+    kind: LossKind,
+    lambda: f64,
+) -> (f64, DenseMatrix) {
+    let n = data.count().max(1) as f64;
+    let (d, k) = w.shape();
+    let pairs = data.zip(labels, |x, y| (x.clone(), y.clone()));
+    let partial = pairs.map_reduce_partitions(
+        |part| {
+            let mut grad = DenseMatrix::zeros(d, k);
+            let mut loss = 0.0;
+            for (x, y) in part {
+                loss += row_loss_grad(x, y, w, kind, &mut grad);
+            }
+            (loss, grad)
+        },
+        |(l1, mut g1), (l2, g2)| {
+            g1 += &g2;
+            (l1 + l2, g1)
+        },
+    );
+    let (mut loss, mut grad) = partial.unwrap_or_else(|| (0.0, DenseMatrix::zeros(d, k)));
+    loss /= n;
+    grad.scale_inplace(1.0 / n);
+    if lambda > 0.0 {
+        let wn = w.frobenius_norm();
+        loss += 0.5 * lambda * wn * wn;
+        let reg = w * lambda;
+        grad += &reg;
+    }
+    (loss, grad)
+}
+
+/// Distributed loss only (used by line searches).
+pub fn distributed_loss<F: Features>(
+    data: &DistCollection<F>,
+    labels: &DistCollection<Vec<f64>>,
+    w: &DenseMatrix,
+    kind: LossKind,
+    lambda: f64,
+) -> f64 {
+    let n = data.count().max(1) as f64;
+    let k = w.cols();
+    let pairs = data.zip(labels, |x, y| (x.clone(), y.clone()));
+    let total = pairs
+        .map_reduce_partitions(
+            |part| {
+                let mut loss = 0.0;
+                for (x, y) in part {
+                    let mut scores = vec![0.0; k];
+                    x.add_scores(w, &mut scores);
+                    loss += match kind {
+                        LossKind::Squared => {
+                            let mut l = 0.0;
+                            for (s, &yv) in scores.iter().zip(y) {
+                                let r = s - yv;
+                                l += r * r;
+                            }
+                            0.5 * l
+                        }
+                        LossKind::Logistic => {
+                            softmax_inplace(&mut scores);
+                            let mut l = 0.0;
+                            for (s, &yv) in scores.iter().zip(y) {
+                                if yv > 0.0 {
+                                    l -= yv * s.max(1e-300).ln();
+                                }
+                            }
+                            l
+                        }
+                    };
+                }
+                loss
+            },
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0);
+    let mut loss = total / n;
+    if lambda > 0.0 {
+        let wn = w.frobenius_norm();
+        loss += 0.5 * lambda * wn * wn;
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (DistCollection<Vec<f64>>, DistCollection<Vec<f64>>) {
+        // y = x0 exactly; two targets for shape checks.
+        let data = DistCollection::from_vec(
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, 1.0]],
+            2,
+        );
+        let labels = DistCollection::from_vec(
+            vec![vec![1.0, 0.0], vec![0.0, 0.0], vec![2.0, 0.0]],
+            2,
+        );
+        (data, labels)
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut s = vec![1.0, 2.0, 3.0];
+        softmax_inplace(&mut s);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_huge_inputs() {
+        let mut s = vec![1e9, 1e9 + 1.0];
+        softmax_inplace(&mut s);
+        assert!(s.iter().all(|v| v.is_finite()));
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_loss_zero_at_solution() {
+        let (data, labels) = toy();
+        // W = [[1,0],[0,0]] reproduces labels exactly.
+        let w = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]);
+        let (loss, grad) = distributed_loss_grad(&data, &labels, &w, LossKind::Squared, 0.0);
+        assert!(loss < 1e-15);
+        assert!(grad.frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn squared_gradient_matches_finite_difference() {
+        let (data, labels) = toy();
+        let w = DenseMatrix::from_rows(&[&[0.3, -0.2], &[0.1, 0.4]]);
+        let (_, grad) = distributed_loss_grad(&data, &labels, &w, LossKind::Squared, 0.1);
+        let eps = 1e-6;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut wp = w.clone();
+                wp.set(i, j, w.get(i, j) + eps);
+                let mut wm = w.clone();
+                wm.set(i, j, w.get(i, j) - eps);
+                let lp = distributed_loss(&data, &labels, &wp, LossKind::Squared, 0.1);
+                let lm = distributed_loss(&data, &labels, &wm, LossKind::Squared, 0.1);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - grad.get(i, j)).abs() < 1e-5,
+                    "({}, {}): fd {} vs grad {}",
+                    i,
+                    j,
+                    fd,
+                    grad.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn logistic_gradient_matches_finite_difference() {
+        let data = DistCollection::from_vec(vec![vec![1.0, -1.0], vec![-0.5, 2.0]], 1);
+        let labels = DistCollection::from_vec(vec![vec![1.0, 0.0], vec![0.0, 1.0]], 1);
+        let w = DenseMatrix::from_rows(&[&[0.2, -0.1], &[0.3, 0.05]]);
+        let (_, grad) = distributed_loss_grad(&data, &labels, &w, LossKind::Logistic, 0.0);
+        let eps = 1e-6;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut wp = w.clone();
+                wp.set(i, j, w.get(i, j) + eps);
+                let mut wm = w.clone();
+                wm.set(i, j, w.get(i, j) - eps);
+                let lp = distributed_loss(&data, &labels, &wp, LossKind::Logistic, 0.0);
+                let lm = distributed_loss(&data, &labels, &wm, LossKind::Logistic, 0.0);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - grad.get(i, j)).abs() < 1e-5,
+                    "({}, {}): fd {} vs grad {}",
+                    i,
+                    j,
+                    fd,
+                    grad.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ridge_term_included() {
+        let (data, labels) = toy();
+        let w = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]);
+        let loss = distributed_loss(&data, &labels, &w, LossKind::Squared, 2.0);
+        // Data term 0, ridge = 0.5*2*||W||² = 1.
+        assert!((loss - 1.0).abs() < 1e-12);
+    }
+}

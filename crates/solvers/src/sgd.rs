@@ -1,0 +1,263 @@
+//! Synchronous minibatch SGD — the TensorFlow-style baseline of Table 6.
+//!
+//! Every step draws a minibatch, computes a gradient, and performs a model
+//! synchronization whose cost is charged on the simulated clock. The
+//! coordination cost per step is what caps this strategy's scalability:
+//! past a handful of nodes the synchronization outweighs the parallelism
+//! gain, exactly the effect Table 6 reports for TensorFlow on CIFAR-10.
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::{LabelEstimator, Transformer};
+use keystone_dataflow::collection::DistCollection;
+use keystone_linalg::dense::DenseMatrix;
+use keystone_linalg::rng::XorShiftRng;
+
+use crate::cost::{sync_sgd_cost, SolveShape};
+use crate::features::Features;
+use crate::linear_map::LinearMapModel;
+use crate::losses::{softmax_inplace, LossKind};
+
+/// Scaling regime for the minibatch (Table 6 ran both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SgdScaling {
+    /// Fixed global minibatch regardless of workers.
+    Strong,
+    /// Minibatch grows with the worker count (`base × workers`).
+    Weak,
+}
+
+/// Synchronous minibatch SGD solver.
+#[derive(Debug, Clone)]
+pub struct SyncSgdSolver {
+    /// Total optimization steps.
+    pub steps: usize,
+    /// Base minibatch size (128 in the paper's TensorFlow runs).
+    pub minibatch: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Loss to minimize.
+    pub loss: LossKind,
+    /// Scaling regime.
+    pub scaling: SgdScaling,
+    /// RNG seed for minibatch sampling.
+    pub seed: u64,
+}
+
+impl Default for SyncSgdSolver {
+    fn default() -> Self {
+        SyncSgdSolver {
+            steps: 1000,
+            minibatch: 128,
+            lr: 0.05,
+            loss: LossKind::Logistic,
+            scaling: SgdScaling::Strong,
+            seed: 42,
+        }
+    }
+}
+
+/// Resumable SGD state, used by benches that interleave optimization with
+/// accuracy evaluation (time-to-accuracy curves).
+pub struct SgdState {
+    /// Current weights.
+    pub w: DenseMatrix,
+    /// Steps taken so far.
+    pub steps_taken: usize,
+    rng: XorShiftRng,
+}
+
+impl SyncSgdSolver {
+    /// Fresh resumable state for a `d × k` model.
+    pub fn init_state(&self, d: usize, k: usize) -> SgdState {
+        SgdState {
+            w: DenseMatrix::zeros(d, k),
+            steps_taken: 0,
+            rng: XorShiftRng::new(self.seed),
+        }
+    }
+
+    /// Effective global minibatch under the scaling regime.
+    pub fn effective_minibatch(&self, workers: usize) -> usize {
+        match self.scaling {
+            SgdScaling::Strong => self.minibatch,
+            SgdScaling::Weak => self.minibatch * workers.max(1),
+        }
+    }
+
+    /// Runs `steps` more SGD steps on driver-collected data, charging the
+    /// per-step synchronization on the simulated clock.
+    pub fn run_steps<F: Features>(
+        &self,
+        state: &mut SgdState,
+        rows: &[(F, Vec<f64>)],
+        steps: usize,
+        ctx: &ExecContext,
+    ) {
+        let n = rows.len();
+        if n == 0 {
+            return;
+        }
+        let (d, k) = state.w.shape();
+        let m = self.effective_minibatch(ctx.resources.workers);
+        let avg_nnz = rows
+            .iter()
+            .take(32)
+            .map(|(x, _)| Features::nnz(x) as f64)
+            .sum::<f64>()
+            / rows.len().min(32) as f64;
+        let shape = SolveShape::new(n, d, k, Some(avg_nnz));
+        ctx.sim.charge(
+            "solve:sync-sgd",
+            &sync_sgd_cost(&shape, steps, m, &ctx.resources),
+            &ctx.resources,
+        );
+
+        for _ in 0..steps {
+            let mut grad = DenseMatrix::zeros(d, k);
+            for _ in 0..m {
+                let (x, y) = &rows[state.rng.next_usize(n)];
+                let mut scores = vec![0.0; k];
+                x.add_scores(&state.w, &mut scores);
+                match self.loss {
+                    LossKind::Squared => {
+                        for (s, yv) in scores.iter_mut().zip(y) {
+                            *s -= yv;
+                        }
+                    }
+                    LossKind::Logistic => {
+                        softmax_inplace(&mut scores);
+                        for (s, yv) in scores.iter_mut().zip(y) {
+                            *s -= yv;
+                        }
+                    }
+                }
+                x.add_outer(&scores, 1.0 / m as f64, &mut grad);
+            }
+            // Decaying step size keeps late steps stable.
+            let lr = self.lr / (1.0 + state.steps_taken as f64 / self.steps.max(1) as f64);
+            for (wv, gv) in state.w.data_mut().iter_mut().zip(grad.data()) {
+                *wv -= lr * gv;
+            }
+            state.steps_taken += 1;
+        }
+    }
+}
+
+impl<F: Features> LabelEstimator<F, Vec<f64>, Vec<f64>> for SyncSgdSolver {
+    fn fit(
+        &self,
+        data: &DistCollection<F>,
+        labels: &DistCollection<Vec<f64>>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<F, Vec<f64>>> {
+        let rows: Vec<(F, Vec<f64>)> = data
+            .zip(labels, |x, y| (x.clone(), y.clone()))
+            .collect();
+        let d = rows.first().map_or(0, |(x, _)| x.dim());
+        let k = rows.first().map_or(1, |(_, y)| y.len());
+        let mut state = self.init_state(d, k);
+        self.run_steps(&mut state, &rows, self.steps, ctx);
+        Box::new(LinearMapModel::new(state.w))
+    }
+
+    fn weight(&self) -> u32 {
+        // SGD touches a minibatch per step; approximate full-data passes.
+        1
+    }
+
+    fn name(&self) -> String {
+        "LinearSolver[sync-sgd]".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_problem(n: usize, seed: u64) -> Vec<(Vec<f64>, Vec<f64>)> {
+        let mut rng = XorShiftRng::new(seed);
+        (0..n)
+            .map(|_| {
+                let class = rng.next_usize(2);
+                let c = if class == 0 { -1.5 } else { 1.5 };
+                let x = vec![c + rng.next_gaussian() * 0.4, 1.0];
+                let y = if class == 0 {
+                    vec![1.0, 0.0]
+                } else {
+                    vec![0.0, 1.0]
+                };
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let rows = blob_problem(400, 1);
+        let ctx = ExecContext::default_cluster();
+        let solver = SyncSgdSolver {
+            steps: 300,
+            lr: 0.5,
+            ..Default::default()
+        };
+        let mut state = solver.init_state(2, 2);
+        solver.run_steps(&mut state, &rows, 300, &ctx);
+        let model = LinearMapModel::new(state.w);
+        let correct = rows
+            .iter()
+            .filter(|(x, y)| {
+                let s = model.scores(x);
+                (s[1] > s[0]) == (y[1] > 0.5)
+            })
+            .count();
+        assert!(correct as f64 / rows.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn weak_scaling_grows_minibatch() {
+        let solver = SyncSgdSolver {
+            scaling: SgdScaling::Weak,
+            minibatch: 128,
+            ..Default::default()
+        };
+        assert_eq!(solver.effective_minibatch(4), 512);
+        let strong = SyncSgdSolver::default();
+        assert_eq!(strong.effective_minibatch(4), 128);
+    }
+
+    #[test]
+    fn sim_coordination_grows_with_workers() {
+        let rows = blob_problem(200, 2);
+        let solver = SyncSgdSolver {
+            steps: 50,
+            ..Default::default()
+        };
+        let coord = |workers: usize| {
+            let ctx = ExecContext::new(
+                keystone_dataflow::cluster::ClusterProfile::R3_4xlarge.descriptor(workers),
+            );
+            let mut st = solver.init_state(2, 2);
+            solver.run_steps(&mut st, &rows, 50, &ctx);
+            ctx.sim.coord_seconds()
+        };
+        assert!(coord(32) > coord(2), "sync cost must grow with workers");
+    }
+
+    #[test]
+    fn state_resumes_across_chunks() {
+        let rows = blob_problem(100, 3);
+        let ctx = ExecContext::default_cluster();
+        let solver = SyncSgdSolver {
+            steps: 100,
+            seed: 9,
+            ..Default::default()
+        };
+        let mut a = solver.init_state(2, 2);
+        solver.run_steps(&mut a, &rows, 100, &ctx);
+        let mut b = solver.init_state(2, 2);
+        solver.run_steps(&mut b, &rows, 60, &ctx);
+        solver.run_steps(&mut b, &rows, 40, &ctx);
+        assert_eq!(a.steps_taken, b.steps_taken);
+        assert!(a.w.max_abs_diff(&b.w) < 1e-12, "chunked run must match");
+    }
+}

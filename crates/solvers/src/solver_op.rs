@@ -1,0 +1,213 @@
+//! `LinearSolverOp` — the **Optimizable** logical linear-solver operator.
+//!
+//! One logical operator, four physical implementations (Table 1), each with
+//! its cost model. The operator-level optimizer evaluates the cost models
+//! against the input statistics collected by execution subsampling and
+//! picks the cheapest feasible plan — the mechanism behind Fig. 6's
+//! crossovers and the §3 "Cost Model Evaluation".
+
+use keystone_core::operator::{LabelEstimatorOption, OptimizableLabelEstimator};
+use keystone_core::record::DataStats;
+use keystone_dataflow::cluster::ResourceDesc;
+use keystone_dataflow::cost::CostProfile;
+
+use crate::block::BlockSolver;
+use crate::cost::{block_solve_cost, dist_qr_cost, lbfgs_cost, local_qr_cost, SolveShape};
+use crate::dist_qr::DistQrSolver;
+use crate::features::Features;
+use crate::lbfgs::LbfgsSolver;
+use crate::local_qr::LocalQrSolver;
+
+/// Extracts a [`SolveShape`] from the optimizer's input statistics
+/// (`stats[0]` = data, `stats[1]` = one-hot labels).
+pub fn shape_from_stats(stats: &[DataStats]) -> SolveShape {
+    let data = stats.first().copied().unwrap_or_else(DataStats::empty);
+    let labels = stats.get(1).copied();
+    let k = labels.map_or(1.0, |l| l.dims.max(1.0));
+    SolveShape {
+        n: data.count as f64,
+        d: data.dims.max(1.0),
+        k,
+        s: if data.is_sparse {
+            data.nnz_per_record.max(1.0)
+        } else {
+            data.dims.max(1.0)
+        },
+    }
+}
+
+/// The optimizable logical least-squares solver.
+#[derive(Debug, Clone)]
+pub struct LinearSolverOp {
+    /// Ridge regularization shared by all physical options.
+    pub lambda: f64,
+    /// Iteration budget for L-BFGS.
+    pub lbfgs_iters: usize,
+    /// Block size for the block solver.
+    pub block_size: usize,
+    /// Sweeps for the block solver.
+    pub block_sweeps: usize,
+}
+
+impl Default for LinearSolverOp {
+    fn default() -> Self {
+        LinearSolverOp {
+            lambda: 1e-6,
+            lbfgs_iters: 20,
+            block_size: 1024,
+            block_sweeps: 3,
+        }
+    }
+}
+
+impl LinearSolverOp {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<F: Features> OptimizableLabelEstimator<F, Vec<f64>, Vec<f64>> for LinearSolverOp {
+    fn options(&self) -> Vec<LabelEstimatorOption<F, Vec<f64>, Vec<f64>>> {
+        let lbfgs_iters = self.lbfgs_iters;
+        let block_size = self.block_size;
+        let block_sweeps = self.block_sweeps;
+        vec![
+            LabelEstimatorOption {
+                name: "lbfgs".to_string(),
+                cost: Box::new(move |stats: &[DataStats], r: &ResourceDesc| -> CostProfile {
+                    lbfgs_cost(&shape_from_stats(stats), lbfgs_iters, r)
+                }),
+                op: Box::new(LbfgsSolver {
+                    max_iters: self.lbfgs_iters,
+                    lambda: self.lambda,
+                    ..Default::default()
+                }),
+            },
+            LabelEstimatorOption {
+                name: "local-qr".to_string(),
+                cost: Box::new(|stats: &[DataStats], r: &ResourceDesc| -> CostProfile {
+                    local_qr_cost(&shape_from_stats(stats), r)
+                }),
+                op: Box::new(LocalQrSolver::with_lambda(self.lambda)),
+            },
+            LabelEstimatorOption {
+                name: "dist-qr".to_string(),
+                cost: Box::new(|stats: &[DataStats], r: &ResourceDesc| -> CostProfile {
+                    dist_qr_cost(&shape_from_stats(stats), r)
+                }),
+                op: Box::new(DistQrSolver::with_lambda(self.lambda.max(1e-10))),
+            },
+            LabelEstimatorOption {
+                name: "block".to_string(),
+                cost: Box::new(move |stats: &[DataStats], r: &ResourceDesc| -> CostProfile {
+                    block_solve_cost(&shape_from_stats(stats), block_sweeps, block_size, r)
+                }),
+                op: Box::new(BlockSolver {
+                    block_size: self.block_size,
+                    sweeps: self.block_sweeps,
+                    lambda: self.lambda.max(1e-10),
+                    ..Default::default()
+                }),
+            },
+        ]
+    }
+
+    // The paper notes the default (unoptimized) configuration uses L-BFGS.
+    fn default_index(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> String {
+        "LinearSolver".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keystone_dataflow::cluster::ClusterProfile;
+
+    fn stats(n: usize, d: usize, k: usize, sparse_nnz: Option<f64>) -> Vec<DataStats> {
+        let data = DataStats {
+            count: n,
+            bytes_per_record: sparse_nnz.map_or(d as f64 * 8.0, |s| s * 12.0),
+            dims: d as f64,
+            nnz_per_record: sparse_nnz.unwrap_or(d as f64),
+            is_sparse: sparse_nnz.is_some(),
+        };
+        let labels = DataStats {
+            count: n,
+            bytes_per_record: k as f64 * 8.0,
+            dims: k as f64,
+            nnz_per_record: 1.0,
+            is_sparse: false,
+        };
+        vec![data, labels]
+    }
+
+    fn best_option(stats: &[DataStats], workers: usize) -> String {
+        let r = ClusterProfile::R3_4xlarge.descriptor(workers);
+        let op = LinearSolverOp::new();
+        let options =
+            <LinearSolverOp as OptimizableLabelEstimator<Vec<f64>, Vec<f64>, Vec<f64>>>::options(
+                &op,
+            );
+        options
+            .iter()
+            .min_by(|a, b| {
+                let ca = (a.cost)(stats, &r).estimated_seconds(&r);
+                let cb = (b.cost)(stats, &r).estimated_seconds(&r);
+                ca.partial_cmp(&cb).expect("finite costs")
+            })
+            .map(|o| o.name.clone())
+            .expect("non-empty options")
+    }
+
+    #[test]
+    fn shape_extraction_sparse_vs_dense() {
+        let s = shape_from_stats(&stats(1000, 500, 2, Some(5.0)));
+        assert_eq!(s.s, 5.0);
+        let d = shape_from_stats(&stats(1000, 500, 2, None));
+        assert_eq!(d.s, 500.0);
+        assert_eq!(d.k, 2.0);
+    }
+
+    #[test]
+    fn picks_lbfgs_for_sparse_text() {
+        // Amazon-like: 1M × 100k sparse, 2 classes.
+        let choice = best_option(&stats(1_000_000, 100_000, 2, Some(100.0)), 16);
+        assert_eq!(choice, "lbfgs");
+    }
+
+    #[test]
+    fn picks_exact_for_small_dense() {
+        // Small dense problem: exact solve is cheapest.
+        let choice = best_option(&stats(2_000_000, 1024, 2, None), 16);
+        assert!(
+            choice == "dist-qr" || choice == "local-qr",
+            "expected exact, got {}",
+            choice
+        );
+    }
+
+    #[test]
+    fn picks_block_for_very_wide_dense() {
+        // TIMIT-like with huge feature count: block wins past ~8k (Fig. 6).
+        let choice = best_option(&stats(2_000_000, 65_536, 147, None), 16);
+        assert_eq!(choice, "block");
+    }
+
+    #[test]
+    fn options_have_distinct_names() {
+        let op = LinearSolverOp::new();
+        let options =
+            <LinearSolverOp as OptimizableLabelEstimator<Vec<f64>, Vec<f64>, Vec<f64>>>::options(
+                &op,
+            );
+        let mut names: Vec<String> = options.iter().map(|o| o.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,182 @@
+//! Online SGD with per-epoch model averaging — the Vowpal Wabbit-style
+//! baseline (§5.2, Fig. 8).
+//!
+//! VW streams examples through a single learner per node and periodically
+//! averages models (its spanning-tree allreduce). The strategy is fixed: it
+//! never switches to an exact or block solver regardless of problem shape,
+//! which is precisely the limitation Fig. 8 exposes.
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::{LabelEstimator, Transformer};
+use keystone_dataflow::collection::DistCollection;
+use keystone_dataflow::cost::CostProfile;
+use keystone_linalg::dense::DenseMatrix;
+
+use crate::features::Features;
+use crate::linear_map::LinearMapModel;
+use crate::losses::{softmax_inplace, LossKind};
+
+/// VW-style online SGD solver.
+#[derive(Debug, Clone)]
+pub struct VwSolver {
+    /// Passes over the data.
+    pub epochs: usize,
+    /// Base learning rate (decays per epoch).
+    pub lr: f64,
+    /// Loss to minimize.
+    pub loss: LossKind,
+}
+
+impl Default for VwSolver {
+    fn default() -> Self {
+        VwSolver {
+            epochs: 10,
+            lr: 0.1,
+            loss: LossKind::Squared,
+        }
+    }
+}
+
+impl VwSolver {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<F: Features> LabelEstimator<F, Vec<f64>, Vec<f64>> for VwSolver {
+    fn fit(
+        &self,
+        data: &DistCollection<F>,
+        labels: &DistCollection<Vec<f64>>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<F, Vec<f64>>> {
+        let n = data.count();
+        let d = data.iter().next().map_or(0, |x| x.dim());
+        let k = labels.iter().next().map_or(1, |y| y.len());
+        let avg_nnz = {
+            let probe: f64 = data.iter().take(64).map(|x| Features::nnz(x) as f64).sum();
+            probe / data.iter().take(64).count().max(1) as f64
+        };
+        let w_nodes = ctx.resources.workers.max(1) as f64;
+        // Per epoch: each node streams its shard (n·s·k/w flops), then an
+        // allreduce of the d×k model.
+        ctx.sim.charge(
+            "solve:vw",
+            &CostProfile {
+                flops: 4.0 * self.epochs as f64 * n as f64 * avg_nnz * k as f64 / w_nodes,
+                bytes: 8.0 * n as f64 * avg_nnz / w_nodes,
+                network: 8.0 * self.epochs as f64 * d as f64 * k as f64
+                    * (w_nodes.log2().max(1.0)),
+                barriers: self.epochs as f64,
+            },
+            &ctx.resources,
+        );
+
+        let pairs = data.zip(labels, |x, y| (x.clone(), y.clone()));
+        let mut w = DenseMatrix::zeros(d, k);
+        for epoch in 0..self.epochs {
+            let lr = self.lr / (1.0 + epoch as f64);
+            let loss = self.loss;
+            // Each partition runs sequential online SGD from the current
+            // global model; the results are averaged (allreduce).
+            let w_in = w.clone();
+            let summed = pairs.map_reduce_partitions(
+                |part| {
+                    let mut local = w_in.clone();
+                    for (x, y) in part {
+                        let mut scores = vec![0.0; k];
+                        x.add_scores(&local, &mut scores);
+                        match loss {
+                            LossKind::Squared => {
+                                for (s, yv) in scores.iter_mut().zip(y) {
+                                    *s -= yv;
+                                }
+                            }
+                            LossKind::Logistic => {
+                                softmax_inplace(&mut scores);
+                                for (s, yv) in scores.iter_mut().zip(y) {
+                                    *s -= yv;
+                                }
+                            }
+                        }
+                        // VW-style normalized update: scale by the example
+                        // norm so dense high-dimensional rows cannot blow
+                        // the iterate up.
+                        let norm2: f64 = {
+                            let row = x.to_dense_row();
+                            row.iter().map(|v| v * v).sum()
+                        };
+                        let step = lr / (1.0 + norm2);
+                        x.add_outer(&scores, -step, &mut local);
+                    }
+                    (local, 1usize)
+                },
+                |(mut a, ca), (b, cb)| {
+                    a += &b;
+                    (a, ca + cb)
+                },
+            );
+            if let Some((sum, count)) = summed {
+                w = sum;
+                w.scale_inplace(1.0 / count.max(1) as f64);
+            }
+        }
+        Box::new(LinearMapModel::new(w))
+    }
+
+    fn weight(&self) -> u32 {
+        self.epochs as u32
+    }
+
+    fn name(&self) -> String {
+        "LinearSolver[vw-online-sgd]".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keystone_linalg::rng::XorShiftRng;
+
+    #[test]
+    fn learns_simple_regression() {
+        let mut rng = XorShiftRng::new(1);
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![rng.next_gaussian(), rng.next_gaussian()])
+            .collect();
+        let labels: Vec<Vec<f64>> = rows.iter().map(|r| vec![2.0 * r[0] - r[1]]).collect();
+        let data = DistCollection::from_vec(rows.clone(), 4);
+        let labels_c = DistCollection::from_vec(labels, 4);
+        let ctx = ExecContext::default_cluster();
+        let model = VwSolver {
+            epochs: 30,
+            lr: 0.1,
+            loss: LossKind::Squared,
+        }
+        .fit(&data, &labels_c, &ctx);
+        // Online SGD with averaging is approximate; accept coarse recovery.
+        let p = model.apply(&vec![1.0, 0.0]);
+        assert!((p[0] - 2.0).abs() < 0.3, "w0 estimate {}", p[0]);
+    }
+
+    #[test]
+    fn charges_epoch_proportional_network() {
+        let rows = vec![vec![1.0, 2.0]; 50];
+        let labels = vec![vec![1.0]; 50];
+        let data = DistCollection::from_vec(rows, 2);
+        let labels = DistCollection::from_vec(labels, 2);
+        let coord = |epochs: usize| {
+            let ctx = ExecContext::default_cluster();
+            let _ = VwSolver {
+                epochs,
+                ..Default::default()
+            }
+            .fit(&data, &labels, &ctx);
+            ctx.sim.coord_seconds()
+        };
+        let c2 = coord(2);
+        let c20 = coord(20);
+        assert!(c20 > c2 * 5.0, "network must scale with epochs: {} vs {}", c2, c20);
+    }
+}

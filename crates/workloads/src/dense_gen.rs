@@ -1,0 +1,192 @@
+//! TIMIT-like dense vector generator: 440-dimensional records drawn from
+//! per-class Gaussian clusters (147 phoneme classes in the paper), plus a
+//! YouTube-8M-like variant (1024-dim, many classes).
+
+use keystone_dataflow::collection::DistCollection;
+use keystone_linalg::rng::XorShiftRng;
+
+/// Dense clustered-vector generator.
+#[derive(Debug, Clone)]
+pub struct TimitLike {
+    /// Records.
+    pub n: usize,
+    /// Feature dimensionality (440 for TIMIT frames).
+    pub dim: usize,
+    /// Classes (147 phoneme labels in the paper).
+    pub classes: usize,
+    /// Cluster separation (centroid norm relative to unit noise).
+    pub separation: f64,
+    /// RNG seed (fixes the class centroids AND the default sample stream).
+    pub seed: u64,
+    /// Sample-stream selector: records are drawn from stream `stream`;
+    /// centroids depend only on `seed`, so different streams (train/test)
+    /// share the same class structure.
+    pub stream: u64,
+    /// Partitions.
+    pub partitions: usize,
+}
+
+impl Default for TimitLike {
+    fn default() -> Self {
+        TimitLike {
+            n: 2_000,
+            dim: 440,
+            classes: 147,
+            separation: 3.0,
+            seed: 0x7131,
+            stream: 0,
+            partitions: 8,
+        }
+    }
+}
+
+/// A generated dense labeled dataset.
+pub struct DenseDataset {
+    /// Feature vectors.
+    pub data: DistCollection<Vec<f64>>,
+    /// Class per record.
+    pub labels: DistCollection<usize>,
+}
+
+impl TimitLike {
+    /// `n` records with `classes` classes at dimension `dim`.
+    pub fn new(n: usize, dim: usize, classes: usize) -> Self {
+        TimitLike {
+            n,
+            dim,
+            classes,
+            ..Default::default()
+        }
+    }
+
+    /// Deterministic class centroid (derived, not stored — O(1) memory for
+    /// any class count).
+    fn centroid(&self, class: usize, j: usize) -> f64 {
+        let mut rng = XorShiftRng::new(
+            self.seed ^ (class as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ j as u64,
+        );
+        rng.next_gaussian() * self.separation / (self.dim as f64).sqrt()
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> DenseDataset {
+        let mut rng = XorShiftRng::new(
+            self.seed ^ self.stream.wrapping_mul(0xD1B54A32D192ED03),
+        );
+        let mut data = Vec::with_capacity(self.n);
+        let mut labels = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            let class = rng.next_usize(self.classes.max(1));
+            let x: Vec<f64> = (0..self.dim)
+                .map(|j| self.centroid(class, j) * self.separation + rng.next_gaussian())
+                .collect();
+            data.push(x);
+            labels.push(class);
+        }
+        DenseDataset {
+            data: DistCollection::from_vec(data, self.partitions),
+            labels: DistCollection::from_vec(labels, self.partitions),
+        }
+    }
+
+    /// Train/test split with an independent test stream.
+    pub fn generate_split(&self, test_fraction: f64) -> (DenseDataset, DenseDataset) {
+        let test_n = ((self.n as f64) * test_fraction).round() as usize;
+        let train = TimitLike {
+            n: self.n - test_n,
+            ..self.clone()
+        }
+        .generate();
+        let test = TimitLike {
+            n: test_n,
+            stream: self.stream.wrapping_add(1),
+            ..self.clone()
+        }
+        .generate();
+        (train, test)
+    }
+}
+
+/// YouTube-8M-like configuration (pre-featurized 1024-dim vectors, many
+/// classes) — §5.2's final comparison.
+pub fn youtube_like(n: usize, classes: usize) -> TimitLike {
+    TimitLike {
+        n,
+        dim: 1024,
+        classes,
+        separation: 2.0,
+        seed: 0x7088,
+        stream: 0,
+        partitions: 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let ds = TimitLike::new(200, 32, 10).generate();
+        assert_eq!(ds.data.count(), 200);
+        assert!(ds.data.iter().all(|x| x.len() == 32));
+        assert!(ds.labels.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = TimitLike::new(50, 16, 4);
+        assert_eq!(cfg.generate().data.collect(), cfg.generate().data.collect());
+    }
+
+    #[test]
+    fn classes_are_separable() {
+        // Same-class records must be closer to their centroid than to other
+        // centroids on average: nearest-centroid accuracy well above chance.
+        let cfg = TimitLike {
+            separation: 4.0,
+            ..TimitLike::new(300, 40, 5)
+        };
+        let ds = cfg.generate();
+        let data = ds.data.collect();
+        let labels = ds.labels.collect();
+        let mut correct = 0;
+        for (x, &label) in data.iter().zip(&labels) {
+            let best = (0..5)
+                .min_by(|&a, &b| {
+                    let da: f64 = x
+                        .iter()
+                        .enumerate()
+                        .map(|(j, v)| (v - cfg.centroid(a, j) * cfg.separation).powi(2))
+                        .sum();
+                    let db: f64 = x
+                        .iter()
+                        .enumerate()
+                        .map(|(j, v)| (v - cfg.centroid(b, j) * cfg.separation).powi(2))
+                        .sum();
+                    da.partial_cmp(&db).expect("finite")
+                })
+                .expect("classes");
+            if best == label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / data.len() as f64;
+        assert!(acc > 0.8, "nearest-centroid accuracy {}", acc);
+    }
+
+    #[test]
+    fn split_is_disjoint_streams() {
+        let (train, test) = TimitLike::new(100, 8, 3).generate_split(0.3);
+        assert_eq!(train.data.count(), 70);
+        assert_eq!(test.data.count(), 30);
+        // Streams differ (same centroids, different noise draws).
+        assert_ne!(train.data.take(1), test.data.take(1));
+    }
+
+    #[test]
+    fn youtube_shape() {
+        let ds = youtube_like(50, 20).generate();
+        assert!(ds.data.iter().all(|x| x.len() == 1024));
+    }
+}

@@ -1,0 +1,19 @@
+//! # keystone-workloads
+//!
+//! Synthetic dataset generators matching the statistical shapes of the
+//! paper's evaluation workloads (Table 3). Real Amazon/TIMIT/ImageNet/VOC/
+//! CIFAR data is not available in this environment; these generators
+//! preserve what the optimizer and solvers actually react to — record
+//! counts, dimensionality, sparsity, class counts — and plant a recoverable
+//! signal so statistical performance is measurable.
+
+pub mod dense_gen;
+pub mod image_gen;
+pub mod pipelines;
+pub mod registry;
+pub mod text_gen;
+
+pub use dense_gen::TimitLike;
+pub use image_gen::ImageDatasetSpec;
+pub use registry::{paper_datasets, DatasetCard};
+pub use text_gen::AmazonLike;

@@ -1,0 +1,135 @@
+//! Table 3 as data: the paper's dataset characteristics, used by the
+//! benchmark harness both to print the table and to parameterize the cost
+//! models at *paper scale* (the optimizer reasons about full-scale numbers
+//! even though actual execution uses scaled-down synthetic data).
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct DatasetCard {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Training records.
+    pub num_train: u64,
+    /// Raw training size in GB.
+    pub train_gb: f64,
+    /// Test records.
+    pub num_test: u64,
+    /// Classes.
+    pub classes: usize,
+    /// Record type description.
+    pub record_type: &'static str,
+    /// Features at the solve stage.
+    pub solve_features: usize,
+    /// Density of the solve-stage features (1.0 = dense).
+    pub solve_density: f64,
+    /// Solve-stage size in GB.
+    pub solve_gb: f64,
+}
+
+impl DatasetCard {
+    /// Average non-zeros per record at the solve stage.
+    pub fn solve_nnz(&self) -> f64 {
+        self.solve_features as f64 * self.solve_density
+    }
+}
+
+/// The six Table 3 rows.
+pub fn paper_datasets() -> Vec<DatasetCard> {
+    vec![
+        DatasetCard {
+            name: "Amazon",
+            num_train: 65_000_000,
+            train_gb: 13.97,
+            num_test: 18_091_702,
+            classes: 2,
+            record_type: "text",
+            solve_features: 100_000,
+            solve_density: 0.001,
+            solve_gb: 89.1,
+        },
+        DatasetCard {
+            name: "TIMIT",
+            num_train: 2_251_569,
+            train_gb: 7.5,
+            num_test: 115_934,
+            classes: 147,
+            record_type: "440-dim vector",
+            solve_features: 528_000,
+            solve_density: 1.0,
+            solve_gb: 8857.0,
+        },
+        DatasetCard {
+            name: "ImageNet",
+            num_train: 1_281_167,
+            train_gb: 74.0,
+            num_test: 50_000,
+            classes: 1000,
+            record_type: "10k pixels image",
+            solve_features: 262_144,
+            solve_density: 1.0,
+            solve_gb: 2502.0,
+        },
+        DatasetCard {
+            name: "VOC",
+            num_train: 5_000,
+            train_gb: 0.428,
+            num_test: 5_000,
+            classes: 20,
+            record_type: "260k pixels image",
+            solve_features: 40_960,
+            solve_density: 1.0,
+            solve_gb: 1.52,
+        },
+        DatasetCard {
+            name: "CIFAR-10",
+            num_train: 500_000,
+            train_gb: 0.5,
+            num_test: 10_000,
+            classes: 10,
+            record_type: "1024 pixels image",
+            solve_features: 135_168,
+            solve_density: 1.0,
+            solve_gb: 62.9,
+        },
+        DatasetCard {
+            name: "Youtube8m",
+            num_train: 5_786_881,
+            train_gb: 22.07,
+            num_test: 1_652_167,
+            classes: 4800,
+            record_type: "1024-dim vector",
+            solve_features: 1024,
+            solve_density: 1.0,
+            solve_gb: 44.15,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_rows_like_the_paper() {
+        let cards = paper_datasets();
+        assert_eq!(cards.len(), 6);
+        assert_eq!(cards[0].name, "Amazon");
+        assert_eq!(cards[1].classes, 147);
+    }
+
+    #[test]
+    fn amazon_is_sparse_others_dense() {
+        let cards = paper_datasets();
+        assert!(cards[0].solve_density < 0.01);
+        assert!((cards[0].solve_nnz() - 100.0).abs() < 1e-9);
+        assert!(cards.iter().skip(1).all(|c| c.solve_density == 1.0));
+    }
+
+    #[test]
+    fn solve_sizes_exceed_raw_sizes_for_featurized_data() {
+        // "intermediate state may grow by orders of magnitude".
+        let cards = paper_datasets();
+        let timit = &cards[1];
+        assert!(timit.solve_gb > timit.train_gb * 100.0);
+    }
+}

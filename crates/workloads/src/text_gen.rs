@@ -1,0 +1,188 @@
+//! Amazon-Reviews-like text generator: Zipfian vocabulary with
+//! class-conditional sentiment words. Matches Table 3's shape knobs —
+//! binary classes, sparse features (~0.1% density after featurization) —
+//! at configurable scale.
+
+use keystone_dataflow::collection::DistCollection;
+use keystone_linalg::rng::{XorShiftRng, Zipf};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct AmazonLike {
+    /// Number of documents.
+    pub docs: usize,
+    /// Neutral vocabulary size.
+    pub vocab: usize,
+    /// Sentiment-bearing words per class.
+    pub sentiment_words: usize,
+    /// Tokens per document (mean).
+    pub doc_len: usize,
+    /// Probability that a token is sentiment-bearing.
+    pub sentiment_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Partitions for the emitted collections.
+    pub partitions: usize,
+}
+
+impl Default for AmazonLike {
+    fn default() -> Self {
+        AmazonLike {
+            docs: 2_000,
+            vocab: 5_000,
+            sentiment_words: 50,
+            doc_len: 40,
+            sentiment_rate: 0.15,
+            seed: 0xA11CE,
+            partitions: 8,
+        }
+    }
+}
+
+/// A generated labeled text corpus.
+pub struct TextDataset {
+    /// Raw documents.
+    pub docs: DistCollection<String>,
+    /// Class per document (0 = negative, 1 = positive).
+    pub labels: DistCollection<usize>,
+}
+
+impl AmazonLike {
+    /// Convenience constructor for `docs` documents.
+    pub fn with_docs(docs: usize) -> Self {
+        AmazonLike {
+            docs,
+            ..Default::default()
+        }
+    }
+
+    /// Generates the corpus.
+    pub fn generate(&self) -> TextDataset {
+        let mut rng = XorShiftRng::new(self.seed);
+        let zipf = Zipf::new(self.vocab, 1.05);
+        let mut docs = Vec::with_capacity(self.docs);
+        let mut labels = Vec::with_capacity(self.docs);
+        for _ in 0..self.docs {
+            let class = rng.next_usize(2);
+            let len = self.doc_len / 2 + rng.next_usize(self.doc_len.max(1));
+            let mut words = Vec::with_capacity(len);
+            for _ in 0..len {
+                if rng.next_f64() < self.sentiment_rate {
+                    let w = rng.next_usize(self.sentiment_words);
+                    // Sentiment words are class-specific with 90%
+                    // reliability (some noise keeps the task non-trivial).
+                    let effective_class = if rng.next_f64() < 0.9 {
+                        class
+                    } else {
+                        1 - class
+                    };
+                    words.push(if effective_class == 1 {
+                        format!("good{}", w)
+                    } else {
+                        format!("bad{}", w)
+                    });
+                } else {
+                    words.push(format!("w{}", zipf.sample(&mut rng)));
+                }
+            }
+            docs.push(words.join(" "));
+            labels.push(class);
+        }
+        TextDataset {
+            docs: DistCollection::from_vec(docs, self.partitions),
+            labels: DistCollection::from_vec(labels, self.partitions),
+        }
+    }
+
+    /// Generates a train/test split (`test_fraction` of the documents go to
+    /// the test side, using an independent stream).
+    pub fn generate_split(&self, test_fraction: f64) -> (TextDataset, TextDataset) {
+        let test_docs = ((self.docs as f64) * test_fraction).round() as usize;
+        let train = AmazonLike {
+            docs: self.docs - test_docs,
+            ..self.clone()
+        }
+        .generate();
+        let test = AmazonLike {
+            docs: test_docs,
+            seed: self.seed ^ 0x7E57,
+            ..self.clone()
+        }
+        .generate();
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let cfg = AmazonLike::with_docs(100);
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.docs.count(), 100);
+        assert_eq!(a.labels.count(), 100);
+        assert_eq!(a.docs.collect(), b.docs.collect());
+    }
+
+    #[test]
+    fn both_classes_present() {
+        let ds = AmazonLike::with_docs(200).generate();
+        let labels = ds.labels.collect();
+        let pos = labels.iter().filter(|&&l| l == 1).count();
+        assert!(pos > 50 && pos < 150, "class balance off: {}", pos);
+    }
+
+    #[test]
+    fn sentiment_words_correlate_with_class() {
+        let ds = AmazonLike::with_docs(300).generate();
+        let docs = ds.docs.collect();
+        let labels = ds.labels.collect();
+        let mut good_in_pos = 0usize;
+        let mut good_in_neg = 0usize;
+        for (doc, &label) in docs.iter().zip(&labels) {
+            let goods = doc.matches("good").count();
+            if label == 1 {
+                good_in_pos += goods;
+            } else {
+                good_in_neg += goods;
+            }
+        }
+        assert!(
+            good_in_pos > good_in_neg * 3,
+            "signal too weak: {} vs {}",
+            good_in_pos,
+            good_in_neg
+        );
+    }
+
+    #[test]
+    fn split_sizes() {
+        let (train, test) = AmazonLike::with_docs(100).generate_split(0.2);
+        assert_eq!(train.docs.count(), 80);
+        assert_eq!(test.docs.count(), 20);
+    }
+
+    #[test]
+    fn vocabulary_is_zipfian() {
+        // The most common neutral word should dwarf the tail.
+        let ds = AmazonLike::with_docs(500).generate();
+        let mut counts = std::collections::HashMap::new();
+        for doc in ds.docs.iter() {
+            for w in doc.split(' ') {
+                if w.starts_with('w') {
+                    *counts.entry(w.to_string()).or_insert(0usize) += 1;
+                }
+            }
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        let median = {
+            let mut v: Vec<usize> = counts.values().copied().collect();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert!(max > median * 10, "not Zipf-like: max {} median {}", max, median);
+    }
+}

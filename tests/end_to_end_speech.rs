@@ -1,0 +1,109 @@
+//! End-to-end integration test: the TIMIT-style random-feature pipeline
+//! (§5.1) with `gather`-merged branches learns multi-class structure, and
+//! materialization strategies do not change results.
+
+use keystoneml::prelude::*;
+use keystoneml::solvers::logistic::one_hot;
+use keystoneml::workloads::pipelines::{predictions, speech_pipeline, SpeechPipelineConfig};
+use keystoneml::workloads::TimitLike;
+
+fn dataset(classes: usize) -> (keystoneml::workloads::dense_gen::DenseDataset, keystoneml::workloads::dense_gen::DenseDataset) {
+    TimitLike {
+        separation: 4.0,
+        ..TimitLike::new(800, 24, classes)
+    }
+    .generate_split(0.25)
+}
+
+#[test]
+fn speech_pipeline_beats_chance_handily() {
+    let classes = 10;
+    let (train, test) = dataset(classes);
+    let labels = one_hot(&train.labels, classes);
+    let cfg = SpeechPipelineConfig {
+        blocks: 4,
+        block_dim: 64,
+        gamma: 0.08,
+        ..Default::default()
+    };
+    let pipe = speech_pipeline(&cfg, &train.data, &labels);
+    let ctx = ExecContext::calibrated(8);
+    let (fitted, _) = pipe.fit(&ctx, &demo_opts());
+    let acc = accuracy(
+        &predictions(&fitted.apply(&test.data, &ctx)),
+        &test.labels.collect(),
+    );
+    assert!(acc > 0.6, "accuracy {} vs chance {}", acc, 1.0 / classes as f64);
+}
+
+#[test]
+fn caching_strategy_does_not_change_predictions() {
+    let classes = 6;
+    let (train, test) = dataset(classes);
+    let labels = one_hot(&train.labels, classes);
+    let cfg = SpeechPipelineConfig {
+        blocks: 2,
+        block_dim: 32,
+        gamma: 0.08,
+        ..Default::default()
+    };
+    let mut outputs = Vec::new();
+    for caching in [
+        CachingStrategy::Greedy,
+        CachingStrategy::Lru {
+            admission_fraction: 1.0,
+        },
+        CachingStrategy::RuleBased,
+    ] {
+        let pipe = speech_pipeline(&cfg, &train.data, &labels);
+        let ctx = ExecContext::calibrated(8);
+        let opts = demo_opts().with_caching(caching);
+        let (fitted, _) = pipe.fit(&ctx, &opts);
+        outputs.push(predictions(&fitted.apply(&test.data, &ctx)));
+    }
+    assert_eq!(outputs[0], outputs[1], "greedy vs lru diverged");
+    assert_eq!(outputs[1], outputs[2], "lru vs rule-based diverged");
+}
+
+#[test]
+fn more_random_feature_blocks_do_not_hurt() {
+    let classes = 6;
+    let (train, test) = dataset(classes);
+    let labels = one_hot(&train.labels, classes);
+    let acc_for = |blocks: usize| {
+        let cfg = SpeechPipelineConfig {
+            blocks,
+            block_dim: 32,
+            gamma: 0.08,
+            ..Default::default()
+        };
+        let pipe = speech_pipeline(&cfg, &train.data, &labels);
+        let ctx = ExecContext::calibrated(8);
+        let (fitted, _) = pipe.fit(&ctx, &demo_opts());
+        accuracy(
+            &predictions(&fitted.apply(&test.data, &ctx)),
+            &test.labels.collect(),
+        )
+    };
+    let small = acc_for(1);
+    let large = acc_for(6);
+    assert!(
+        large >= small - 0.05,
+        "more features should help or tie: {} -> {}",
+        small,
+        large
+    );
+}
+
+/// Pipeline options with profiling samples scaled to this test's small
+/// synthetic dataset (the paper's 512/1024 samples assume millions of
+/// records; here they would be the whole dataset).
+fn demo_opts() -> PipelineOptions {
+    PipelineOptions {
+        profile: ProfileOptions {
+            sizes: vec![96, 192],
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
