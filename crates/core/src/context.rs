@@ -4,10 +4,14 @@ use keystone_dataflow::cluster::{ClusterProfile, ResourceDesc};
 use keystone_dataflow::simclock::SimClock;
 use keystone_dataflow::stats::ExecStats;
 
-/// Shared execution context: the cluster descriptor plus both clocks.
+use crate::trace::Tracer;
+
+/// Shared execution context: the cluster descriptor plus both clocks and
+/// the observability event sink.
 ///
 /// Cloning is cheap and shares the underlying ledgers, so operators deep in
-/// a pipeline charge the same clocks the driver reads.
+/// a pipeline charge the same clocks — and trace into the same sink — the
+/// driver reads.
 #[derive(Debug, Clone)]
 pub struct ExecContext {
     /// Cluster resource descriptor (`R`).
@@ -16,6 +20,8 @@ pub struct ExecContext {
     pub sim: SimClock,
     /// Wall-clock stage ledger.
     pub wall: ExecStats,
+    /// Structured event sink for optimizer and executor decisions.
+    pub tracer: Tracer,
 }
 
 impl ExecContext {
@@ -25,6 +31,7 @@ impl ExecContext {
             resources,
             sim: SimClock::new(),
             wall: ExecStats::new(),
+            tracer: Tracer::new(),
         }
     }
 
@@ -52,6 +59,7 @@ impl ExecContext {
             resources: self.resources.with_workers(workers),
             sim: self.sim.clone(),
             wall: self.wall.clone(),
+            tracer: self.tracer.clone(),
         }
     }
 }

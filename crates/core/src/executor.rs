@@ -163,42 +163,65 @@ impl<'g> Executor<'g> {
                     .collect();
                 let label = format!("transform:{}", n.label);
                 let in_count = inputs.first().map_or(0, |d| d.stats().count);
+                self.ctx.tracer.node_start(node, &label);
+                let sim_mark = self.ctx.sim.mark();
                 let start = std::time::Instant::now();
                 let out = self
                     .ctx
                     .wall
                     .time(&label, in_count as u64, || op.apply_any(&inputs, &self.ctx));
-                self.charge_sim(node, &label, in_count, start.elapsed().as_secs_f64());
+                let wall_secs = start.elapsed().as_secs_f64();
+                self.charge_sim(node, &label, in_count, wall_secs);
+                self.ctx.tracer.node_end(
+                    node,
+                    &label,
+                    in_count,
+                    out.total_bytes(),
+                    wall_secs,
+                    self.ctx.sim.seconds_since(sim_mark),
+                );
                 NodeOutput::Data(out)
             }
             NodeKind::Estimate(op) => {
                 let handles: Vec<NodeHandle<'_, 'g>> = n
                     .inputs
                     .iter()
-                    .map(|&i| NodeHandle { exec: self, node: i })
+                    .map(|&i| NodeHandle {
+                        exec: self,
+                        node: i,
+                    })
                     .collect();
-                let handle_refs: Vec<&dyn InputHandle> = handles
-                    .iter()
-                    .map(|h| h as &dyn InputHandle)
-                    .collect();
+                let handle_refs: Vec<&dyn InputHandle> =
+                    handles.iter().map(|h| h as &dyn InputHandle).collect();
                 let label = format!("fit:{}", n.label);
+                self.ctx.tracer.node_start(node, &label);
+                let sim_mark = self.ctx.sim.mark();
                 let sim_before = self.ctx.sim.total_seconds();
                 let start = std::time::Instant::now();
                 let model = self
                     .ctx
                     .wall
                     .time(&label, 0, || op.fit_any(&handle_refs, &self.ctx));
+                let wall_secs = start.elapsed().as_secs_f64();
                 // If the estimator didn't charge the simulated clock itself
                 // (solvers do), fall back to the profiled estimate. The
                 // record count comes from the profile's full-scale hint.
+                let records = self
+                    .profiles
+                    .as_ref()
+                    .and_then(|p| p.get(&node))
+                    .map_or(0, |p| p.records_hint);
                 if self.ctx.sim.total_seconds() == sim_before {
-                    let records = self
-                        .profiles
-                        .as_ref()
-                        .and_then(|p| p.get(&node))
-                        .map_or(0, |p| p.records_hint);
-                    self.charge_sim(node, &label, records, start.elapsed().as_secs_f64());
+                    self.charge_sim(node, &label, records, wall_secs);
                 }
+                self.ctx.tracer.node_end(
+                    node,
+                    &label,
+                    records,
+                    0,
+                    wall_secs,
+                    self.ctx.sim.seconds_since(sim_mark),
+                );
                 NodeOutput::Model(model)
             }
             NodeKind::ModelApply => {
@@ -206,14 +229,22 @@ impl<'g> Executor<'g> {
                 let data = self.eval(n.inputs[1]).data().clone();
                 let label = format!("apply:{}", n.label);
                 let in_count = data.stats().count;
+                self.ctx.tracer.node_start(node, &label);
+                let sim_mark = self.ctx.sim.mark();
                 let start = std::time::Instant::now();
-                let out = self
-                    .ctx
-                    .wall
-                    .time(&label, in_count as u64, || {
-                        model.apply_any(&[data], &self.ctx)
-                    });
-                self.charge_sim(node, &label, in_count, start.elapsed().as_secs_f64());
+                let out = self.ctx.wall.time(&label, in_count as u64, || {
+                    model.apply_any(&[data], &self.ctx)
+                });
+                let wall_secs = start.elapsed().as_secs_f64();
+                self.charge_sim(node, &label, in_count, wall_secs);
+                self.ctx.tracer.node_end(
+                    node,
+                    &label,
+                    in_count,
+                    out.total_bytes(),
+                    wall_secs,
+                    self.ctx.sim.seconds_since(sim_mark),
+                );
                 NodeOutput::Data(out)
             }
         }
@@ -450,8 +481,8 @@ mod tests {
         let input = g.add(NodeKind::RuntimeInput, vec![], "input");
         let apply = g.add(NodeKind::ModelApply, vec![e, input], "apply");
         let test = AnyData::wrap(DistCollection::from_vec(vec![0.0], 1));
-        let exec = Executor::new(&g, ExecContext::default_cluster(), no_cache())
-            .with_runtime_input(test);
+        let exec =
+            Executor::new(&g, ExecContext::default_cluster(), no_cache()).with_runtime_input(test);
         let out = exec.eval(apply);
         // Model adds mean of doubled [1,2,3] = 12/3... MultiPass computes
         // sum(=12)/passes(=1) = 12, so output = 0 + 12.

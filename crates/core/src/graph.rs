@@ -141,7 +141,9 @@ impl Graph {
     /// is already topological; we just filter.
     pub fn topo_ancestors(&self, roots: &[NodeId]) -> Vec<NodeId> {
         let anc = self.ancestors(roots);
-        (0..self.nodes.len()).filter(|id| anc.contains(id)).collect()
+        (0..self.nodes.len())
+            .filter(|id| anc.contains(id))
+            .collect()
     }
 
     /// The id of the unique `RuntimeInput` node, if present.

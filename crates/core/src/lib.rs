@@ -16,6 +16,8 @@ pub mod optimizer;
 pub mod pipeline;
 pub mod profiler;
 pub mod record;
+pub mod report;
+pub mod trace;
 pub mod tuning;
 
 pub use context::ExecContext;
@@ -27,3 +29,5 @@ pub use operator::{
 pub use optimizer::{CachingStrategy, OptLevel, PipelineOptions};
 pub use pipeline::{gather, FitReport, FittedPipeline, Pipeline};
 pub use record::{DataStats, Record};
+pub use report::{NodeReport, PipelineReport};
+pub use trace::{TraceEvent, TracedEvent, Tracer};

@@ -50,11 +50,7 @@ pub trait Transformer<A: Record, B: Record>: Send + Sync + 'static {
 
     /// Applies to a whole collection. The default maps item-wise; operators
     /// with per-partition setup (or distributed semantics) override this.
-    fn apply_collection(
-        &self,
-        input: &DistCollection<A>,
-        _ctx: &ExecContext,
-    ) -> DistCollection<B> {
+    fn apply_collection(&self, input: &DistCollection<A>, _ctx: &ExecContext) -> DistCollection<B> {
         input.map(|x| self.apply(x))
     }
 
@@ -397,11 +393,8 @@ pub trait ErasedEstimator: Send + Sync {
 
     /// Fits a model. `inputs[0]` is the training data (lazy); further
     /// handles are auxiliary inputs such as labels.
-    fn fit_any(
-        &self,
-        inputs: &[&dyn InputHandle],
-        ctx: &ExecContext,
-    ) -> Arc<dyn ErasedTransformer>;
+    fn fit_any(&self, inputs: &[&dyn InputHandle], ctx: &ExecContext)
+        -> Arc<dyn ErasedTransformer>;
 
     /// Physical alternatives, when this is an optimizable logical operator.
     fn physical_options(&self) -> Option<Vec<ErasedEstimatorOption>> {
@@ -620,9 +613,7 @@ impl<A: Record, L: Record, B: Record> TypedOptimizableLabelEstimator<A, L, B> {
     }
 }
 
-impl<A: Record, L: Record, B: Record> ErasedEstimator
-    for TypedOptimizableLabelEstimator<A, L, B>
-{
+impl<A: Record, L: Record, B: Record> ErasedEstimator for TypedOptimizableLabelEstimator<A, L, B> {
     fn name(&self) -> String {
         self.op.name()
     }
@@ -698,7 +689,11 @@ mod tests {
 
     struct MeanCenter;
     impl Estimator<f64, f64> for MeanCenter {
-        fn fit(&self, data: &DistCollection<f64>, _ctx: &ExecContext) -> Box<dyn Transformer<f64, f64>> {
+        fn fit(
+            &self,
+            data: &DistCollection<f64>,
+            _ctx: &ExecContext,
+        ) -> Box<dyn Transformer<f64, f64>> {
             let n = data.count().max(1) as f64;
             let sum = data.aggregate(0.0, |a, x| a + x, |a, b| a + b);
             let mu = sum / n;

@@ -194,8 +194,9 @@ mod proptests {
     /// Builds a random graph over a small pool of shared operators, so
     /// duplicates occur naturally.
     fn random_graph(spec: &[(usize, usize)]) -> Graph {
-        let pool: Vec<Arc<dyn ErasedTransformer>> =
-            (0..3).map(|_| Arc::new(TypedTransformer::new(Id)) as _).collect();
+        let pool: Vec<Arc<dyn ErasedTransformer>> = (0..3)
+            .map(|_| Arc::new(TypedTransformer::new(Id)) as _)
+            .collect();
         let mut g = Graph::new();
         let src = g.add(
             NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(vec![1.0f64], 1))),

@@ -36,6 +36,19 @@ pub struct MatProblem {
     pub sinks: Vec<usize>,
 }
 
+/// One greedy pick, in the order Algorithm 1 made it.
+#[derive(Debug, Clone)]
+pub struct MatPick {
+    /// Index of the node chosen for caching.
+    pub node: usize,
+    /// Node label.
+    pub label: String,
+    /// Estimated runtime saving of this pick over the previous state, seconds.
+    pub est_saving_secs: f64,
+    /// Bytes the pick charged against the memory budget.
+    pub size_bytes: u64,
+}
+
 impl MatProblem {
     /// How many times each node executes under a cache set — the measured
     /// counterpart of `C(v)` with `κ` applied. Computed sinks-first.
@@ -95,7 +108,15 @@ impl MatProblem {
     /// runtime saving that still fits, until no strict improvement or no
     /// memory remains.
     pub fn greedy_cache_set(&self, budget: u64) -> HashSet<usize> {
+        self.greedy_cache_set_traced(budget).0
+    }
+
+    /// Greedy Algorithm 1, additionally returning each pick with its
+    /// estimated saving and budget charge — the observability layer turns
+    /// these into `MaterializePick` trace events.
+    pub fn greedy_cache_set_traced(&self, budget: u64) -> (HashSet<usize>, Vec<MatPick>) {
         let mut cache: HashSet<usize> = HashSet::new();
+        let mut picks: Vec<MatPick> = Vec::new();
         let mut mem_left = budget;
         let candidates = self.candidates();
         let mut current = self.est_runtime(&cache);
@@ -117,12 +138,18 @@ impl MatProblem {
                 Some((v, runtime)) if runtime < current - 1e-12 => {
                     cache.insert(v);
                     mem_left -= self.nodes[v].size_bytes;
+                    picks.push(MatPick {
+                        node: v,
+                        label: self.nodes[v].label.clone(),
+                        est_saving_secs: current - runtime,
+                        size_bytes: self.nodes[v].size_bytes,
+                    });
                     current = runtime;
                 }
                 _ => break,
             }
         }
-        cache
+        (cache, picks)
     }
 
     /// Exhaustive optimal cache set (2^candidates subsets). Usable for DAGs
@@ -259,6 +286,26 @@ mod tests {
     fn greedy_zero_budget_caches_nothing() {
         let p = chain(10);
         assert!(p.greedy_cache_set(0).is_empty());
+    }
+
+    #[test]
+    fn traced_picks_agree_with_the_set_and_savings_are_positive() {
+        let p = chain(10);
+        let (set, picks) = p.greedy_cache_set_traced(10_000);
+        let picked: HashSet<usize> = picks.iter().map(|m| m.node).collect();
+        assert_eq!(picked, set);
+        let mut spent = 0u64;
+        for m in &picks {
+            assert!(m.est_saving_secs > 0.0, "pick {:?} saved nothing", m.label);
+            assert_eq!(m.size_bytes, p.nodes[m.node].size_bytes);
+            assert_eq!(m.label, p.nodes[m.node].label);
+            spent += m.size_bytes;
+        }
+        assert_eq!(spent, p.set_bytes(&set));
+        // Total claimed saving equals the end-to-end runtime delta.
+        let claimed: f64 = picks.iter().map(|m| m.est_saving_secs).sum();
+        let delta = p.est_runtime(&HashSet::new()) - p.est_runtime(&set);
+        assert!((claimed - delta).abs() < 1e-9);
     }
 
     /// Diamond: src -> x; x feeds both left and right; both feed sink.
@@ -457,10 +504,7 @@ mod proptests {
     /// Random DAG generator: node i draws inputs from earlier nodes, with
     /// random costs, sizes and iteration weights. Node 0 is a free source;
     /// the last node is the sink.
-    fn random_problem(
-        n: usize,
-        seed: u64,
-    ) -> MatProblem {
+    fn random_problem(n: usize, seed: u64) -> MatProblem {
         let mut state = seed.max(1);
         let mut next = move || {
             state ^= state >> 12;
@@ -526,6 +570,25 @@ mod proptests {
             let p = random_problem(n, seed);
             let set = p.greedy_cache_set(budget);
             prop_assert!(p.set_bytes(&set) <= budget);
+        }
+
+        /// Greedy never caches a zero-reuse node: caching a node executed at
+        /// most once can't strictly reduce runtime, and the algorithm
+        /// requires strict improvement. (Exec counts only shrink as the
+        /// cache grows, so the empty-cache count bounds every later state.)
+        #[test]
+        fn prop_greedy_skips_zero_reuse_nodes(n in 3usize..10, seed in 1u64..5000, budget in 0u64..4000) {
+            let p = random_problem(n, seed);
+            let baseline = p.exec_counts(&HashSet::new());
+            let set = p.greedy_cache_set(budget);
+            for &v in &set {
+                prop_assert!(
+                    baseline[v] > 1.0 + 1e-12,
+                    "node {} cached with only {} baseline executions",
+                    v,
+                    baseline[v]
+                );
+            }
         }
 
         /// Greedy tracks the exhaustive optimum closely on small DAGs (the

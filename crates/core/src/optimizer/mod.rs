@@ -103,11 +103,7 @@ impl PipelineOptions {
 /// Builds the materialization problem for the fit-relevant subgraph: every
 /// node gets its profiled one-execution time and output size; sources and
 /// estimator (model) nodes are marked always-cached.
-pub fn build_mat_problem(
-    graph: &Graph,
-    profile: &PipelineProfile,
-    roots: &[NodeId],
-) -> MatProblem {
+pub fn build_mat_problem(graph: &Graph, profile: &PipelineProfile, roots: &[NodeId]) -> MatProblem {
     let relevant = graph.ancestors(roots);
     let nodes = graph
         .nodes

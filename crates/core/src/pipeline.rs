@@ -19,7 +19,7 @@ use crate::context::ExecContext;
 use crate::executor::Executor;
 use crate::graph::{Graph, NodeId, NodeKind};
 use crate::operator::{
-    AnyData, Estimator, ErasedTransformer, GatherConcat, LabelEstimator, OptimizableEstimator,
+    AnyData, ErasedTransformer, Estimator, GatherConcat, LabelEstimator, OptimizableEstimator,
     OptimizableLabelEstimator, OptimizableTransformer, Transformer, TypedEstimator,
     TypedLabelEstimator, TypedOptimizableEstimator, TypedOptimizableLabelEstimator,
     TypedOptimizableTransformer, TypedTransformer,
@@ -193,7 +193,11 @@ impl<A: Record, B: Record> Pipeline<A, B> {
     /// Optimizes and fits the pipeline (§2.3's "optimization time" followed
     /// by estimator execution), returning the fitted pipeline and a report
     /// of every optimizer decision.
-    pub fn fit(&self, ctx: &ExecContext, opts: &PipelineOptions) -> (FittedPipeline<A, B>, FitReport) {
+    pub fn fit(
+        &self,
+        ctx: &ExecContext,
+        opts: &PipelineOptions,
+    ) -> (FittedPipeline<A, B>, FitReport) {
         let snapshot = self.graph.lock().clone();
         let t0 = Instant::now();
 
@@ -203,6 +207,22 @@ impl<A: Record, B: Record> Pipeline<A, B> {
         } else {
             let r = eliminate_common_subexpressions(&snapshot);
             let out = r.remap[&self.output];
+            // Trace each merge: group old nodes by their canonical image.
+            // Sorted by kept id so the event stream is deterministic.
+            let mut group_sizes: HashMap<NodeId, usize> = HashMap::new();
+            for &new in r.remap.values() {
+                *group_sizes.entry(new).or_insert(0) += 1;
+            }
+            let mut merges: Vec<(NodeId, usize)> =
+                group_sizes.into_iter().filter(|&(_, n)| n > 1).collect();
+            merges.sort_unstable();
+            for (kept, size) in merges {
+                ctx.tracer.record(crate::trace::TraceEvent::CseMerge {
+                    kept,
+                    label: r.graph.nodes[kept].label.clone(),
+                    duplicates: size - 1,
+                });
+            }
             (r.graph, out, r.eliminated)
         };
 
@@ -223,33 +243,48 @@ impl<A: Record, B: Record> Pipeline<A, B> {
         let budget = opts
             .mem_budget
             .unwrap_or_else(|| ctx.resources.total_cache_bytes());
+        let observer = Arc::new(crate::trace::TraceCacheObserver(ctx.tracer.clone()));
         let (cache, cache_set) = match (opts.level, opts.caching) {
             (OptLevel::None, _) | (_, CachingStrategy::RuleBased) => (
-                CacheManager::new(0, CachePolicy::Pinned(HashSet::new())),
+                CacheManager::new(0, CachePolicy::Pinned(HashSet::new())).with_observer(observer),
                 HashSet::new(),
             ),
             (_, CachingStrategy::Lru { admission_fraction }) => (
-                CacheManager::new(budget, CachePolicy::Lru { admission_fraction }),
+                CacheManager::new(budget, CachePolicy::Lru { admission_fraction })
+                    .with_observer(observer),
                 HashSet::new(),
             ),
             (_, CachingStrategy::Greedy) => {
                 let problem = build_mat_problem(&graph, &profile, &roots);
-                let set = problem.greedy_cache_set(budget);
+                let (set, picks) = problem.greedy_cache_set_traced(budget);
+                for pick in picks {
+                    ctx.tracer
+                        .record(crate::trace::TraceEvent::MaterializePick {
+                            node: pick.node,
+                            label: pick.label,
+                            est_saving_secs: pick.est_saving_secs,
+                            size_bytes: pick.size_bytes,
+                        });
+                }
                 let keys: HashSet<u64> = set.iter().map(|&v| v as u64).collect();
-                (CacheManager::new(budget, CachePolicy::Pinned(keys)), set)
+                (
+                    CacheManager::new(budget, CachePolicy::Pinned(keys)).with_observer(observer),
+                    set,
+                )
             }
         };
         let optimize_secs = t0.elapsed().as_secs_f64();
 
         // 4. Fit every estimator feeding the output.
         let profiles = Arc::new(profile.nodes.clone());
-        let executor = Executor::new(&graph, ctx.clone(), Arc::new(cache))
-            .with_profiles(profiles.clone());
+        let executor =
+            Executor::new(&graph, ctx.clone(), Arc::new(cache)).with_profiles(profiles.clone());
         for &est in &roots {
             let _ = executor.eval(est);
         }
         let models = executor.models();
 
+        let observability = crate::report::PipelineReport::build(&graph, &profile, &ctx.tracer);
         let report = FitReport {
             optimize_secs,
             eliminated_nodes: eliminated,
@@ -262,6 +297,7 @@ impl<A: Record, B: Record> Pipeline<A, B> {
             cache_set: cache_set.clone(),
             dot: graph.to_dot(&cache_set),
             profile,
+            observability,
         };
         let fitted = FittedPipeline {
             graph: Arc::new(graph),
@@ -292,7 +328,11 @@ pub fn gather<A: Record>(branches: &[Pipeline<A, Vec<f64>>]) -> Pipeline<A, Vec<
     }
     let inputs: Vec<NodeId> = branches.iter().map(|b| b.output).collect();
     let mut g = first.graph.lock();
-    let id = g.add(NodeKind::Transform(Arc::new(GatherConcat)), inputs, "Gather");
+    let id = g.add(
+        NodeKind::Transform(Arc::new(GatherConcat)),
+        inputs,
+        "Gather",
+    );
     drop(g);
     Pipeline {
         graph: first.graph.clone(),
@@ -319,6 +359,9 @@ pub struct FitReport {
     pub dot: String,
     /// The raw pipeline profile.
     pub profile: PipelineProfile,
+    /// Predicted-vs-actual join over the fit execution: per-node estimated
+    /// and observed runtimes, output sizes and cache counters.
+    pub observability: crate::report::PipelineReport,
 }
 
 /// A fitted pipeline: the optimized DAG plus every fitted model.
@@ -333,7 +376,11 @@ pub struct FittedPipeline<A: Record, B: Record> {
 impl<A: Record, B: Record> FittedPipeline<A, B> {
     /// Applies the fitted pipeline to new data.
     pub fn apply(&self, data: &DistCollection<A>, ctx: &ExecContext) -> DistCollection<B> {
-        let cache = Arc::new(CacheManager::new(0, CachePolicy::Pinned(HashSet::new())));
+        let cache = Arc::new(
+            CacheManager::new(0, CachePolicy::Pinned(HashSet::new())).with_observer(Arc::new(
+                crate::trace::TraceCacheObserver(ctx.tracer.clone()),
+            )),
+        );
         let executor = Executor::new(&self.graph, ctx.clone(), cache)
             .with_runtime_input(AnyData::wrap(data.clone()))
             .with_models(self.models.clone())
@@ -470,8 +517,7 @@ mod tests {
     fn label_estimator_pipeline() {
         let train = DistCollection::from_vec(vec![1.0, 2.0, 3.0], 2);
         let labels = DistCollection::from_vec(vec![11.0, 12.0, 13.0], 2);
-        let pipe =
-            Pipeline::<f64, f64>::input().and_then_label_est(OffsetFit, &train, &labels);
+        let pipe = Pipeline::<f64, f64>::input().and_then_label_est(OffsetFit, &train, &labels);
         let ctx = ctx();
         let (fitted, _) = pipe.fit(
             &ctx,

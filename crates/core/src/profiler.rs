@@ -14,7 +14,6 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-
 use crate::context::ExecContext;
 use crate::graph::{Graph, NodeId, NodeKind};
 use crate::operator::{AnyData, ErasedTransformer, InputHandle};
@@ -140,11 +139,8 @@ pub fn profile_and_select(
                 NodeKind::Transform(op) => {
                     let in_id = node.inputs[0];
                     let scale = scales.get(&in_id).copied().unwrap_or(1.0);
-                    let inputs: Vec<AnyData> = node
-                        .inputs
-                        .iter()
-                        .map(|i| outputs[i].clone())
-                        .collect();
+                    let inputs: Vec<AnyData> =
+                        node.inputs.iter().map(|i| outputs[i].clone()).collect();
                     // Operator selection on the first pass only.
                     let op = if pass == 0 && opts.select_operators {
                         match op.physical_options() {
@@ -152,7 +148,9 @@ pub fn profile_and_select(
                                 let stats: Vec<DataStats> = node
                                     .inputs
                                     .iter()
-                                    .map(|i| full_scale_stats(&outputs[i], &scales, *i, &full_counts))
+                                    .map(|i| {
+                                        full_scale_stats(&outputs[i], &scales, *i, &full_counts)
+                                    })
                                     .collect();
                                 let best = pick_min(&options, |o| {
                                     (o.cost)(&stats, &ctx.resources)
@@ -160,10 +158,17 @@ pub fn profile_and_select(
                                 });
                                 let chosen = &options[best];
                                 profile.choices.push((id, chosen.name.clone()));
-                                let new_label =
-                                    format!("{}[{}]", node.label, chosen.name);
-                                graph.nodes[id].kind =
-                                    NodeKind::Transform(chosen.op.clone());
+                                trace_choice(
+                                    ctx,
+                                    id,
+                                    &node.label,
+                                    chosen.name.clone(),
+                                    options.iter().map(|o| {
+                                        (o.name.clone(), (o.cost)(&stats, &ctx.resources))
+                                    }),
+                                );
+                                let new_label = format!("{}[{}]", node.label, chosen.name);
+                                graph.nodes[id].kind = NodeKind::Transform(chosen.op.clone());
                                 graph.nodes[id].label = new_label;
                                 chosen.op.clone()
                             }
@@ -178,18 +183,9 @@ pub fn profile_and_select(
                     let start = Instant::now();
                     let out = op.apply_any(&inputs, ctx);
                     let secs = start.elapsed().as_secs_f64();
-                    record_measurement(
-                        &mut measurements,
-                        id,
-                        in_records,
-                        secs,
-                        &out,
-                    );
+                    record_measurement(&mut measurements, id, in_records, secs, &out);
                     scales.insert(id, scale);
-                    full_counts.insert(
-                        id,
-                        (out.stats().count as f64 * scale).round() as usize,
-                    );
+                    full_counts.insert(id, (out.stats().count as f64 * scale).round() as usize);
                     sample_stats.insert(id, *out.stats());
                     outputs.insert(id, out);
                 }
@@ -200,7 +196,9 @@ pub fn profile_and_select(
                                 let stats: Vec<DataStats> = node
                                     .inputs
                                     .iter()
-                                    .map(|i| full_scale_stats(&outputs[i], &scales, *i, &full_counts))
+                                    .map(|i| {
+                                        full_scale_stats(&outputs[i], &scales, *i, &full_counts)
+                                    })
                                     .collect();
                                 let best = pick_min(&options, |o| {
                                     (o.cost)(&stats, &ctx.resources)
@@ -208,10 +206,17 @@ pub fn profile_and_select(
                                 });
                                 let chosen = &options[best];
                                 profile.choices.push((id, chosen.name.clone()));
-                                let new_label =
-                                    format!("{}[{}]", node.label, chosen.name);
-                                graph.nodes[id].kind =
-                                    NodeKind::Estimate(chosen.op.clone());
+                                trace_choice(
+                                    ctx,
+                                    id,
+                                    &node.label,
+                                    chosen.name.clone(),
+                                    options.iter().map(|o| {
+                                        (o.name.clone(), (o.cost)(&stats, &ctx.resources))
+                                    }),
+                                );
+                                let new_label = format!("{}[{}]", node.label, chosen.name);
+                                graph.nodes[id].kind = NodeKind::Estimate(chosen.op.clone());
                                 graph.nodes[id].label = new_label;
                                 chosen.op.clone()
                             }
@@ -242,9 +247,8 @@ pub fn profile_and_select(
                     scales.insert(id, scales.get(&node.inputs[0]).copied().unwrap_or(1.0));
                     full_counts.insert(
                         id,
-                        (in_records as f64
-                            * scales.get(&node.inputs[0]).copied().unwrap_or(1.0))
-                        .round() as usize,
+                        (in_records as f64 * scales.get(&node.inputs[0]).copied().unwrap_or(1.0))
+                            .round() as usize,
                     );
                     models.insert(id, model);
                 }
@@ -258,10 +262,7 @@ pub fn profile_and_select(
                     let secs = start.elapsed().as_secs_f64();
                     record_measurement(&mut measurements, id, in_records, secs, &out);
                     scales.insert(id, scale);
-                    full_counts.insert(
-                        id,
-                        (out.stats().count as f64 * scale).round() as usize,
-                    );
+                    full_counts.insert(id, (out.stats().count as f64 * scale).round() as usize);
                     sample_stats.insert(id, *out.stats());
                     outputs.insert(id, out);
                 }
@@ -327,6 +328,31 @@ fn full_scale_stats(
         (sample.stats().count as f64 * scale).round() as usize
     });
     sample.stats().at_scale(full)
+}
+
+/// Records an [`OperatorChoice`](crate::trace::TraceEvent::OperatorChoice)
+/// event carrying every candidate's cost profile — winners and losers — so
+/// reports can show what the optimizer rejected and why.
+fn trace_choice(
+    ctx: &ExecContext,
+    node: NodeId,
+    label: &str,
+    chosen: String,
+    costs: impl Iterator<Item = (String, keystone_dataflow::cost::CostProfile)>,
+) {
+    let candidates: Vec<crate::trace::OperatorCandidate> = costs
+        .map(|(name, cost)| crate::trace::OperatorCandidate {
+            name,
+            est_secs: cost.estimated_seconds(&ctx.resources),
+            cost,
+        })
+        .collect();
+    ctx.tracer.record(crate::trace::TraceEvent::OperatorChoice {
+        node,
+        label: label.to_string(),
+        chosen,
+        candidates,
+    });
 }
 
 fn pick_min<T>(items: &[T], score: impl Fn(&T) -> f64) -> usize {
@@ -510,9 +536,7 @@ mod tests {
             vec![
                 crate::operator::TransformerOption {
                     name: "pricey".into(),
-                    cost: Box::new(|stats, _| {
-                        CostProfile::compute(stats[0].count as f64 * 1e6)
-                    }),
+                    cost: Box::new(|stats, _| CostProfile::compute(stats[0].count as f64 * 1e6)),
                     op: Box::new(PriceyOp),
                 },
                 crate::operator::TransformerOption {
@@ -529,9 +553,9 @@ mod tests {
         let mut g = Graph::new();
         let src = g.add(source(1000), vec![], "src");
         let t = g.add(
-            NodeKind::Transform(Arc::new(
-                crate::operator::TypedOptimizableTransformer::new(TwoWay),
-            )),
+            NodeKind::Transform(Arc::new(crate::operator::TypedOptimizableTransformer::new(
+                TwoWay,
+            ))),
             vec![src],
             "twoway",
         );
@@ -553,9 +577,9 @@ mod tests {
         let mut g = Graph::new();
         let src = g.add(source(1000), vec![], "src");
         let t = g.add(
-            NodeKind::Transform(Arc::new(
-                crate::operator::TypedOptimizableTransformer::new(TwoWay),
-            )),
+            NodeKind::Transform(Arc::new(crate::operator::TypedOptimizableTransformer::new(
+                TwoWay,
+            ))),
             vec![src],
             "twoway",
         );

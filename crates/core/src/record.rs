@@ -226,7 +226,9 @@ mod tests {
     #[test]
     fn stats_from_collection() {
         let c = DistCollection::from_vec(
-            (0..100).map(|i| vec![i as f64, 0.0, 1.0]).collect::<Vec<_>>(),
+            (0..100)
+                .map(|i| vec![i as f64, 0.0, 1.0])
+                .collect::<Vec<_>>(),
             4,
         );
         let s = DataStats::from_collection(&c, 50);
@@ -247,10 +249,8 @@ mod tests {
 
     #[test]
     fn density_computation() {
-        let c = DistCollection::from_vec(
-            vec![SparseVector::from_pairs(1000, vec![(1, 1.0)]); 10],
-            2,
-        );
+        let c =
+            DistCollection::from_vec(vec![SparseVector::from_pairs(1000, vec![(1, 1.0)]); 10], 2);
         let s = DataStats::from_collection(&c, 10);
         assert!(s.is_sparse);
         assert!((s.density() - 0.001).abs() < 1e-9);

@@ -1,0 +1,418 @@
+//! The [`PipelineReport`]: optimizer predictions joined against executor
+//! actuals.
+//!
+//! The paper's §4.1 claims execution subsampling predicts memory "nearly
+//! perfectly" and runtimes within ~15%. This module makes that claim
+//! checkable on every fit: each node's profiled estimate
+//! ([`NodeProfile::est_secs`] / [`NodeProfile::est_output_bytes`]) is joined
+//! against what the [`Tracer`](crate::trace::Tracer) actually observed —
+//! wall/simulated seconds, execution counts, output bytes, and cache
+//! hit/miss counters — with per-node relative errors.
+//!
+//! Reports serialize to JSON via a small hand-rolled writer (the build
+//! environment has no registry access, so `serde` is unavailable; the output
+//! is plain standard JSON) and render as a fixed-width table for terminals.
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, NodeId};
+use crate::profiler::PipelineProfile;
+use crate::trace::{CacheCounters, Tracer};
+
+/// One node's predicted-vs-actual row.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Node id in the executed graph.
+    pub node: NodeId,
+    /// Node label.
+    pub label: String,
+    /// Profiler-predicted seconds for one full-scale execution, if the node
+    /// was profiled.
+    pub predicted_secs: Option<f64>,
+    /// Profiler-predicted output bytes at full scale.
+    pub predicted_out_bytes: Option<f64>,
+    /// Observed wall-clock seconds summed over executions.
+    pub actual_wall_secs: f64,
+    /// Observed simulated-cluster seconds summed over executions.
+    pub actual_sim_secs: f64,
+    /// Observed output bytes (last execution).
+    pub actual_out_bytes: u64,
+    /// How many times the node actually executed.
+    pub execs: u64,
+    /// Cache counters for the node's output.
+    pub cache: CacheCounters,
+    /// `|predicted - actual_per_exec| / actual_per_exec` for wall time;
+    /// `None` when either side is missing.
+    pub time_rel_error: Option<f64>,
+    /// Same for output bytes.
+    pub bytes_rel_error: Option<f64>,
+}
+
+/// Whole-pipeline observability report.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Per-node rows, ordered by node id (topological for executor graphs).
+    pub nodes: Vec<NodeReport>,
+    /// Total trace events behind this report.
+    pub events: usize,
+    /// Total cache hits across nodes.
+    pub cache_hits: u64,
+    /// Total cache misses across nodes.
+    pub cache_misses: u64,
+}
+
+fn rel_error(predicted: f64, actual: f64) -> f64 {
+    (predicted - actual).abs() / actual.abs().max(1e-9)
+}
+
+impl PipelineReport {
+    /// Joins profiler predictions with tracer actuals over `graph`'s nodes.
+    /// A node appears if it was profiled or it executed.
+    pub fn build(graph: &Graph, profile: &PipelineProfile, tracer: &Tracer) -> Self {
+        let actuals = tracer.node_actuals();
+        let counters = tracer.cache_counters();
+        let mut nodes = Vec::new();
+        for id in 0..graph.len() {
+            let prof = profile.nodes.get(&id);
+            let act = actuals.get(&id);
+            if prof.is_none() && act.is_none() && !counters.contains_key(&id) {
+                continue;
+            }
+            let predicted_secs = prof.map(|p| p.est_secs(p.records_hint));
+            let predicted_out_bytes = prof.map(|p| p.est_output_bytes());
+            let (wall, sim, execs, out_bytes) = act
+                .map(|a| (a.wall_secs, a.sim_secs, a.execs, a.out_bytes))
+                .unwrap_or((0.0, 0.0, 0, 0));
+            let per_exec = if execs > 0 {
+                Some(wall / execs as f64)
+            } else {
+                None
+            };
+            let time_rel_error = match (predicted_secs, per_exec) {
+                (Some(p), Some(a)) => Some(rel_error(p, a)),
+                _ => None,
+            };
+            let bytes_rel_error = match (predicted_out_bytes, act) {
+                (Some(p), Some(a)) if a.out_bytes > 0 => Some(rel_error(p, a.out_bytes as f64)),
+                _ => None,
+            };
+            nodes.push(NodeReport {
+                node: id,
+                label: graph.nodes[id].label.clone(),
+                predicted_secs,
+                predicted_out_bytes,
+                actual_wall_secs: wall,
+                actual_sim_secs: sim,
+                actual_out_bytes: out_bytes,
+                execs,
+                cache: counters.get(&id).copied().unwrap_or_default(),
+                time_rel_error,
+                bytes_rel_error,
+            });
+        }
+        let cache_hits = nodes.iter().map(|n| n.cache.hits).sum();
+        let cache_misses = nodes.iter().map(|n| n.cache.misses).sum();
+        PipelineReport {
+            nodes,
+            events: tracer.len(),
+            cache_hits,
+            cache_misses,
+        }
+    }
+
+    /// Row for a label (first match).
+    pub fn node(&self, label: &str) -> Option<&NodeReport> {
+        self.nodes.iter().find(|n| n.label == label)
+    }
+
+    /// Largest per-node wall-time relative error, if any node has one.
+    pub fn max_time_rel_error(&self) -> Option<f64> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.time_rel_error)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    /// Largest per-node output-bytes relative error, if any node has one.
+    pub fn max_bytes_rel_error(&self) -> Option<f64> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.bytes_rel_error)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    /// Serializes the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.nodes.len() * 256);
+        s.push_str("{\"events\":");
+        s.push_str(&self.events.to_string());
+        s.push_str(",\"cache_hits\":");
+        s.push_str(&self.cache_hits.to_string());
+        s.push_str(",\"cache_misses\":");
+        s.push_str(&self.cache_misses.to_string());
+        s.push_str(",\"nodes\":[");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"node\":");
+            s.push_str(&n.node.to_string());
+            s.push_str(",\"label\":");
+            json_string(&mut s, &n.label);
+            s.push_str(",\"predicted_secs\":");
+            json_opt_f64(&mut s, n.predicted_secs);
+            s.push_str(",\"predicted_out_bytes\":");
+            json_opt_f64(&mut s, n.predicted_out_bytes);
+            s.push_str(",\"actual_wall_secs\":");
+            json_f64(&mut s, n.actual_wall_secs);
+            s.push_str(",\"actual_sim_secs\":");
+            json_f64(&mut s, n.actual_sim_secs);
+            s.push_str(",\"actual_out_bytes\":");
+            s.push_str(&n.actual_out_bytes.to_string());
+            s.push_str(",\"execs\":");
+            s.push_str(&n.execs.to_string());
+            s.push_str(",\"cache\":{\"hits\":");
+            s.push_str(&n.cache.hits.to_string());
+            s.push_str(",\"misses\":");
+            s.push_str(&n.cache.misses.to_string());
+            s.push_str(",\"admissions\":");
+            s.push_str(&n.cache.admissions.to_string());
+            s.push_str(",\"evictions\":");
+            s.push_str(&n.cache.evictions.to_string());
+            s.push_str(",\"rejections\":");
+            s.push_str(&n.cache.rejections.to_string());
+            s.push_str("},\"time_rel_error\":");
+            json_opt_f64(&mut s, n.time_rel_error);
+            s.push_str(",\"bytes_rel_error\":");
+            json_opt_f64(&mut s, n.bytes_rel_error);
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Renders a fixed-width predicted-vs-actual table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>6} {:>11} {:>11} {:>7} {:>6} {:>6}\n",
+            "node", "execs", "pred(s)", "wall(s)", "err%", "hits", "miss"
+        ));
+        for n in &self.nodes {
+            let pred = n
+                .predicted_secs
+                .map_or("-".to_string(), |p| format!("{:.5}", p));
+            let err = n
+                .time_rel_error
+                .map_or("-".to_string(), |e| format!("{:.1}", e * 100.0));
+            let mut label = n.label.clone();
+            if label.len() > 28 {
+                label.truncate(25);
+                label.push_str("...");
+            }
+            out.push_str(&format!(
+                "{:<28} {:>6} {:>11} {:>11.5} {:>7} {:>6} {:>6}\n",
+                label, n.execs, pred, n.actual_wall_secs, err, n.cache.hits, n.cache.misses
+            ));
+        }
+        out.push_str(&format!(
+            "events: {}, cache hits: {}, misses: {}\n",
+            self.events, self.cache_hits, self.cache_misses
+        ));
+        out
+    }
+}
+
+fn json_f64(s: &mut String, v: f64) {
+    if v.is_finite() {
+        // Shortest roundtrip formatting Rust offers; always valid JSON.
+        let formatted = format!("{}", v);
+        s.push_str(&formatted);
+        if !formatted.contains('.') && !formatted.contains('e') {
+            s.push_str(".0");
+        }
+    } else {
+        s.push_str("null");
+    }
+}
+
+fn json_opt_f64(s: &mut String, v: Option<f64>) {
+    match v {
+        Some(x) => json_f64(s, x),
+        None => s.push_str("null"),
+    }
+}
+
+fn json_string(s: &mut String, v: &str) {
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Minimal JSON validity check used by tests: verifies balanced structure
+/// and quoting without building a DOM.
+#[doc(hidden)]
+pub fn json_is_balanced(s: &str) -> bool {
+    let mut depth: i64 = 0;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in s.chars() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0 && !in_str
+}
+
+/// Convenience: per-node cache counters keyed by label.
+pub fn counters_by_label(report: &PipelineReport) -> HashMap<String, CacheCounters> {
+    report
+        .nodes
+        .iter()
+        .map(|n| (n.label.clone(), n.cache))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Graph, NodeKind};
+    use crate::operator::AnyData;
+    use crate::profiler::{NodeProfile, PipelineProfile};
+    use crate::record::DataStats;
+    use keystone_dataflow::collection::DistCollection;
+
+    fn graph_with(labels: &[&str]) -> Graph {
+        let mut g = Graph::new();
+        let mut prev = None;
+        for l in labels {
+            let inputs = prev.map(|p| vec![p]).unwrap_or_default();
+            let kind = if prev.is_none() {
+                NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(vec![1.0f64], 1)))
+            } else {
+                NodeKind::RuntimeInput // kind irrelevant for report joins
+            };
+            prev = Some(g.add(kind, inputs, *l));
+        }
+        g
+    }
+
+    fn profile_for(node: usize, secs: f64, bytes: f64) -> PipelineProfile {
+        let mut p = PipelineProfile::default();
+        p.nodes.insert(
+            node,
+            NodeProfile {
+                secs_per_record: 0.0,
+                fixed_secs: secs,
+                out_bytes_per_record: 8.0,
+                out_records_per_in: 1.0,
+                records_hint: 100,
+                out_stats: DataStats {
+                    count: 100,
+                    bytes_per_record: bytes / 100.0,
+                    ..DataStats::empty()
+                },
+            },
+        );
+        p
+    }
+
+    #[test]
+    fn join_computes_relative_errors() {
+        let g = graph_with(&["src", "op"]);
+        let profile = profile_for(1, 2.0, 800.0);
+        let t = Tracer::new();
+        t.node_end(1, "op", 100, 800, 1.0, 0.5);
+        let r = PipelineReport::build(&g, &profile, &t);
+        let row = r.node("op").expect("row for op");
+        assert_eq!(row.execs, 1);
+        // pred 2.0 vs actual 1.0 → 100% relative error.
+        assert!((row.time_rel_error.expect("err") - 1.0).abs() < 1e-9);
+        // bytes predicted exactly.
+        assert!(row.bytes_rel_error.expect("bytes err") < 1e-9);
+        assert_eq!(r.max_time_rel_error(), row.time_rel_error);
+    }
+
+    #[test]
+    fn unexecuted_profiled_node_has_no_error() {
+        let g = graph_with(&["src", "op"]);
+        let profile = profile_for(1, 2.0, 800.0);
+        let t = Tracer::new();
+        let r = PipelineReport::build(&g, &profile, &t);
+        let row = r.node("op").expect("row");
+        assert_eq!(row.execs, 0);
+        assert!(row.time_rel_error.is_none());
+        assert!(r.max_time_rel_error().is_none());
+    }
+
+    #[test]
+    fn json_is_well_formed_and_contains_counters() {
+        let g = graph_with(&["src", "a\"quoted\"", "b"]);
+        let profile = profile_for(1, 2.0, 800.0);
+        let t = Tracer::new();
+        t.node_end(1, "a\"quoted\"", 100, 800, 1.5, 0.0);
+        t.record(crate::trace::TraceEvent::CacheMiss { node: 1 });
+        t.record(crate::trace::TraceEvent::CacheHit { node: 1 });
+        let r = PipelineReport::build(&g, &profile, &t);
+        let json = r.to_json();
+        assert!(json_is_balanced(&json), "unbalanced: {json}");
+        assert!(json.contains("\"cache_hits\":1"));
+        assert!(json.contains("\"cache_misses\":1"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"predicted_secs\":2"));
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let g = graph_with(&["src", "op"]);
+        let profile = profile_for(1, 2.0, 800.0);
+        let t = Tracer::new();
+        t.node_end(1, "op", 100, 800, 1.0, 0.0);
+        let r = PipelineReport::build(&g, &profile, &t);
+        let table = r.render_table();
+        assert!(table.contains("op"));
+        assert!(table.contains("err%"));
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn json_f64_emits_valid_numbers() {
+        let mut s = String::new();
+        json_f64(&mut s, 2.0);
+        assert_eq!(s, "2.0");
+        let mut s = String::new();
+        json_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+        let mut s = String::new();
+        json_f64(&mut s, 1.5e-7);
+        assert!(s.contains('e') || s.contains('.'));
+    }
+}

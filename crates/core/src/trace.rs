@@ -1,0 +1,404 @@
+//! Pipeline observability: the structured event sink every optimizer and
+//! executor decision flows through.
+//!
+//! The paper validates its optimizer by comparing *predicted* quantities
+//! (per-node runtimes and memory from execution subsampling, §4.1; cache
+//! picks from Algorithm 1, §4.3) against *observed* execution. This module
+//! records both sides as structured [`TraceEvent`]s on a shared [`Tracer`]:
+//!
+//! * node execution start/end with wall-clock and simulated-clock durations
+//!   (from the [`Executor`](crate::executor::Executor)),
+//! * cache hits/misses/evictions/admissions/rejections per node (via a
+//!   [`CacheObserver`] adapter on the
+//!   [`CacheManager`](keystone_dataflow::cache::CacheManager)),
+//! * operator-selection decisions including the losing candidates' cost
+//!   profiles (from the profiler, §4.1),
+//! * CSE merges (§4.2) and materialization picks with their estimated
+//!   savings (§4.3).
+//!
+//! The tracer lives on [`ExecContext`](crate::context::ExecContext) and is
+//! cheaply cloneable (clones share the ledger), so operators deep in a
+//! pipeline append to the same event stream the driver reads. Joining the
+//! stream against a [`PipelineProfile`](crate::profiler::PipelineProfile)
+//! yields a [`PipelineReport`](crate::report::PipelineReport) of
+//! predicted-vs-actual metrics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use keystone_dataflow::cache::CacheObserver;
+use keystone_dataflow::cost::CostProfile;
+use parking_lot::Mutex;
+
+use crate::graph::NodeId;
+
+/// One candidate considered during cost-based operator selection.
+#[derive(Debug, Clone)]
+pub struct OperatorCandidate {
+    /// Physical operator name.
+    pub name: String,
+    /// Its cost profile over the full-scale input statistics.
+    pub cost: CostProfile,
+    /// The scalar the optimizer minimized: estimated seconds on the target
+    /// cluster.
+    pub est_secs: f64,
+}
+
+/// A structured record of one runtime or optimizer decision.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// A node's own work began (inputs already materialized for transforms
+    /// and model application; estimators pull inputs lazily inside).
+    NodeStart {
+        /// Node id in the executing graph.
+        node: NodeId,
+        /// Node label.
+        label: String,
+    },
+    /// A node's own work finished.
+    NodeEnd {
+        /// Node id in the executing graph.
+        node: NodeId,
+        /// Node label.
+        label: String,
+        /// Input records consumed by this execution.
+        records: usize,
+        /// Output bytes produced (0 for models).
+        out_bytes: u64,
+        /// Wall-clock seconds of the node's own work.
+        wall_secs: f64,
+        /// Simulated cluster seconds charged during the node's work.
+        sim_secs: f64,
+    },
+    /// Cache lookup found the node's output resident.
+    CacheHit {
+        /// Node id (cache key).
+        node: NodeId,
+    },
+    /// Cache lookup missed.
+    CacheMiss {
+        /// Node id (cache key).
+        node: NodeId,
+    },
+    /// The node's output was admitted to the cache.
+    CacheAdmit {
+        /// Node id (cache key).
+        node: NodeId,
+        /// Admitted size in bytes.
+        bytes: u64,
+    },
+    /// The node's output was evicted to make room.
+    CacheEvict {
+        /// Node id (cache key).
+        node: NodeId,
+    },
+    /// An offer of the node's output was refused by policy or size.
+    CacheReject {
+        /// Node id (cache key).
+        node: NodeId,
+    },
+    /// Cost-based operator selection resolved a logical operator (§4.1).
+    OperatorChoice {
+        /// Node id of the rewritten operator.
+        node: NodeId,
+        /// Logical node label before rewriting.
+        label: String,
+        /// Winning physical operator name.
+        chosen: String,
+        /// Every candidate considered, winners and losers, with costs.
+        candidates: Vec<OperatorCandidate>,
+    },
+    /// CSE merged a structurally duplicate node into a canonical one (§4.2).
+    CseMerge {
+        /// Canonical node id (post-CSE graph).
+        kept: NodeId,
+        /// Canonical node's label.
+        label: String,
+        /// Number of duplicate nodes folded into it.
+        duplicates: usize,
+    },
+    /// Algorithm 1 pinned a node's output for materialization (§4.3).
+    MaterializePick {
+        /// Node id chosen for caching.
+        node: NodeId,
+        /// Node label.
+        label: String,
+        /// Estimated runtime saving of this pick, seconds.
+        est_saving_secs: f64,
+        /// Output size charged against the memory budget, bytes.
+        size_bytes: u64,
+    },
+}
+
+/// A [`TraceEvent`] plus its global sequence number (0-based, in the order
+/// events were recorded).
+#[derive(Debug, Clone)]
+pub struct TracedEvent {
+    /// Position in the event stream.
+    pub seq: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Per-node cache counters derived from the event stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found the node's output.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Admissions.
+    pub admissions: u64,
+    /// Evictions.
+    pub evictions: u64,
+    /// Rejected offers.
+    pub rejections: u64,
+}
+
+/// Per-node execution actuals derived from the event stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeActuals {
+    /// Number of completed executions.
+    pub execs: u64,
+    /// Total wall-clock seconds across executions.
+    pub wall_secs: f64,
+    /// Total simulated seconds across executions.
+    pub sim_secs: f64,
+    /// Input records of the last execution.
+    pub records: usize,
+    /// Output bytes of the last execution.
+    pub out_bytes: u64,
+}
+
+/// Shared, append-only event sink. Cloning shares the ledger.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl Tracer {
+    /// Fresh, empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&self, event: TraceEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Clears the ledger.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Snapshot of all events with sequence numbers.
+    pub fn events(&self) -> Vec<TracedEvent> {
+        self.events
+            .lock()
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, event)| TracedEvent {
+                seq: i as u64,
+                event,
+            })
+            .collect()
+    }
+
+    /// Records a node's work beginning.
+    pub fn node_start(&self, node: NodeId, label: &str) {
+        self.record(TraceEvent::NodeStart {
+            node,
+            label: label.to_string(),
+        });
+    }
+
+    /// Records a node's work finishing.
+    pub fn node_end(
+        &self,
+        node: NodeId,
+        label: &str,
+        records: usize,
+        out_bytes: u64,
+        wall_secs: f64,
+        sim_secs: f64,
+    ) {
+        self.record(TraceEvent::NodeEnd {
+            node,
+            label: label.to_string(),
+            records,
+            out_bytes,
+            wall_secs,
+            sim_secs,
+        });
+    }
+
+    /// Per-node cache counters aggregated from the stream.
+    pub fn cache_counters(&self) -> HashMap<NodeId, CacheCounters> {
+        let mut out: HashMap<NodeId, CacheCounters> = HashMap::new();
+        for e in self.events.lock().iter() {
+            match e {
+                TraceEvent::CacheHit { node } => out.entry(*node).or_default().hits += 1,
+                TraceEvent::CacheMiss { node } => out.entry(*node).or_default().misses += 1,
+                TraceEvent::CacheAdmit { node, .. } => {
+                    out.entry(*node).or_default().admissions += 1
+                }
+                TraceEvent::CacheEvict { node } => out.entry(*node).or_default().evictions += 1,
+                TraceEvent::CacheReject { node } => out.entry(*node).or_default().rejections += 1,
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Per-node execution actuals aggregated from `NodeEnd` events.
+    pub fn node_actuals(&self) -> HashMap<NodeId, NodeActuals> {
+        let mut out: HashMap<NodeId, NodeActuals> = HashMap::new();
+        for e in self.events.lock().iter() {
+            if let TraceEvent::NodeEnd {
+                node,
+                records,
+                out_bytes,
+                wall_secs,
+                sim_secs,
+                ..
+            } = e
+            {
+                let a = out.entry(*node).or_default();
+                a.execs += 1;
+                a.wall_secs += wall_secs;
+                a.sim_secs += sim_secs;
+                a.records = *records;
+                a.out_bytes = *out_bytes;
+            }
+        }
+        out
+    }
+
+    /// Labels of `NodeEnd` events in completion order (handy for asserting
+    /// execution order in tests).
+    pub fn completion_order(&self) -> Vec<String> {
+        self.events
+            .lock()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::NodeEnd { label, .. } => Some(label.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Adapter: forwards [`CacheManager`](keystone_dataflow::cache::CacheManager)
+/// callbacks into a [`Tracer`]. Cache keys are node ids by the executor's
+/// convention (`node as u64`).
+pub struct TraceCacheObserver(pub Tracer);
+
+impl CacheObserver for TraceCacheObserver {
+    fn on_hit(&self, key: u64) {
+        self.0.record(TraceEvent::CacheHit {
+            node: key as NodeId,
+        });
+    }
+    fn on_miss(&self, key: u64) {
+        self.0.record(TraceEvent::CacheMiss {
+            node: key as NodeId,
+        });
+    }
+    fn on_admit(&self, key: u64, size: u64) {
+        self.0.record(TraceEvent::CacheAdmit {
+            node: key as NodeId,
+            bytes: size,
+        });
+    }
+    fn on_evict(&self, key: u64) {
+        self.0.record(TraceEvent::CacheEvict {
+            node: key as NodeId,
+        });
+    }
+    fn on_reject(&self, key: u64) {
+        self.0.record(TraceEvent::CacheReject {
+            node: key as NodeId,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_follow_recording_order() {
+        let t = Tracer::new();
+        t.node_start(0, "a");
+        t.node_end(0, "a", 10, 80, 0.5, 0.1);
+        t.node_start(1, "b");
+        t.node_end(1, "b", 10, 80, 0.25, 0.05);
+        let evs = t.events();
+        assert_eq!(evs.len(), 4);
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        assert_eq!(t.completion_order(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn clones_share_the_ledger() {
+        let t = Tracer::new();
+        let clone = t.clone();
+        clone.record(TraceEvent::CacheMiss { node: 3 });
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(clone.is_empty());
+    }
+
+    #[test]
+    fn cache_counters_aggregate_per_node() {
+        let t = Tracer::new();
+        let obs = TraceCacheObserver(t.clone());
+        obs.on_miss(1);
+        obs.on_admit(1, 64);
+        obs.on_hit(1);
+        obs.on_hit(1);
+        obs.on_miss(2);
+        obs.on_reject(2);
+        obs.on_evict(1);
+        let counters = t.cache_counters();
+        assert_eq!(
+            counters[&1],
+            CacheCounters {
+                hits: 2,
+                misses: 1,
+                admissions: 1,
+                evictions: 1,
+                rejections: 0,
+            }
+        );
+        assert_eq!(counters[&2].misses, 1);
+        assert_eq!(counters[&2].rejections, 1);
+    }
+
+    #[test]
+    fn node_actuals_sum_over_executions() {
+        let t = Tracer::new();
+        t.node_end(5, "x", 100, 800, 1.0, 0.5);
+        t.node_end(5, "x", 100, 800, 3.0, 1.5);
+        let a = t.node_actuals()[&5];
+        assert_eq!(a.execs, 2);
+        assert!((a.wall_secs - 4.0).abs() < 1e-12);
+        assert!((a.sim_secs - 2.0).abs() < 1e-12);
+        assert_eq!(a.records, 100);
+        assert_eq!(a.out_bytes, 800);
+    }
+}

@@ -72,9 +72,7 @@ pub fn grid_search<C: Clone, A: Record, B: Record>(
         let fit_secs = start.elapsed().as_secs_f64();
         let s = score(&fitted, ctx);
         assert!(!s.is_nan(), "score must not be NaN");
-        let is_best = best
-            .as_ref()
-            .is_none_or(|(bi, _)| s > trials[*bi].score);
+        let is_best = best.as_ref().is_none_or(|(bi, _)| s > trials[*bi].score);
         trials.push(Trial {
             config: config.clone(),
             score: s,

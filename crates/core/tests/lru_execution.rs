@@ -37,10 +37,7 @@ impl Transformer<f64, f64> for CountingAdd {
 fn chain(calls_a: Arc<AtomicU64>, calls_b: Arc<AtomicU64>) -> (Graph, usize) {
     let mut g = Graph::new();
     let src = g.add(
-        NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(
-            vec![1.0f64; 64],
-            4,
-        ))),
+        NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(vec![1.0f64; 64], 4))),
         vec![],
         "src",
     );
@@ -97,8 +94,16 @@ fn lru_admission_control_blocks_large_objects() {
     for _ in 0..3 {
         let _ = exec.eval(b);
     }
-    assert_eq!(ca.load(Ordering::SeqCst), 3, "nothing admitted: a recomputed");
-    assert_eq!(cb.load(Ordering::SeqCst), 3, "nothing admitted: b recomputed");
+    assert_eq!(
+        ca.load(Ordering::SeqCst),
+        3,
+        "nothing admitted: a recomputed"
+    );
+    assert_eq!(
+        cb.load(Ordering::SeqCst),
+        3,
+        "nothing admitted: b recomputed"
+    );
 }
 
 #[test]

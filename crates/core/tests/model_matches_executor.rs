@@ -10,9 +10,7 @@ use std::sync::Arc;
 use keystone_core::context::ExecContext;
 use keystone_core::executor::Executor;
 use keystone_core::graph::{Graph, NodeKind};
-use keystone_core::operator::{
-    AnyData, Estimator, Transformer, TypedEstimator, TypedTransformer,
-};
+use keystone_core::operator::{AnyData, Estimator, Transformer, TypedEstimator, TypedTransformer};
 use keystone_core::optimizer::materialize::{MatNode, MatProblem};
 use keystone_dataflow::cache::{CacheManager, CachePolicy};
 use keystone_dataflow::collection::DistCollection;
@@ -58,10 +56,7 @@ impl Estimator<f64, f64> for MultiPass {
 fn build() -> (Graph, Vec<usize>) {
     let mut g = Graph::new();
     let src = g.add(
-        NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(
-            vec![1.0f64; 8],
-            2,
-        ))),
+        NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(vec![1.0f64; 8], 2))),
         vec![],
         "src",
     );

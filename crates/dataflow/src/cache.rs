@@ -23,6 +23,33 @@ use std::sync::Arc;
 /// Type-erased cached value.
 pub type CachedValue = Arc<dyn Any + Send + Sync>;
 
+/// Observer of cache-manager decisions, for tracing layers that want the
+/// per-key story (which node hit, which was evicted to make room) rather
+/// than the aggregate [`CacheStats`] counters. All callbacks fire while the
+/// cache lock is held, so implementations must not call back into the cache.
+pub trait CacheObserver: Send + Sync {
+    /// A lookup found `key` resident.
+    fn on_hit(&self, key: u64) {
+        let _ = key;
+    }
+    /// A lookup missed `key`.
+    fn on_miss(&self, key: u64) {
+        let _ = key;
+    }
+    /// `key` was admitted at `size` bytes.
+    fn on_admit(&self, key: u64, size: u64) {
+        let _ = (key, size);
+    }
+    /// `key` was evicted to make room.
+    fn on_evict(&self, key: u64) {
+        let _ = key;
+    }
+    /// An offer of `key` was refused by policy or size.
+    fn on_reject(&self, key: u64) {
+        let _ = key;
+    }
+}
+
 /// Admission/eviction policy.
 #[derive(Debug, Clone)]
 pub enum CachePolicy {
@@ -67,6 +94,7 @@ struct Inner {
 pub struct CacheManager {
     budget: u64,
     policy: CachePolicy,
+    observer: Option<Arc<dyn CacheObserver>>,
     inner: Mutex<Inner>,
 }
 
@@ -76,12 +104,26 @@ impl CacheManager {
         CacheManager {
             budget,
             policy,
+            observer: None,
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
                 used: 0,
                 clock: 0,
                 stats: CacheStats::default(),
             }),
+        }
+    }
+
+    /// Attaches an observer that is notified of every hit, miss, admission,
+    /// eviction, and rejection.
+    pub fn with_observer(mut self, observer: Arc<dyn CacheObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    fn notify(&self, f: impl FnOnce(&dyn CacheObserver)) {
+        if let Some(obs) = &self.observer {
+            f(obs.as_ref());
         }
     }
 
@@ -115,10 +157,12 @@ impl CacheManager {
                 e.last_used = clock;
                 let v = e.value.clone();
                 inner.stats.hits += 1;
+                self.notify(|o| o.on_hit(key));
                 Some(v)
             }
             None => {
                 inner.stats.misses += 1;
+                self.notify(|o| o.on_miss(key));
                 None
             }
         }
@@ -134,6 +178,7 @@ impl CacheManager {
             CachePolicy::Pinned(set) => {
                 if !set.contains(&key) || size > self.budget.saturating_sub(inner.used) {
                     inner.stats.rejected += 1;
+                    self.notify(|o| o.on_reject(key));
                     return false;
                 }
                 inner.clock += 1;
@@ -148,12 +193,14 @@ impl CacheManager {
                     },
                 );
                 inner.used += size;
+                self.notify(|o| o.on_admit(key, size));
                 true
             }
             CachePolicy::Lru { admission_fraction } => {
                 let max_object = (self.budget as f64 * admission_fraction) as u64;
                 if size > max_object || size > self.budget {
                     inner.stats.rejected += 1;
+                    self.notify(|o| o.on_reject(key));
                     return false;
                 }
                 // Evict LRU non-pinned entries until the new object fits.
@@ -169,9 +216,11 @@ impl CacheManager {
                             let e = inner.entries.remove(&k).expect("victim exists");
                             inner.used -= e.size;
                             inner.stats.evictions += 1;
+                            self.notify(|o| o.on_evict(k));
                         }
                         None => {
                             inner.stats.rejected += 1;
+                            self.notify(|o| o.on_reject(key));
                             return false;
                         }
                     }
@@ -188,6 +237,7 @@ impl CacheManager {
                     },
                 );
                 inner.used += size;
+                self.notify(|o| o.on_admit(key, size));
                 true
             }
         }
@@ -312,6 +362,65 @@ mod tests {
         c.clear();
         assert_eq!(c.used(), 0);
         assert!(c.get(1).is_none());
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        events: Mutex<Vec<String>>,
+    }
+    impl CacheObserver for Recorder {
+        fn on_hit(&self, key: u64) {
+            self.events.lock().push(format!("hit:{key}"));
+        }
+        fn on_miss(&self, key: u64) {
+            self.events.lock().push(format!("miss:{key}"));
+        }
+        fn on_admit(&self, key: u64, size: u64) {
+            self.events.lock().push(format!("admit:{key}:{size}"));
+        }
+        fn on_evict(&self, key: u64) {
+            self.events.lock().push(format!("evict:{key}"));
+        }
+        fn on_reject(&self, key: u64) {
+            self.events.lock().push(format!("reject:{key}"));
+        }
+    }
+
+    #[test]
+    fn observer_sees_the_full_story() {
+        let rec = Arc::new(Recorder::default());
+        let c = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 0.5,
+            },
+        )
+        .with_observer(rec.clone());
+        let _ = c.get(1); // miss
+        assert!(c.put(1, val(1), 40)); // admit
+        let _ = c.get(1); // hit
+        assert!(!c.put(2, val(2), 60)); // reject (oversized)
+        assert!(c.put(3, val(3), 50)); // admit
+        assert!(c.put(4, val(4), 40)); // evicts LRU (key 1), admit
+        let events = rec.events.lock().clone();
+        assert_eq!(
+            events,
+            vec![
+                "miss:1",
+                "admit:1:40",
+                "hit:1",
+                "reject:2",
+                "admit:3:50",
+                "evict:1",
+                "admit:4:40",
+            ]
+        );
+        // Observer totals agree with the aggregate counters.
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.rejected, 1);
     }
 
     #[test]

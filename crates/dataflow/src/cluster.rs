@@ -6,11 +6,9 @@
 //! for the EC2 instance type used in the evaluation and a calibration
 //! routine that microbenchmarks the local machine.
 
-use serde::{Deserialize, Serialize};
-
 /// Cluster resource descriptor: everything the cost-based optimizer knows
 /// about the hardware.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceDesc {
     /// Number of worker nodes (`R_w`).
     pub workers: usize,
@@ -186,7 +184,9 @@ mod tests {
 
     #[test]
     fn with_mem_budget() {
-        let r = ClusterProfile::R3_4xlarge.descriptor(4).with_mem_per_worker(5 << 30);
+        let r = ClusterProfile::R3_4xlarge
+            .descriptor(4)
+            .with_mem_per_worker(5 << 30);
         assert_eq!(r.mem_per_worker, 5 << 30);
     }
 

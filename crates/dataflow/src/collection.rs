@@ -115,11 +115,7 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         U: Send + Sync + 'static,
         F: Fn(&[T]) -> Vec<U> + Send + Sync,
     {
-        let partitions = self
-            .partitions
-            .par_iter()
-            .map(|p| Arc::new(f(p)))
-            .collect();
+        let partitions = self.partitions.par_iter().map(|p| Arc::new(f(p))).collect();
         DistCollection { partitions }
     }
 
@@ -254,8 +250,7 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         }
         let mut out = Vec::with_capacity(n + self.partitions.len());
         for (pi, p) in self.partitions.iter().enumerate() {
-            let want =
-                ((p.len() as f64 / total as f64) * n as f64).round() as usize;
+            let want = ((p.len() as f64 / total as f64) * n as f64).round() as usize;
             let want = want.min(p.len());
             if want == 0 {
                 continue;
@@ -264,9 +259,7 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
             // good enough for statistics collection.
             let stride = p.len() / want;
             let offset = (split_seed(seed, pi as u64) as usize) % stride.max(1);
-            out.extend(
-                (0..want).map(|i| p[(offset + i * stride).min(p.len() - 1)].clone()),
-            );
+            out.extend((0..want).map(|i| p[(offset + i * stride).min(p.len() - 1)].clone()));
         }
         out.truncate(n);
         out
@@ -440,7 +433,7 @@ mod proptests {
         fn prop_sample_is_subset(data in proptest::collection::vec(0i64..1_000_000, 1..200), p in 1usize..10, n in 0usize..250, seed in 0u64..100) {
             let c = DistCollection::from_vec(data.clone(), p);
             let s = c.sample(n, seed);
-            prop_assert!(s.len() <= n.max(0).min(data.len()) || s.len() <= data.len());
+            prop_assert!(s.len() <= n.min(data.len()) || s.len() <= data.len());
             for v in &s {
                 prop_assert!(data.contains(v));
             }

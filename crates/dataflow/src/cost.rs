@@ -12,14 +12,13 @@
 //! is the time the most-loaded network link spends moving `network` bytes.
 
 use crate::cluster::ResourceDesc;
-use serde::{Deserialize, Serialize};
 
 /// Per-operator resource consumption estimate.
 ///
 /// All three fields describe the **critical path**: `flops` and `bytes` are
 /// the most any single node does, `network` is the traffic over the most
 /// loaded link — exactly the convention of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CostProfile {
     /// Floating-point operations on the busiest node.
     pub flops: f64,
@@ -129,9 +128,18 @@ mod tests {
         };
         let t0 = base.estimated_seconds(&rd);
         for bump in [
-            CostProfile { flops: 1e10, ..base },
-            CostProfile { bytes: 1e10, ..base },
-            CostProfile { network: 1e9, ..base },
+            CostProfile {
+                flops: 1e10,
+                ..base
+            },
+            CostProfile {
+                bytes: 1e10,
+                ..base
+            },
+            CostProfile {
+                network: 1e9,
+                ..base
+            },
         ] {
             assert!(bump.estimated_seconds(&rd) > t0);
         }

@@ -72,15 +72,9 @@ impl SimClock {
     /// Seconds grouped by stage prefix (everything before the first ':').
     pub fn by_stage(&self) -> Vec<(String, f64)> {
         let mut order: Vec<String> = Vec::new();
-        let mut totals: std::collections::HashMap<String, f64> =
-            std::collections::HashMap::new();
+        let mut totals: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
         for e in self.entries.lock().iter() {
-            let key = e
-                .stage
-                .split(':')
-                .next()
-                .unwrap_or(&e.stage)
-                .to_string();
+            let key = e.stage.split(':').next().unwrap_or(&e.stage).to_string();
             if !totals.contains_key(&key) {
                 order.push(key.clone());
             }
@@ -93,6 +87,23 @@ impl SimClock {
                 (k, v)
             })
             .collect()
+    }
+
+    /// Opaque position in the ledger; pair with [`SimClock::seconds_since`]
+    /// to attribute a span of charges (e.g. one node's execution) without
+    /// re-summing the whole ledger.
+    pub fn mark(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Simulated seconds charged since `mark`.
+    pub fn seconds_since(&self, mark: usize) -> f64 {
+        self.entries
+            .lock()
+            .iter()
+            .skip(mark)
+            .map(|e| e.exec_secs + e.coord_secs)
+            .sum()
     }
 
     /// Snapshot of all entries.
@@ -152,6 +163,17 @@ mod tests {
     }
 
     #[test]
+    fn mark_and_seconds_since_span_charges() {
+        let clock = SimClock::new();
+        clock.charge_seconds("before", 1.0, 0.0);
+        let mark = clock.mark();
+        assert_eq!(clock.seconds_since(mark), 0.0);
+        clock.charge_seconds("during", 2.0, 0.5);
+        assert!((clock.seconds_since(mark) - 2.5).abs() < 1e-12);
+        assert!((clock.total_seconds() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
     fn clones_share_ledger() {
         let clock = SimClock::new();
         let clone = clock.clone();
@@ -166,11 +188,7 @@ mod tests {
         let mut r = ClusterProfile::R3_4xlarge.descriptor(1);
         r.exec_weight = 2.0;
         let clock = SimClock::new();
-        clock.charge(
-            "w",
-            &CostProfile::compute(r.gflops_per_worker),
-            &r,
-        );
+        clock.charge("w", &CostProfile::compute(r.gflops_per_worker), &r);
         assert!((clock.total_seconds() - 2.0).abs() < 1e-12);
     }
 }

@@ -97,11 +97,7 @@ impl Cholesky {
 /// Retries with growing regularization if `G` is numerically semi-definite,
 /// which happens for rank-deficient feature matrices; this mirrors the
 /// defensive jitter every production solver applies.
-pub fn solve_normal_equations(
-    gram: &DenseMatrix,
-    rhs: &DenseMatrix,
-    lambda: f64,
-) -> DenseMatrix {
+pub fn solve_normal_equations(gram: &DenseMatrix, rhs: &DenseMatrix, lambda: f64) -> DenseMatrix {
     let n = gram.rows();
     let mut reg = lambda.max(0.0);
     // Scale-aware floor for the jitter retries.

@@ -199,8 +199,7 @@ impl DenseMatrix {
         assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
         let mut out = DenseMatrix::zeros(r1 - r0, c1 - c0);
         for i in r0..r1 {
-            out.row_mut(i - r0)
-                .copy_from_slice(&self.row(i)[c0..c1]);
+            out.row_mut(i - r0).copy_from_slice(&self.row(i)[c0..c1]);
         }
         out
     }

@@ -242,7 +242,11 @@ mod tests {
         let x = lstsq(&a, &b);
         let resid = &matmul(&a, &x) - &b;
         let atr = matmul(&a.transpose(), &resid);
-        assert!(atr.frobenius_norm() < 1e-7, "residual not orthogonal: {}", atr.frobenius_norm());
+        assert!(
+            atr.frobenius_norm() < 1e-7,
+            "residual not orthogonal: {}",
+            atr.frobenius_norm()
+        );
     }
 
     #[test]
@@ -266,7 +270,13 @@ mod tests {
     #[test]
     fn rank_deficient_does_not_blow_up() {
         // Two identical columns: solution should still be finite.
-        let a = DenseMatrix::from_fn(10, 3, |i, j| if j == 2 { i as f64 } else { (i * (j + 1)) as f64 });
+        let a = DenseMatrix::from_fn(10, 3, |i, j| {
+            if j == 2 {
+                i as f64
+            } else {
+                (i * (j + 1)) as f64
+            }
+        });
         let b = DenseMatrix::from_fn(10, 1, |i, _| i as f64);
         let x = lstsq(&a, &b);
         assert!(x.data().iter().all(|v| v.is_finite()));

@@ -116,10 +116,7 @@ impl Zipf {
     /// Draws a rank in `[0, n)`; rank 0 is the most frequent.
     pub fn sample(&self, rng: &mut XorShiftRng) -> usize {
         let u = rng.next_f64();
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
-        {
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -212,7 +209,12 @@ mod tests {
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[99] * 5, "head {} tail {}", counts[0], counts[99]);
+        assert!(
+            counts[0] > counts[99] * 5,
+            "head {} tail {}",
+            counts[0],
+            counts[99]
+        );
         // Rough Zipf check: rank-0 frequency about 1/H_n.
         let hn: f64 = (1..=1000).map(|r| 1.0 / r as f64).sum();
         let expect = 20_000.0 / hn;

@@ -264,10 +264,7 @@ impl CsrMatrix {
         (0..self.rows)
             .map(|i| {
                 let (idx, vals) = self.row(i);
-                idx.iter()
-                    .zip(vals)
-                    .map(|(&j, &v)| v * x[j as usize])
-                    .sum()
+                idx.iter().zip(vals).map(|(&j, &v)| v * x[j as usize]).sum()
             })
             .collect()
     }

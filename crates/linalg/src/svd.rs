@@ -106,11 +106,7 @@ fn svd_tall(a: &DenseMatrix) -> Svd {
         }
     }
     let v_sorted = v.select_cols(&order);
-    Svd {
-        u,
-        s,
-        v: v_sorted,
-    }
+    Svd { u, s, v: v_sorted }
 }
 
 impl Svd {
@@ -259,6 +255,10 @@ mod tests {
         a.center_rows(&mu);
         let pc = pca_via_covariance(&a, 1);
         let ratio = (pc.get(0, 0) / pc.get(1, 0)).abs();
-        assert!((ratio - 1.0).abs() < 0.05, "expected ~[1,1] direction, ratio {}", ratio);
+        assert!(
+            (ratio - 1.0).abs() < 0.05,
+            "expected ~[1,1] direction, ratio {}",
+            ratio
+        );
     }
 }

@@ -109,7 +109,13 @@ mod tests {
         let approx = truncated_svd(&a, 5, TsvdOptions::default());
         for i in 0..5 {
             let rel = (exact.s[i] - approx.s[i]).abs() / exact.s[i].max(1e-12);
-            assert!(rel < 1e-6, "sv {} mismatch: {} vs {}", i, exact.s[i], approx.s[i]);
+            assert!(
+                rel < 1e-6,
+                "sv {} mismatch: {} vs {}",
+                i,
+                exact.s[i],
+                approx.s[i]
+            );
         }
     }
 
@@ -155,7 +161,14 @@ mod tests {
         let mut rng = XorShiftRng::new(7);
         let a = DenseMatrix::from_fn(30, 30, |_, _| rng.next_gaussian());
         let exact = svd(&a);
-        let approx = truncated_svd(&a, 3, TsvdOptions { power_iters: 4, ..Default::default() });
+        let approx = truncated_svd(
+            &a,
+            3,
+            TsvdOptions {
+                power_iters: 4,
+                ..Default::default()
+            },
+        );
         let rel = (exact.s[0] - approx.s[0]).abs() / exact.s[0];
         assert!(rel < 0.01, "top sv rel err {}", rel);
     }

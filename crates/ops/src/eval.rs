@@ -10,11 +10,7 @@ pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    let correct = predicted
-        .iter()
-        .zip(truth)
-        .filter(|(p, t)| p == t)
-        .count();
+    let correct = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
     correct as f64 / predicted.len() as f64
 }
 

@@ -310,9 +310,8 @@ impl OptimizableTransformer<Image, Image> for Convolver {
             let dims = stats.first().map_or(0.0, |s| s.dims.max(1.0));
             (dims / d).sqrt().max(k)
         };
-        let records = |stats: &[DataStats]| -> f64 {
-            stats.first().map_or(1.0, |s| s.count.max(1) as f64)
-        };
+        let records =
+            |stats: &[DataStats]| -> f64 { stats.first().map_or(1.0, |s| s.count.max(1) as f64) };
 
         vec![
             TransformerOption {
@@ -331,10 +330,7 @@ impl OptimizableTransformer<Image, Image> for Convolver {
                 cost: Box::new(move |stats, _r: &ResourceDesc| {
                     let n = side(stats);
                     CostProfile::compute(
-                        records(stats)
-                            * d
-                            * b
-                            * (6.0 * n * n * n.log2().max(1.0) + 4.0 * n * n),
+                        records(stats) * d * b * (6.0 * n * n * n.log2().max(1.0) + 4.0 * n * n),
                     )
                 }),
                 op: Box::new(ConvolverFft {
@@ -349,9 +345,7 @@ impl OptimizableTransformer<Image, Image> for Convolver {
                     }
                     let n = side(stats);
                     let m = (n - k + 1.0).max(1.0);
-                    CostProfile::compute(
-                        records(stats) * (2.0 * d * b * k * m * m + b * k * k * k),
-                    )
+                    CostProfile::compute(records(stats) * (2.0 * d * b * k * m * m + b * k * k * k))
                 }),
                 op: Box::new(ConvolverSeparable::from_bank(self.bank.clone())),
             },
@@ -371,12 +365,7 @@ pub fn convolve_direct_oracle(img: &Image, bank: &FilterBank) -> Image {
     for (bi, f) in bank.filters().iter().enumerate() {
         let fdata: Vec<f64> = f.data().to_vec();
         for c in 0..img.channels() {
-            let res = correlate2d_direct(
-                img.plane(c),
-                img.width(),
-                &fdata,
-                k,
-            );
+            let res = correlate2d_direct(img.plane(c), img.width(), &fdata, k);
             for oy in 0..mh {
                 for ox in 0..mw {
                     let v = out.get(ox, oy, bi) + res[oy * mw + ox];

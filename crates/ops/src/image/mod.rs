@@ -102,7 +102,10 @@ impl Image {
     /// # Panics
     /// Panics if the rectangle exceeds the image bounds.
     pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Image {
-        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "crop out of bounds"
+        );
         let mut out = Image::zeros(w, h, self.channels);
         for c in 0..self.channels {
             for y in 0..h {
@@ -335,7 +338,11 @@ impl Transformer<Image, DenseMatrix> for Lcs {
                         }
                     }
                     let mean = if n > 0.0 { sum / n } else { 0.0 };
-                    let var = if n > 0.0 { (sq / n - mean * mean).max(0.0) } else { 0.0 };
+                    let var = if n > 0.0 {
+                        (sq / n - mean * mean).max(0.0)
+                    } else {
+                        0.0
+                    };
                     row[2 * c] = mean;
                     row[2 * c + 1] = var.sqrt();
                 }

@@ -53,9 +53,8 @@ impl Sift {
                     continue;
                 }
                 let angle = gy.atan2(gx); // (-π, π]
-                let bin = (((angle + std::f64::consts::PI)
-                    / (2.0 * std::f64::consts::PI)
-                    * 8.0) as usize)
+                let bin = (((angle + std::f64::consts::PI) / (2.0 * std::f64::consts::PI) * 8.0)
+                    as usize)
                     .min(7);
                 let cx = (dx / cell).min(3);
                 let cy = (dy / cell).min(3);
@@ -81,7 +80,10 @@ impl Sift {
 
 impl Transformer<Image, DenseMatrix> for Sift {
     fn apply(&self, img: &Image) -> DenseMatrix {
-        assert!(self.patch.is_multiple_of(4), "SIFT patch must be a multiple of 4");
+        assert!(
+            self.patch.is_multiple_of(4),
+            "SIFT patch must be a multiple of 4"
+        );
         if img.width() < self.patch || img.height() < self.patch {
             return DenseMatrix::zeros(0, SIFT_DIM);
         }
@@ -156,7 +158,12 @@ mod tests {
         let row = d.row(0);
         let bin6: f64 = (0..16).map(|cell| row[cell * 8 + 6]).sum();
         let others: f64 = row.iter().sum::<f64>() - bin6;
-        assert!(bin6 > others, "edge energy must land in bin 6: {} vs {}", bin6, others);
+        assert!(
+            bin6 > others,
+            "edge energy must land in bin 6: {} vs {}",
+            bin6,
+            others
+        );
     }
 
     #[test]

@@ -162,7 +162,12 @@ mod tests {
         let cross: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum();
         let c = model.encode(&descriptor_set(200, 4, 2.0, 23));
         let far: f64 = a.iter().zip(&c).map(|(x, y)| (x - y).powi(2)).sum();
-        assert!(cross < far, "same-class distance {} >= cross-class {}", cross, far);
+        assert!(
+            cross < far,
+            "same-class distance {} >= cross-class {}",
+            cross,
+            far
+        );
     }
 
     #[test]

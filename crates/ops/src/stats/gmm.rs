@@ -158,10 +158,7 @@ pub fn fit_gmm(cfg: &Gmm, x: &DenseMatrix) -> GmmModel {
             let nk_safe = nk.max(1e-10);
             model.weights[c] = nk / n as f64;
             for j in 0..d {
-                let mu: f64 = (0..n)
-                    .map(|i| resp.get(i, c) * x.get(i, j))
-                    .sum::<f64>()
-                    / nk_safe;
+                let mu: f64 = (0..n).map(|i| resp.get(i, c) * x.get(i, j)).sum::<f64>() / nk_safe;
                 model.means.set(c, j, mu);
             }
             for j in 0..d {

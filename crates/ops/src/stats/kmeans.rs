@@ -36,9 +36,7 @@ impl KMeans {
         let mut centers = DenseMatrix::zeros(k, d);
         let first = rng.next_usize(n);
         centers.row_mut(0).copy_from_slice(x.row(first));
-        let mut dists: Vec<f64> = (0..n)
-            .map(|i| sq_dist(x.row(i), centers.row(0)))
-            .collect();
+        let mut dists: Vec<f64> = (0..n).map(|i| sq_dist(x.row(i), centers.row(0))).collect();
         for c in 1..k {
             let total: f64 = dists.iter().sum();
             let mut target = rng.next_f64() * total.max(1e-300);

@@ -10,9 +10,7 @@
 //!   (`O(n d l / w)` per pass, `O(d l)` network per pass).
 
 use keystone_core::context::ExecContext;
-use keystone_core::operator::{
-    Estimator, EstimatorOption, OptimizableEstimator, Transformer,
-};
+use keystone_core::operator::{Estimator, EstimatorOption, OptimizableEstimator, Transformer};
 use keystone_core::record::DataStats;
 use keystone_dataflow::cluster::ResourceDesc;
 use keystone_dataflow::collection::DistCollection;
@@ -206,8 +204,7 @@ pub fn fit_dist_tsvd(
                 |part| {
                     let mut acc = DenseMatrix::zeros(d, l);
                     for x in part {
-                        let xc: Vec<f64> =
-                            x.iter().zip(&mean_c).map(|(a, b)| a - b).collect();
+                        let xc: Vec<f64> = x.iter().zip(&mean_c).map(|(a, b)| a - b).collect();
                         // t = xcᵀ Ω (length l), acc += xc ⊗ t.
                         let t = om.tr_matvec(&xc);
                         for (i, &xv) in xc.iter().enumerate() {
@@ -263,7 +260,7 @@ pub fn fit_dist_tsvd(
         )
         .unwrap_or_else(|| DenseMatrix::zeros(d, l));
     let small = matmul(&omega.transpose(), &cov_q); // l × l
-    // Symmetrize against numerical drift.
+                                                    // Symmetrize against numerical drift.
     let smallt = small.transpose();
     let mut sym = small;
     sym += &smallt;
@@ -580,10 +577,12 @@ mod tests {
         let rows = anisotropic(400, 6, 1);
         let m = to_matrix(&rows);
         let dist = DistCollection::from_vec(rows.clone(), 4);
-        let models = [fit_local_exact(&m, 2),
+        let models = [
+            fit_local_exact(&m, 2),
             fit_local_tsvd(&m, 2, 7),
             fit_dist_exact(&dist, 2),
-            fit_dist_tsvd(&dist, 2, 3, 7)];
+            fit_dist_tsvd(&dist, 2, 3, 7),
+        ];
         let exact_var = captured_variance(&models[0], &rows);
         for (i, model) in models.iter().enumerate() {
             let v = captured_variance(model, &rows);
@@ -608,7 +607,12 @@ mod tests {
             let a = local.components.col(c);
             let b = dist.components.col(c);
             let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-            assert!(dot.abs() > 0.999, "component {} misaligned: |dot| = {}", c, dot.abs());
+            assert!(
+                dot.abs() > 0.999,
+                "component {} misaligned: |dot| = {}",
+                c,
+                dot.abs()
+            );
         }
     }
 
@@ -618,8 +622,7 @@ mod tests {
         let model = fit_dist_exact(&DistCollection::from_vec(rows.clone(), 2), 3);
         let projs: Vec<Vec<f64>> = rows.iter().map(|r| model.project(r)).collect();
         for c in 0..3 {
-            let mean: f64 =
-                projs.iter().map(|p| p[c]).sum::<f64>() / projs.len() as f64;
+            let mean: f64 = projs.iter().map(|p| p[c]).sum::<f64>() / projs.len() as f64;
             assert!(mean.abs() < 1e-6, "projected mean {} for comp {}", mean, c);
         }
     }

@@ -122,10 +122,7 @@ impl HashingTF {
 
 impl Transformer<Vec<String>, SparseVector> for HashingTF {
     fn apply(&self, terms: &Vec<String>) -> SparseVector {
-        let mut pairs: Vec<(u32, f64)> = terms
-            .iter()
-            .map(|t| (self.hash(t), 1.0))
-            .collect();
+        let mut pairs: Vec<(u32, f64)> = terms.iter().map(|t| (self.hash(t), 1.0)).collect();
         if self.binary {
             pairs.sort_unstable_by_key(|p| p.0);
             pairs.dedup_by_key(|p| p.0);
@@ -314,8 +311,7 @@ mod tests {
 
     #[test]
     fn common_sparse_features_binary_values() {
-        let docs: Vec<Vec<String>> =
-            vec![vec!["w".to_string(), "w".to_string(), "w".to_string()]];
+        let docs: Vec<Vec<String>> = vec![vec!["w".to_string(), "w".to_string(), "w".to_string()]];
         let data = DistCollection::from_vec(docs.clone(), 1);
         let model = CommonSparseFeatures::new(10).fit(&data, &ctx());
         let fv = model.apply(&docs[0]);

@@ -77,10 +77,8 @@ impl BlockSolver {
             &ctx.resources,
         );
 
-        let blocks: Vec<(usize, usize)> = (0..d)
-            .step_by(b)
-            .map(|lo| (lo, (lo + b).min(d)))
-            .collect();
+        let blocks: Vec<(usize, usize)> =
+            (0..d).step_by(b).map(|lo| (lo, (lo + b).min(d))).collect();
         let mut w = DenseMatrix::zeros(d, k);
         // Per-row scores S = X·W, maintained incrementally as a distributed
         // collection aligned with the data.
@@ -93,9 +91,8 @@ impl BlockSolver {
                 let bs = hi - lo;
                 // Pass 1: accumulate G_j = X_jᵀX_j and R_j = X_jᵀ(Y − S).
                 let with_labels = data.zip(labels, |x, y| (x.clone(), y.clone()));
-                let triples = with_labels.zip(&scores, |(x, y), s| {
-                    (x.clone(), y.clone(), s.clone())
-                });
+                let triples =
+                    with_labels.zip(&scores, |(x, y), s| (x.clone(), y.clone(), s.clone()));
                 let partial = triples.map_reduce_partitions(
                     |part| {
                         let mut gram = DenseMatrix::zeros(bs, bs);
@@ -113,8 +110,7 @@ impl BlockSolver {
                                     grow[j] += xi * xj;
                                 }
                                 let rrow = rhs.row_mut(i);
-                                for ((rv, &yv), &sv) in
-                                    rrow.iter_mut().zip(y.iter()).zip(s.iter())
+                                for ((rv, &yv), &sv) in rrow.iter_mut().zip(y.iter()).zip(s.iter())
                                 {
                                     *rv += xi * (yv - sv);
                                 }
@@ -236,7 +232,10 @@ mod tests {
             .zip(labels.collect())
             .map(|(x, y)| {
                 let p = m.scores(x);
-                p.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+                p.iter()
+                    .zip(&y)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
             })
             .sum::<f64>()
             / n
@@ -372,6 +371,10 @@ mod tests {
             lambda: 1e-10,
         }
         .minimize(&|| data.clone(), &labels, &ctx);
-        assert!((m.weights.get(5, 0) - 2.0).abs() < 1e-2, "w5 {}", m.weights.get(5, 0));
+        assert!(
+            (m.weights.get(5, 0) - 2.0).abs() < 1e-2,
+            "w5 {}",
+            m.weights.get(5, 0)
+        );
     }
 }

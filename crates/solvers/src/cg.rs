@@ -45,11 +45,7 @@ impl CgSolver {
     }
 
     /// Fused `q = Xᵀ(X p) + λ p` in one distributed pass.
-    fn apply_normal<F: Features>(
-        data: &DistCollection<F>,
-        p: &[f64],
-        lambda: f64,
-    ) -> Vec<f64> {
+    fn apply_normal<F: Features>(data: &DistCollection<F>, p: &[f64], lambda: f64) -> Vec<f64> {
         let d = p.len();
         let q = data
             .map_reduce_partitions(
@@ -79,11 +75,7 @@ impl CgSolver {
     }
 
     /// Solves one right-hand side with CG.
-    fn solve_column<F: Features>(
-        &self,
-        data: &DistCollection<F>,
-        rhs: &[f64],
-    ) -> Vec<f64> {
+    fn solve_column<F: Features>(&self, data: &DistCollection<F>, rhs: &[f64]) -> Vec<f64> {
         let d = rhs.len();
         let mut w = vec![0.0; d];
         let mut r = rhs.to_vec();
@@ -99,11 +91,7 @@ impl CgSolver {
                 break;
             }
             let alpha = rs_old / p_ap;
-            for ((wv, pv), (rv, apv)) in w
-                .iter_mut()
-                .zip(&p)
-                .zip(r.iter_mut().zip(&ap))
-            {
+            for ((wv, pv), (rv, apv)) in w.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap)) {
                 *wv += alpha * pv;
                 *rv -= alpha * apv;
             }
@@ -206,7 +194,11 @@ mod tests {
     use crate::local_qr::LocalQrSolver;
     use keystone_linalg::rng::XorShiftRng;
 
-    fn problem(n: usize, d: usize, seed: u64) -> (DistCollection<Vec<f64>>, DistCollection<Vec<f64>>) {
+    fn problem(
+        n: usize,
+        d: usize,
+        seed: u64,
+    ) -> (DistCollection<Vec<f64>>, DistCollection<Vec<f64>>) {
         let mut rng = XorShiftRng::new(seed);
         let wstar: Vec<f64> = (0..d).map(|_| rng.next_gaussian()).collect();
         let rows: Vec<Vec<f64>> = (0..n)
@@ -257,7 +249,12 @@ mod tests {
             .fit(&data, &labels, &ctx);
             ctx.sim.total_seconds()
         };
-        assert!(with > without, "conversion must cost time: {} vs {}", with, without);
+        assert!(
+            with > without,
+            "conversion must cost time: {} vs {}",
+            with,
+            without
+        );
     }
 
     #[test]

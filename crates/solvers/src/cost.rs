@@ -125,8 +125,7 @@ pub fn block_solve_cost(
     CostProfile {
         // Per sweep: the data pass plus one b³/3 Cholesky per block on the
         // driver.
-        flops: FLOP * i * shape.n * shape.d * (b + shape.k) / w
-            + i * num_blocks * b * b * b / 3.0,
+        flops: FLOP * i * shape.n * shape.d * (b + shape.k) / w + i * num_blocks * b * b * b / 3.0,
         bytes: BYTES * (shape.n * b / w + shape.d * shape.k),
         network: BYTES * i * shape.d * (b + shape.k),
         barriers: 2.0 * i,
@@ -224,7 +223,12 @@ mod tests {
         let c32 = sync_sgd_cost(&shape, steps, 128, &r32);
         let frac2 = c2.coord_seconds(&r2) / c2.estimated_seconds(&r2);
         let frac32 = c32.coord_seconds(&r32) / c32.estimated_seconds(&r32);
-        assert!(frac32 > frac2, "coord share must grow: {} vs {}", frac2, frac32);
+        assert!(
+            frac32 > frac2,
+            "coord share must grow: {} vs {}",
+            frac2,
+            frac32
+        );
     }
 
     #[test]

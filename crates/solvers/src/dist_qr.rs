@@ -200,6 +200,10 @@ mod tests {
         let (data, labels) = noisy_problem(32, 4, 2, 4);
         let ctx = ExecContext::default_cluster();
         let _ = DistQrSolver::new().fit(&data, &labels, &ctx);
-        assert!(ctx.sim.entries().iter().any(|e| e.stage.contains("dist-qr")));
+        assert!(ctx
+            .sim
+            .entries()
+            .iter()
+            .any(|e| e.stage.contains("dist-qr")));
     }
 }

@@ -99,8 +99,7 @@ impl LbfgsSolver {
         let mut rho: Vec<f64> = Vec::new();
 
         let data = pull_data();
-        let (mut loss, mut grad) =
-            distributed_loss_grad(&data, labels, &w, self.loss, self.lambda);
+        let (mut loss, mut grad) = distributed_loss_grad(&data, labels, &w, self.loss, self.lambda);
         drop(data);
 
         for _iter in 0..self.max_iters {

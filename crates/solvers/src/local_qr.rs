@@ -104,7 +104,16 @@ mod tests {
     use keystone_linalg::gemm::matmul;
     use keystone_linalg::rng::XorShiftRng;
 
-    fn planted(n: usize, d: usize, k: usize, seed: u64) -> (DistCollection<Vec<f64>>, DistCollection<Vec<f64>>, DenseMatrix) {
+    fn planted(
+        n: usize,
+        d: usize,
+        k: usize,
+        seed: u64,
+    ) -> (
+        DistCollection<Vec<f64>>,
+        DistCollection<Vec<f64>>,
+        DenseMatrix,
+    ) {
         let mut rng = XorShiftRng::new(seed);
         let xstar = DenseMatrix::from_fn(d, k, |_, _| rng.next_gaussian());
         let rows: Vec<Vec<f64>> = (0..n)

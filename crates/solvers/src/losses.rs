@@ -168,14 +168,10 @@ mod tests {
 
     fn toy() -> (DistCollection<Vec<f64>>, DistCollection<Vec<f64>>) {
         // y = x0 exactly; two targets for shape checks.
-        let data = DistCollection::from_vec(
-            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, 1.0]],
-            2,
-        );
-        let labels = DistCollection::from_vec(
-            vec![vec![1.0, 0.0], vec![0.0, 0.0], vec![2.0, 0.0]],
-            2,
-        );
+        let data =
+            DistCollection::from_vec(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, 1.0]], 2);
+        let labels =
+            DistCollection::from_vec(vec![vec![1.0, 0.0], vec![0.0, 0.0], vec![2.0, 0.0]], 2);
         (data, labels)
     }
 

@@ -150,9 +150,7 @@ impl<F: Features> LabelEstimator<F, Vec<f64>, Vec<f64>> for SyncSgdSolver {
         labels: &DistCollection<Vec<f64>>,
         ctx: &ExecContext,
     ) -> Box<dyn Transformer<F, Vec<f64>>> {
-        let rows: Vec<(F, Vec<f64>)> = data
-            .zip(labels, |x, y| (x.clone(), y.clone()))
-            .collect();
+        let rows: Vec<(F, Vec<f64>)> = data.zip(labels, |x, y| (x.clone(), y.clone())).collect();
         let d = rows.first().map_or(0, |(x, _)| x.dim());
         let k = rows.first().map_or(1, |(_, y)| y.len());
         let mut state = self.init_state(d, k);

@@ -75,9 +75,11 @@ impl<F: Features> OptimizableLabelEstimator<F, Vec<f64>, Vec<f64>> for LinearSol
         vec![
             LabelEstimatorOption {
                 name: "lbfgs".to_string(),
-                cost: Box::new(move |stats: &[DataStats], r: &ResourceDesc| -> CostProfile {
-                    lbfgs_cost(&shape_from_stats(stats), lbfgs_iters, r)
-                }),
+                cost: Box::new(
+                    move |stats: &[DataStats], r: &ResourceDesc| -> CostProfile {
+                        lbfgs_cost(&shape_from_stats(stats), lbfgs_iters, r)
+                    },
+                ),
                 op: Box::new(LbfgsSolver {
                     max_iters: self.lbfgs_iters,
                     lambda: self.lambda,
@@ -100,9 +102,11 @@ impl<F: Features> OptimizableLabelEstimator<F, Vec<f64>, Vec<f64>> for LinearSol
             },
             LabelEstimatorOption {
                 name: "block".to_string(),
-                cost: Box::new(move |stats: &[DataStats], r: &ResourceDesc| -> CostProfile {
-                    block_solve_cost(&shape_from_stats(stats), block_sweeps, block_size, r)
-                }),
+                cost: Box::new(
+                    move |stats: &[DataStats], r: &ResourceDesc| -> CostProfile {
+                        block_solve_cost(&shape_from_stats(stats), block_sweeps, block_size, r)
+                    },
+                ),
                 op: Box::new(BlockSolver {
                     block_size: self.block_size,
                     sweeps: self.block_sweeps,

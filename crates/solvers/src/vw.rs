@@ -66,8 +66,7 @@ impl<F: Features> LabelEstimator<F, Vec<f64>, Vec<f64>> for VwSolver {
             &CostProfile {
                 flops: 4.0 * self.epochs as f64 * n as f64 * avg_nnz * k as f64 / w_nodes,
                 bytes: 8.0 * n as f64 * avg_nnz / w_nodes,
-                network: 8.0 * self.epochs as f64 * d as f64 * k as f64
-                    * (w_nodes.log2().max(1.0)),
+                network: 8.0 * self.epochs as f64 * d as f64 * k as f64 * (w_nodes.log2().max(1.0)),
                 barriers: self.epochs as f64,
             },
             &ctx.resources,
@@ -177,6 +176,11 @@ mod tests {
         };
         let c2 = coord(2);
         let c20 = coord(20);
-        assert!(c20 > c2 * 5.0, "network must scale with epochs: {} vs {}", c2, c20);
+        assert!(
+            c20 > c2 * 5.0,
+            "network must scale with epochs: {} vs {}",
+            c2,
+            c20
+        );
     }
 }

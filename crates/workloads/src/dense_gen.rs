@@ -70,9 +70,7 @@ impl TimitLike {
 
     /// Generates the dataset.
     pub fn generate(&self) -> DenseDataset {
-        let mut rng = XorShiftRng::new(
-            self.seed ^ self.stream.wrapping_mul(0xD1B54A32D192ED03),
-        );
+        let mut rng = XorShiftRng::new(self.seed ^ self.stream.wrapping_mul(0xD1B54A32D192ED03));
         let mut data = Vec::with_capacity(self.n);
         let mut labels = Vec::with_capacity(self.n);
         for _ in 0..self.n {

@@ -22,10 +22,7 @@ use keystone_solvers::logistic::one_hot;
 use keystone_solvers::solver_op::LinearSolverOp;
 
 /// Converts class labels to one-hot vectors (re-exported convenience).
-pub fn labels_one_hot(
-    labels: &DistCollection<usize>,
-    classes: usize,
-) -> DistCollection<Vec<f64>> {
+pub fn labels_one_hot(labels: &DistCollection<usize>, classes: usize) -> DistCollection<Vec<f64>> {
     one_hot(labels, classes)
 }
 
@@ -61,10 +58,7 @@ pub fn text_classification_pipeline(
         .and_then(LowerCase)
         .and_then(Tokenizer)
         .and_then(NGrams::new(1, cfg.max_ngram))
-        .and_then_est(
-            CommonSparseFeatures::new(cfg.max_features),
-            train_docs,
-        )
+        .and_then_est(CommonSparseFeatures::new(cfg.max_features), train_docs)
         .and_then_optimizable_label_est::<Vec<f64>, Vec<f64>>(
             cfg.solver.clone(),
             train_docs,
@@ -245,7 +239,11 @@ mod tests {
             &labels,
         );
         // Input + 4 transformers + (cloned prefix over source) + est nodes.
-        assert!(pipe.graph_len() >= 10, "graph has {} nodes", pipe.graph_len());
+        assert!(
+            pipe.graph_len() >= 10,
+            "graph has {} nodes",
+            pipe.graph_len()
+        );
         let dot = pipe.to_dot();
         assert!(dot.contains("Tokenizer"));
         assert!(dot.contains("CommonSparseFeatures"));

@@ -183,6 +183,11 @@ mod tests {
             v.sort_unstable();
             v[v.len() / 2]
         };
-        assert!(max > median * 10, "not Zipf-like: max {} median {}", max, median);
+        assert!(
+            max > median * 10,
+            "not Zipf-like: max {} median {}",
+            max,
+            median
+        );
     }
 }

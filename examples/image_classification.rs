@@ -36,12 +36,18 @@ fn main() {
         let ctx = ExecContext::calibrated(8);
         let opts = demo_opts().with_budget(budget);
         let (fitted, report) = pipe.fit(&ctx, &opts);
-        println!("budget {label}: cached nodes = {:?}", report.cache_set_labels);
+        println!(
+            "budget {label}: cached nodes = {:?}",
+            report.cache_set_labels
+        );
 
         let scores = fitted.apply(&test.images, &ctx);
         let preds = predictions(&scores);
         let acc = accuracy(&preds, &test.labels.collect());
-        println!("budget {label}: test accuracy = {acc:.3} (chance = {:.3})\n", 1.0 / classes as f64);
+        println!(
+            "budget {label}: test accuracy = {acc:.3} (chance = {:.3})\n",
+            1.0 / classes as f64
+        );
     }
 
     // Dump the optimized DAG with the cache set highlighted (Graphviz).

@@ -30,7 +30,10 @@ fn main() {
     //    solver selection, and greedy materialization.
     let ctx = ExecContext::calibrated(8);
     let (fitted, report) = pipe.fit(&ctx, &demo_opts());
-    println!("optimizer spent {:.2}s profiling + planning", report.optimize_secs);
+    println!(
+        "optimizer spent {:.2}s profiling + planning",
+        report.optimize_secs
+    );
     println!("CSE eliminated {} duplicate nodes", report.eliminated_nodes);
     for (node, choice) in &report.choices {
         println!("operator selection: {} -> {}", node, choice);

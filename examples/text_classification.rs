@@ -25,10 +25,25 @@ fn main() {
         ..Default::default()
     };
 
-    println!("{:<12} {:>10} {:>10} {:>10}", "level", "fit (s)", "eval (s)", "accuracy");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "level", "fit (s)", "eval (s)", "accuracy"
+    );
     for (name, opts) in [
-        ("None", PipelineOptions { level: OptLevel::None, ..demo_opts() }),
-        ("PipeOnly", PipelineOptions { level: OptLevel::PipeOnly, ..demo_opts() }),
+        (
+            "None",
+            PipelineOptions {
+                level: OptLevel::None,
+                ..demo_opts()
+            },
+        ),
+        (
+            "PipeOnly",
+            PipelineOptions {
+                level: OptLevel::PipeOnly,
+                ..demo_opts()
+            },
+        ),
         ("KeystoneML", demo_opts()),
     ] {
         let pipe = text_classification_pipeline(&cfg, &train.docs, &train_labels);
@@ -44,7 +59,10 @@ fn main() {
 
         let preds = predictions(&scores);
         let acc = accuracy(&preds, &test.labels.collect());
-        println!("{:<12} {:>10.2} {:>10.2} {:>10.3}", name, fit_secs, eval_secs, acc);
+        println!(
+            "{:<12} {:>10.2} {:>10.2} {:>10.3}",
+            name, fit_secs, eval_secs, acc
+        );
         if name == "KeystoneML" {
             println!("\nKeystoneML decisions:");
             println!("  optimize overhead: {:.2}s", report.optimize_secs);

@@ -39,9 +39,11 @@ pub mod prelude {
         OptimizableTransformer, Transformer,
     };
     pub use keystone_core::optimizer::{CachingStrategy, OptLevel, PipelineOptions};
-    pub use keystone_core::pipeline::{gather, FittedPipeline, Pipeline};
+    pub use keystone_core::pipeline::{gather, FitReport, FittedPipeline, Pipeline};
     pub use keystone_core::profiler::ProfileOptions;
     pub use keystone_core::record::{DataStats, Record};
+    pub use keystone_core::report::{NodeReport, PipelineReport};
+    pub use keystone_core::trace::{TraceEvent, TracedEvent, Tracer};
     pub use keystone_dataflow::cluster::{ClusterProfile, ResourceDesc};
     pub use keystone_dataflow::collection::DistCollection;
     pub use keystone_linalg::{DenseMatrix, SparseVector};

@@ -7,7 +7,12 @@ use keystoneml::solvers::logistic::one_hot;
 use keystoneml::workloads::pipelines::{predictions, speech_pipeline, SpeechPipelineConfig};
 use keystoneml::workloads::TimitLike;
 
-fn dataset(classes: usize) -> (keystoneml::workloads::dense_gen::DenseDataset, keystoneml::workloads::dense_gen::DenseDataset) {
+fn dataset(
+    classes: usize,
+) -> (
+    keystoneml::workloads::dense_gen::DenseDataset,
+    keystoneml::workloads::dense_gen::DenseDataset,
+) {
     TimitLike {
         separation: 4.0,
         ..TimitLike::new(800, 24, classes)
@@ -33,7 +38,12 @@ fn speech_pipeline_beats_chance_handily() {
         &predictions(&fitted.apply(&test.data, &ctx)),
         &test.labels.collect(),
     );
-    assert!(acc > 0.6, "accuracy {} vs chance {}", acc, 1.0 / classes as f64);
+    assert!(
+        acc > 0.6,
+        "accuracy {} vs chance {}",
+        acc,
+        1.0 / classes as f64
+    );
 }
 
 #[test]

@@ -31,7 +31,10 @@ fn full_optimizer_learns_sentiment() {
 
 #[test]
 fn unoptimized_level_matches_statistically() {
-    let none = run_level(&PipelineOptions { level: OptLevel::None, ..demo_opts() });
+    let none = run_level(&PipelineOptions {
+        level: OptLevel::None,
+        ..demo_opts()
+    });
     let full = run_level(&demo_opts());
     assert!(
         (none - full).abs() < 0.05,
@@ -57,7 +60,10 @@ fn optimizer_reports_solver_choice_and_cse() {
     assert!(report.eliminated_nodes > 0, "no CSE on text pipeline");
     // The optimizable solver must have been resolved to a physical op.
     assert!(
-        report.choices.iter().any(|(n, _)| n.contains("LinearSolver")),
+        report
+            .choices
+            .iter()
+            .any(|(n, _)| n.contains("LinearSolver")),
         "no solver choice in {:?}",
         report.choices
     );
