@@ -1,13 +1,14 @@
 //! Execution context threaded through every operator invocation.
 
 use keystone_dataflow::cluster::{ClusterProfile, ResourceDesc};
+use keystone_dataflow::metrics::MetricsRegistry;
 use keystone_dataflow::simclock::SimClock;
 use keystone_dataflow::stats::ExecStats;
 
 use crate::trace::Tracer;
 
-/// Shared execution context: the cluster descriptor plus both clocks and
-/// the observability event sink.
+/// Shared execution context: the cluster descriptor plus both clocks, the
+/// observability event sink, and the partition-level metrics registry.
 ///
 /// Cloning is cheap and shares the underlying ledgers, so operators deep in
 /// a pipeline charge the same clocks — and trace into the same sink — the
@@ -22,6 +23,10 @@ pub struct ExecContext {
     pub wall: ExecStats,
     /// Structured event sink for optimizer and executor decisions.
     pub tracer: Tracer,
+    /// Partition-level task spans, counters and histograms. The executor
+    /// opens a task scope per node, so every `DistCollection` operation an
+    /// operator runs lands here with stage/partition/worker attribution.
+    pub metrics: MetricsRegistry,
 }
 
 impl ExecContext {
@@ -32,6 +37,7 @@ impl ExecContext {
             sim: SimClock::new(),
             wall: ExecStats::new(),
             tracer: Tracer::new(),
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -60,6 +66,7 @@ impl ExecContext {
             sim: self.sim.clone(),
             wall: self.wall.clone(),
             tracer: self.tracer.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 }

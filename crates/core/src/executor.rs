@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use keystone_dataflow::cache::CacheManager;
+use keystone_dataflow::metrics::with_task_scope;
 
 use crate::context::ExecContext;
 use crate::graph::{Graph, NodeId, NodeKind};
@@ -166,10 +167,19 @@ impl<'g> Executor<'g> {
                 self.ctx.tracer.node_start(node, &label);
                 let sim_mark = self.ctx.sim.mark();
                 let start = std::time::Instant::now();
-                let out = self
-                    .ctx
-                    .wall
-                    .time(&label, in_count as u64, || op.apply_any(&inputs, &self.ctx));
+                // Task scope: every DistCollection operation inside the
+                // operator emits per-partition spans attributed to this node.
+                let out = with_task_scope(
+                    &self.ctx.metrics,
+                    &label,
+                    Some(node as u64),
+                    self.ctx.resources.workers,
+                    || {
+                        self.ctx
+                            .wall
+                            .time(&label, in_count as u64, || op.apply_any(&inputs, &self.ctx))
+                    },
+                );
                 let wall_secs = start.elapsed().as_secs_f64();
                 self.charge_sim(node, &label, in_count, wall_secs);
                 self.ctx.tracer.node_end(
@@ -198,10 +208,20 @@ impl<'g> Executor<'g> {
                 let sim_mark = self.ctx.sim.mark();
                 let sim_before = self.ctx.sim.total_seconds();
                 let start = std::time::Instant::now();
-                let model = self
-                    .ctx
-                    .wall
-                    .time(&label, 0, || op.fit_any(&handle_refs, &self.ctx));
+                // Estimators re-enter the executor through lazy handles;
+                // inner nodes push their own (innermost-wins) scope, so only
+                // the fit's own collection work is attributed here.
+                let model = with_task_scope(
+                    &self.ctx.metrics,
+                    &label,
+                    Some(node as u64),
+                    self.ctx.resources.workers,
+                    || {
+                        self.ctx
+                            .wall
+                            .time(&label, 0, || op.fit_any(&handle_refs, &self.ctx))
+                    },
+                );
                 let wall_secs = start.elapsed().as_secs_f64();
                 // If the estimator didn't charge the simulated clock itself
                 // (solvers do), fall back to the profiled estimate. The
@@ -232,9 +252,17 @@ impl<'g> Executor<'g> {
                 self.ctx.tracer.node_start(node, &label);
                 let sim_mark = self.ctx.sim.mark();
                 let start = std::time::Instant::now();
-                let out = self.ctx.wall.time(&label, in_count as u64, || {
-                    model.apply_any(&[data], &self.ctx)
-                });
+                let out = with_task_scope(
+                    &self.ctx.metrics,
+                    &label,
+                    Some(node as u64),
+                    self.ctx.resources.workers,
+                    || {
+                        self.ctx.wall.time(&label, in_count as u64, || {
+                            model.apply_any(&[data], &self.ctx)
+                        })
+                    },
+                );
                 let wall_secs = start.elapsed().as_secs_f64();
                 self.charge_sim(node, &label, in_count, wall_secs);
                 self.ctx.tracer.node_end(

@@ -284,7 +284,12 @@ impl<A: Record, B: Record> Pipeline<A, B> {
         }
         let models = executor.models();
 
-        let observability = crate::report::PipelineReport::build(&graph, &profile, &ctx.tracer);
+        let observability = crate::report::PipelineReport::build_with_metrics(
+            &graph,
+            &profile,
+            &ctx.tracer,
+            Some(&ctx.metrics),
+        );
         let report = FitReport {
             optimize_secs,
             eliminated_nodes: eliminated,

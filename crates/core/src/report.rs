@@ -15,6 +15,8 @@
 
 use std::collections::HashMap;
 
+use keystone_dataflow::metrics::MetricsRegistry;
+
 use crate::graph::{Graph, NodeId};
 use crate::profiler::PipelineProfile;
 use crate::trace::{CacheCounters, Tracer};
@@ -46,6 +48,36 @@ pub struct NodeReport {
     pub time_rel_error: Option<f64>,
     /// Same for output bytes.
     pub bytes_rel_error: Option<f64>,
+    /// Task spans recorded while this node executed (partition-parallel
+    /// `DistCollection` operations × partitions).
+    pub task_spans: u64,
+    /// Distinct partitions those spans covered.
+    pub partitions: u64,
+    /// Max / median per-partition busy time across the node's spans.
+    /// `None` when the node emitted no spans.
+    pub skew_ratio: Option<f64>,
+    /// Busy wall time ÷ (lanes × stage span), clamped to 1.0.
+    pub utilization: Option<f64>,
+}
+
+impl NodeReport {
+    /// Why did the runtime prediction miss? Returns `None` when the
+    /// prediction was within `threshold` relative error (or either side is
+    /// missing). Otherwise classifies the miss: a skewed node (max partition
+    /// time > 2× median) violates the cost model's "slowest worker"
+    /// uniformity assumption, so the miss is attributed to `"skew"`; an
+    /// evenly-loaded node that still missed is a `"uniform"` mis-estimate
+    /// (wrong per-record cost or cardinality).
+    pub fn miss_diagnosis(&self, threshold: f64) -> Option<&'static str> {
+        let err = self.time_rel_error?;
+        if err < threshold {
+            return None;
+        }
+        match self.skew_ratio {
+            Some(r) if r > 2.0 => Some("skew"),
+            _ => Some("uniform"),
+        }
+    }
 }
 
 /// Whole-pipeline observability report.
@@ -69,8 +101,36 @@ impl PipelineReport {
     /// Joins profiler predictions with tracer actuals over `graph`'s nodes.
     /// A node appears if it was profiled or it executed.
     pub fn build(graph: &Graph, profile: &PipelineProfile, tracer: &Tracer) -> Self {
+        Self::build_with_metrics(graph, profile, tracer, None)
+    }
+
+    /// Like [`PipelineReport::build`], additionally joining partition-level
+    /// task spans from `metrics`: rows gain span/partition counts plus the
+    /// per-stage skew ratio and worker utilization, keyed by the node id the
+    /// executor stamps on every task scope.
+    pub fn build_with_metrics(
+        graph: &Graph,
+        profile: &PipelineProfile,
+        tracer: &Tracer,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Self {
         let actuals = tracer.node_actuals();
         let counters = tracer.cache_counters();
+        // One skew row per executor node; when a node somehow carries more
+        // than one stage group (relabeled re-execution), keep the busier one.
+        let mut skew_by_node: HashMap<u64, keystone_dataflow::metrics::StageSkew> = HashMap::new();
+        if let Some(m) = metrics {
+            for sk in m.stage_skew() {
+                if let Some(id) = sk.stage_id {
+                    match skew_by_node.get(&id) {
+                        Some(prev) if prev.tasks >= sk.tasks => {}
+                        _ => {
+                            skew_by_node.insert(id, sk);
+                        }
+                    }
+                }
+            }
+        }
         let mut nodes = Vec::new();
         for id in 0..graph.len() {
             let prof = profile.nodes.get(&id);
@@ -96,6 +156,7 @@ impl PipelineReport {
                 (Some(p), Some(a)) if a.out_bytes > 0 => Some(rel_error(p, a.out_bytes as f64)),
                 _ => None,
             };
+            let skew = skew_by_node.get(&(id as u64));
             nodes.push(NodeReport {
                 node: id,
                 label: graph.nodes[id].label.clone(),
@@ -108,6 +169,10 @@ impl PipelineReport {
                 cache: counters.get(&id).copied().unwrap_or_default(),
                 time_rel_error,
                 bytes_rel_error,
+                task_spans: skew.map_or(0, |s| s.tasks as u64),
+                partitions: skew.map_or(0, |s| s.partitions as u64),
+                skew_ratio: skew.map(|s| s.skew_ratio),
+                utilization: skew.map(|s| s.utilization),
             });
         }
         let cache_hits = nodes.iter().map(|n| n.cache.hits).sum();
@@ -185,6 +250,14 @@ impl PipelineReport {
             json_opt_f64(&mut s, n.time_rel_error);
             s.push_str(",\"bytes_rel_error\":");
             json_opt_f64(&mut s, n.bytes_rel_error);
+            s.push_str(",\"task_spans\":");
+            s.push_str(&n.task_spans.to_string());
+            s.push_str(",\"partitions\":");
+            s.push_str(&n.partitions.to_string());
+            s.push_str(",\"skew_ratio\":");
+            json_opt_f64(&mut s, n.skew_ratio);
+            s.push_str(",\"utilization\":");
+            json_opt_f64(&mut s, n.utilization);
             s.push('}');
         }
         s.push_str("]}");
@@ -195,8 +268,8 @@ impl PipelineReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<28} {:>6} {:>11} {:>11} {:>7} {:>6} {:>6}\n",
-            "node", "execs", "pred(s)", "wall(s)", "err%", "hits", "miss"
+            "{:<28} {:>6} {:>11} {:>11} {:>7} {:>6} {:>6} {:>6} {:>6}\n",
+            "node", "execs", "pred(s)", "wall(s)", "err%", "hits", "miss", "skew", "util%"
         ));
         for n in &self.nodes {
             let pred = n
@@ -205,14 +278,28 @@ impl PipelineReport {
             let err = n
                 .time_rel_error
                 .map_or("-".to_string(), |e| format!("{:.1}", e * 100.0));
+            let skew = n
+                .skew_ratio
+                .map_or("-".to_string(), |r| format!("{:.2}", r));
+            let util = n
+                .utilization
+                .map_or("-".to_string(), |u| format!("{:.0}", u * 100.0));
             let mut label = n.label.clone();
             if label.len() > 28 {
                 label.truncate(25);
                 label.push_str("...");
             }
             out.push_str(&format!(
-                "{:<28} {:>6} {:>11} {:>11.5} {:>7} {:>6} {:>6}\n",
-                label, n.execs, pred, n.actual_wall_secs, err, n.cache.hits, n.cache.misses
+                "{:<28} {:>6} {:>11} {:>11.5} {:>7} {:>6} {:>6} {:>6} {:>6}\n",
+                label,
+                n.execs,
+                pred,
+                n.actual_wall_secs,
+                err,
+                n.cache.hits,
+                n.cache.misses,
+                skew,
+                util
             ));
         }
         out.push_str(&format!(
@@ -401,6 +488,81 @@ mod tests {
         assert!(table.contains("op"));
         assert!(table.contains("err%"));
         assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn build_with_metrics_joins_skew_by_node_id() {
+        let g = graph_with(&["src", "op"]);
+        let profile = profile_for(1, 2.0, 800.0);
+        let t = Tracer::new();
+        t.node_end(1, "op", 100, 800, 1.0, 0.5);
+        let m = MetricsRegistry::new();
+        // Three even partitions and one 5× straggler on node 1.
+        for (p, dur) in [(0u64, 10u64), (1, 10), (2, 10), (3, 50)] {
+            m.record_span(keystone_dataflow::metrics::TaskSpan {
+                stage: "op".into(),
+                op: "map",
+                stage_id: Some(1),
+                partition: p as usize,
+                worker: p as usize % 2,
+                start_us: 0,
+                end_us: dur,
+                items_in: 1,
+                items_out: 1,
+                bytes: 8,
+            });
+        }
+        let r = PipelineReport::build_with_metrics(&g, &profile, &t, Some(&m));
+        let row = r.node("op").expect("row");
+        assert_eq!(row.task_spans, 4);
+        assert_eq!(row.partitions, 4);
+        assert!((row.skew_ratio.expect("skew") - 5.0).abs() < 1e-9);
+        assert!(row.utilization.expect("util") > 0.0);
+        // err is 100% > 15% threshold, and skew 5 > 2 → blamed on skew.
+        assert_eq!(row.miss_diagnosis(0.15), Some("skew"));
+        let json = r.to_json();
+        assert!(json_is_balanced(&json), "unbalanced: {json}");
+        assert!(json.contains("\"skew_ratio\":5"));
+        assert!(json.contains("\"task_spans\":4"));
+        let table = r.render_table();
+        assert!(table.contains("skew"));
+        assert!(table.contains("util%"));
+        assert!(table.contains("5.00"));
+    }
+
+    #[test]
+    fn miss_diagnosis_classifies_uniform_and_accurate_rows() {
+        let base = NodeReport {
+            node: 0,
+            label: "x".into(),
+            predicted_secs: Some(1.0),
+            predicted_out_bytes: None,
+            actual_wall_secs: 2.0,
+            actual_sim_secs: 0.0,
+            actual_out_bytes: 0,
+            execs: 1,
+            cache: CacheCounters::default(),
+            time_rel_error: Some(0.5),
+            bytes_rel_error: None,
+            task_spans: 4,
+            partitions: 4,
+            skew_ratio: Some(1.1),
+            utilization: Some(0.9),
+        };
+        // Even load but 50% off → uniform mis-estimate.
+        assert_eq!(base.miss_diagnosis(0.15), Some("uniform"));
+        // Within threshold → no diagnosis.
+        let accurate = NodeReport {
+            time_rel_error: Some(0.05),
+            ..base.clone()
+        };
+        assert_eq!(accurate.miss_diagnosis(0.15), None);
+        // No spans at all → still a uniform call (no evidence of skew).
+        let no_spans = NodeReport {
+            skew_ratio: None,
+            ..base
+        };
+        assert_eq!(no_spans.miss_diagnosis(0.15), Some("uniform"));
     }
 
     #[test]

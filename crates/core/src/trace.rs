@@ -22,6 +22,15 @@
 //! stream against a [`PipelineProfile`](crate::profiler::PipelineProfile)
 //! yields a [`PipelineReport`](crate::report::PipelineReport) of
 //! predicted-vs-actual metrics.
+//!
+//! One layer *below* these node-level events sits the partition-level
+//! [`MetricsRegistry`](keystone_dataflow::metrics::MetricsRegistry), also on
+//! the context: the executor opens a task scope per node, so every
+//! partition-parallel `DistCollection` operation emits a
+//! [`TaskSpan`](keystone_dataflow::metrics::TaskSpan) with worker-lane
+//! attribution. The report joins those spans back onto node rows (skew
+//! ratio, worker utilization), explaining *why* a node-level prediction
+//! missed — a straggler partition versus a uniform mis-estimate.
 
 use std::collections::HashMap;
 use std::sync::Arc;

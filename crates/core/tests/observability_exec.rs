@@ -107,6 +107,56 @@ fn tracer_counters_match_cache_manager_stats() {
 }
 
 #[test]
+fn oversized_intermediates_reach_tracer_as_reject_events() {
+    let (ca, cb) = (Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
+    let (g, a, b) = chain(ca, cb.clone());
+    let ctx = ExecContext::default_cluster();
+    // LRU with admission control: the 64-record f64 intermediates are ~512
+    // bytes, far above admission_fraction × budget = 102 bytes, so every
+    // put is refused at the admission gate and must surface as an
+    // `on_reject` callback -> CacheReject trace event.
+    let cache = Arc::new(
+        CacheManager::new(
+            1024,
+            CachePolicy::Lru {
+                admission_fraction: 0.1,
+            },
+        )
+        .with_observer(Arc::new(TraceCacheObserver(ctx.tracer.clone()))),
+    );
+    let exec = Executor::new(&g, ctx.clone(), cache.clone());
+    let requests = 3;
+    for _ in 0..requests {
+        let _ = exec.eval(b);
+    }
+
+    let stats = cache.stats();
+    assert!(stats.rejected > 0, "admission gate never fired");
+    assert_eq!(cache.used(), 0, "oversized object was admitted");
+    assert!(cache.resident_keys().is_empty());
+
+    // The tracer saw exactly the rejections the cache manager counted, on
+    // the nodes that produced the oversized intermediates.
+    let counters = ctx.tracer.cache_counters();
+    let rejections: u64 = counters.values().map(|c| c.rejections).sum();
+    assert_eq!(rejections, stats.rejected);
+    assert!(counters[&a].rejections > 0);
+    assert!(counters[&b].rejections > 0);
+    let reject_events = ctx
+        .tracer
+        .events()
+        .iter()
+        .filter(|e| matches!(e.event, TraceEvent::CacheReject { .. }))
+        .count() as u64;
+    assert_eq!(reject_events, stats.rejected);
+
+    // Nothing cacheable -> every request recomputes the whole chain.
+    assert_eq!(counters[&b].hits, 0);
+    assert_eq!(counters[&b].misses, requests as u64);
+    assert_eq!(cb.load(Ordering::SeqCst), requests as u64);
+}
+
+#[test]
 fn events_are_ordered_and_start_end_balanced() {
     let (ca, cb) = (Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
     let (g, _a, b) = chain(ca, cb);

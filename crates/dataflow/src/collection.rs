@@ -13,7 +13,68 @@
 use rayon::prelude::*;
 use std::sync::Arc;
 
+use crate::metrics::{current_task_scope, TaskScope, TaskSpan};
 use crate::rng_util::split_seed;
+
+/// Shallow byte estimate of a partition: element count × element size. Deep
+/// payloads (e.g. `Vec<f64>` records) are undercounted; spans report this as
+/// a throughput indicator, not an allocator truth.
+fn part_bytes<T>(p: &[T]) -> u64 {
+    std::mem::size_of_val(p) as u64
+}
+
+/// Runs one partition's work, measuring a [`TaskSpan`] when a task scope is
+/// active. `f` returns the result plus the number of items produced. This is
+/// called on the pool's worker threads, so timestamps bracket the real
+/// per-partition work; the scope itself is captured on the driving thread
+/// before the fan-out.
+fn measure_partition<R>(
+    scope: &Option<TaskScope>,
+    op: &'static str,
+    partition: usize,
+    items_in: usize,
+    bytes: u64,
+    f: impl FnOnce() -> (R, u64),
+) -> (R, Option<TaskSpan>) {
+    match scope {
+        None => (f().0, None),
+        Some(sc) => {
+            let start_us = sc.registry.now_micros();
+            let (out, items_out) = f();
+            let end_us = sc.registry.now_micros();
+            let span = TaskSpan {
+                stage: sc.stage.to_string(),
+                op,
+                stage_id: sc.stage_id,
+                partition,
+                worker: partition % sc.workers.max(1),
+                start_us,
+                end_us,
+                items_in: items_in as u64,
+                items_out,
+                bytes,
+            };
+            (out, Some(span))
+        }
+    }
+}
+
+/// Strips measured spans off per-partition results, committing them to the
+/// scope's registry in one batch.
+fn commit_spans<R>(scope: &Option<TaskScope>, results: Vec<(R, Option<TaskSpan>)>) -> Vec<R> {
+    let mut out = Vec::with_capacity(results.len());
+    let mut spans = Vec::new();
+    for (r, s) in results {
+        out.push(r);
+        if let Some(s) = s {
+            spans.push(s);
+        }
+    }
+    if let Some(sc) = scope {
+        sc.registry.record_spans(spans);
+    }
+    out
+}
 
 /// An immutable, partitioned collection of `T`.
 #[derive(Debug)]
@@ -99,12 +160,22 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         U: Send + Sync + 'static,
         F: Fn(&T) -> U + Send + Sync,
     {
-        let partitions = self
+        let scope = current_task_scope();
+        let results = self
             .partitions
             .par_iter()
-            .map(|p| Arc::new(p.iter().map(&f).collect::<Vec<U>>()))
+            .enumerate()
+            .map(|(pi, p)| {
+                measure_partition(&scope, "map", pi, p.len(), part_bytes::<T>(p), || {
+                    let out = Arc::new(p.iter().map(&f).collect::<Vec<U>>());
+                    let n = out.len() as u64;
+                    (out, n)
+                })
+            })
             .collect();
-        DistCollection { partitions }
+        DistCollection {
+            partitions: commit_spans(&scope, results),
+        }
     }
 
     /// Whole-partition transformation (the `mapPartitions` of Spark) —
@@ -115,8 +186,29 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         U: Send + Sync + 'static,
         F: Fn(&[T]) -> Vec<U> + Send + Sync,
     {
-        let partitions = self.partitions.par_iter().map(|p| Arc::new(f(p))).collect();
-        DistCollection { partitions }
+        let scope = current_task_scope();
+        let results = self
+            .partitions
+            .par_iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                measure_partition(
+                    &scope,
+                    "map_partitions",
+                    pi,
+                    p.len(),
+                    part_bytes::<T>(p),
+                    || {
+                        let out = Arc::new(f(p));
+                        let n = out.len() as u64;
+                        (out, n)
+                    },
+                )
+            })
+            .collect();
+        DistCollection {
+            partitions: commit_spans(&scope, results),
+        }
     }
 
     /// One-to-many element transformation.
@@ -125,12 +217,22 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         U: Send + Sync + 'static,
         F: Fn(&T) -> Vec<U> + Send + Sync,
     {
-        let partitions = self
+        let scope = current_task_scope();
+        let results = self
             .partitions
             .par_iter()
-            .map(|p| Arc::new(p.iter().flat_map(&f).collect::<Vec<U>>()))
+            .enumerate()
+            .map(|(pi, p)| {
+                measure_partition(&scope, "flat_map", pi, p.len(), part_bytes::<T>(p), || {
+                    let out = Arc::new(p.iter().flat_map(&f).collect::<Vec<U>>());
+                    let n = out.len() as u64;
+                    (out, n)
+                })
+            })
             .collect();
-        DistCollection { partitions }
+        DistCollection {
+            partitions: commit_spans(&scope, results),
+        }
     }
 
     /// Keeps elements matching the predicate.
@@ -139,12 +241,22 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         T: Clone,
         F: Fn(&T) -> bool + Send + Sync,
     {
-        let partitions = self
+        let scope = current_task_scope();
+        let results = self
             .partitions
             .par_iter()
-            .map(|p| Arc::new(p.iter().filter(|x| f(x)).cloned().collect::<Vec<T>>()))
+            .enumerate()
+            .map(|(pi, p)| {
+                measure_partition(&scope, "filter", pi, p.len(), part_bytes::<T>(p), || {
+                    let out = Arc::new(p.iter().filter(|x| f(x)).cloned().collect::<Vec<T>>());
+                    let n = out.len() as u64;
+                    (out, n)
+                })
+            })
             .collect();
-        DistCollection { partitions }
+        DistCollection {
+            partitions: commit_spans(&scope, results),
+        }
     }
 
     /// Zips two collections with identical partitioning element-by-element.
@@ -163,21 +275,30 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
             other.num_partitions(),
             "zip: partition count mismatch"
         );
-        let partitions = self
+        let scope = current_task_scope();
+        let results = self
             .partitions
             .par_iter()
             .zip(other.partitions.par_iter())
-            .map(|(a, b)| {
+            .enumerate()
+            .map(|(pi, (a, b))| {
                 assert_eq!(a.len(), b.len(), "zip: partition size mismatch");
-                Arc::new(
-                    a.iter()
-                        .zip(b.iter())
-                        .map(|(x, y)| f(x, y))
-                        .collect::<Vec<V>>(),
-                )
+                let bytes = part_bytes::<T>(a) + part_bytes::<U>(b);
+                measure_partition(&scope, "zip", pi, a.len(), bytes, || {
+                    let out = Arc::new(
+                        a.iter()
+                            .zip(b.iter())
+                            .map(|(x, y)| f(x, y))
+                            .collect::<Vec<V>>(),
+                    );
+                    let n = out.len() as u64;
+                    (out, n)
+                })
             })
             .collect();
-        DistCollection { partitions }
+        DistCollection {
+            partitions: commit_spans(&scope, results),
+        }
     }
 
     /// Per-partition aggregation followed by an associative combine on the
@@ -190,11 +311,18 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         SeqF: Fn(U, &T) -> U + Send + Sync,
         CombF: Fn(U, U) -> U + Send + Sync,
     {
-        let partials: Vec<U> = self
+        let scope = current_task_scope();
+        let results = self
             .partitions
             .par_iter()
-            .map(|p| p.iter().fold(zero.clone(), &seq))
+            .enumerate()
+            .map(|(pi, p)| {
+                measure_partition(&scope, "aggregate", pi, p.len(), part_bytes::<T>(p), || {
+                    (p.iter().fold(zero.clone(), &seq), 1)
+                })
+            })
             .collect();
+        let partials: Vec<U> = commit_spans(&scope, results);
         partials.into_iter().fold(zero, comb)
     }
 
@@ -206,12 +334,24 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         MapF: Fn(&[T]) -> U + Send + Sync,
         RedF: Fn(U, U) -> U + Send + Sync,
     {
-        let partials: Vec<U> = self
+        let scope = current_task_scope();
+        let results = self
             .partitions
             .par_iter()
-            .filter(|p| !p.is_empty())
-            .map(|p| map(p))
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(pi, p)| {
+                measure_partition(
+                    &scope,
+                    "map_reduce_partitions",
+                    pi,
+                    p.len(),
+                    part_bytes::<T>(p),
+                    || (map(p), 1),
+                )
+            })
             .collect();
+        let partials: Vec<U> = commit_spans(&scope, results);
         partials.into_iter().reduce(red)
     }
 
@@ -265,12 +405,35 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         out
     }
 
-    /// Repartitions into `p` partitions (a full shuffle).
+    /// Repartitions into `p` partitions (a full shuffle). The per-partition
+    /// cost — cloning each source partition out for the reshard — runs in
+    /// parallel and is attributed one task span per *source* partition.
     pub fn repartition(&self, p: usize) -> DistCollection<T>
     where
         T: Clone,
     {
-        DistCollection::from_vec(self.collect(), p)
+        let scope = current_task_scope();
+        let results = self
+            .partitions
+            .par_iter()
+            .enumerate()
+            .map(|(pi, part)| {
+                measure_partition(
+                    &scope,
+                    "repartition",
+                    pi,
+                    part.len(),
+                    part_bytes::<T>(part),
+                    || {
+                        let out = part.as_slice().to_vec();
+                        let n = out.len() as u64;
+                        (out, n)
+                    },
+                )
+            })
+            .collect();
+        let cloned: Vec<Vec<T>> = commit_spans(&scope, results);
+        DistCollection::from_vec(cloned.into_iter().flatten().collect(), p)
     }
 
     /// Concatenates two collections, keeping both partition sets.
@@ -375,6 +538,73 @@ mod tests {
         assert!(s1.len() >= 90 && s1.len() <= 100, "len {}", s1.len());
         // Sampling more than exists returns everything.
         assert_eq!(c.sample(5000, 1).len(), 1000);
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed_and_seed_sensitive() {
+        let c = DistCollection::from_vec((0..1000).collect::<Vec<i64>>(), 4);
+        // Same (n, seed) → identical samples across runs.
+        for seed in [1u64, 42, 7777] {
+            assert_eq!(c.sample(50, seed), c.sample(50, seed));
+        }
+        // Differing seeds shift the stride offsets, so at least one of a
+        // batch of seeds selects a different sample (deterministically so:
+        // split_seed is a fixed function).
+        let base = c.sample(50, 1);
+        let differing = (2u64..12).any(|seed| c.sample(50, seed) != base);
+        assert!(
+            differing,
+            "10 distinct seeds all produced the seed-1 sample"
+        );
+    }
+
+    #[test]
+    fn instrumented_ops_emit_one_span_per_partition() {
+        use crate::metrics::{with_task_scope, MetricsRegistry};
+        let r = MetricsRegistry::new();
+        let c = DistCollection::from_vec((0..100).collect::<Vec<i64>>(), 4);
+        let d = DistCollection::from_vec((0..100).collect::<Vec<i64>>(), 4);
+        with_task_scope(&r, "stage", Some(7), 2, || {
+            let m = c.map(|x| x + 1);
+            let _ = m.filter(|x| x % 2 == 0);
+            let _ = m.flat_map(|&x| vec![x]);
+            let _ = m.map_partitions(|p| vec![p.len()]);
+            let _ = c.zip(&d, |a, b| a + b);
+            let _ = c.aggregate(0i64, |a, &x| a + x, |a, b| a + b);
+            let _ = c.map_reduce_partitions(|p| p.len(), |a, b| a + b);
+            let _ = c.repartition(2);
+        });
+        let spans = r.spans();
+        // Eight instrumented operations × 4 partitions each.
+        assert_eq!(spans.len(), 32);
+        for op in [
+            "map",
+            "filter",
+            "flat_map",
+            "map_partitions",
+            "zip",
+            "aggregate",
+            "map_reduce_partitions",
+            "repartition",
+        ] {
+            let parts: Vec<usize> = spans
+                .iter()
+                .filter(|s| s.op == op)
+                .map(|s| s.partition)
+                .collect();
+            assert_eq!(parts.len(), 4, "op {op} missing spans: {parts:?}");
+        }
+        for s in &spans {
+            assert_eq!(&s.stage, "stage");
+            assert_eq!(s.stage_id, Some(7));
+            assert_eq!(s.worker, s.partition % 2, "lane mapping");
+            assert!(s.end_us >= s.start_us, "negative duration");
+            assert!(s.items_in > 0 && s.bytes > 0);
+        }
+        // Outside a scope, operations are uninstrumented.
+        let before = r.span_count();
+        let _ = c.map(|x| x * 2);
+        assert_eq!(r.span_count(), before);
     }
 
     #[test]

@@ -17,12 +17,17 @@
 //!   a laptop cannot physically produce;
 //! * [`cache::CacheManager`] — the budgeted cache layer with the pinned-set
 //!   policy driven by the whole-pipeline optimizer, plus the LRU policy
-//!   (with Spark-like admission control) used as a baseline in Fig. 10.
+//!   (with Spark-like admission control) used as a baseline in Fig. 10;
+//! * [`metrics::MetricsRegistry`] — partition-level observability: per-task
+//!   spans with worker-lane attribution, per-stage skew/utilization
+//!   analysis, and a Chrome trace-event exporter rendering measured worker
+//!   lanes next to the simulated-cluster ledger.
 
 pub mod cache;
 pub mod cluster;
 pub mod collection;
 pub mod cost;
+pub mod metrics;
 pub mod simclock;
 pub mod stats;
 
@@ -43,4 +48,5 @@ pub use cache::{CacheManager, CachePolicy};
 pub use cluster::{ClusterProfile, ResourceDesc};
 pub use collection::DistCollection;
 pub use cost::CostProfile;
+pub use metrics::{MetricsRegistry, MetricsSnapshot, StageSkew, TaskSpan};
 pub use simclock::SimClock;

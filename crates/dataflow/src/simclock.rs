@@ -111,6 +111,25 @@ impl SimClock {
         self.entries.lock().clone()
     }
 
+    /// Entries paired with cumulative start offsets (seconds): entry `i`
+    /// starts where entry `i-1` ended. This is the sequential layout trace
+    /// renderers use (see
+    /// [`metrics::chrome_trace_json`](crate::metrics::chrome_trace_json)) —
+    /// the ledger records durations, not timestamps, so the timeline is the
+    /// canonical reconstruction.
+    pub fn timeline(&self) -> Vec<(f64, SimEntry)> {
+        let mut t = 0.0;
+        self.entries
+            .lock()
+            .iter()
+            .map(|e| {
+                let start = t;
+                t += e.exec_secs + e.coord_secs;
+                (start, e.clone())
+            })
+            .collect()
+    }
+
     /// Clears the ledger.
     pub fn reset(&self) {
         self.entries.lock().clear();
@@ -171,6 +190,18 @@ mod tests {
         clock.charge_seconds("during", 2.0, 0.5);
         assert!((clock.seconds_since(mark) - 2.5).abs() < 1e-12);
         assert!((clock.total_seconds() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_lays_entries_end_to_end() {
+        let clock = SimClock::new();
+        clock.charge_seconds("a", 1.0, 0.5);
+        clock.charge_seconds("b", 2.0, 0.0);
+        let tl = clock.timeline();
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].0, 0.0);
+        assert!((tl[1].0 - 1.5).abs() < 1e-12);
+        assert_eq!(tl[1].1.stage, "b");
     }
 
     #[test]

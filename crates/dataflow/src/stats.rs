@@ -15,6 +15,20 @@ pub struct StageRecord {
     pub records: u64,
 }
 
+/// One stage's rolled-up totals (see [`ExecStats::by_stage`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTotal {
+    /// Stage key: everything before the first `:` of the label (the same
+    /// grouping convention as [`SimClock::by_stage`](crate::SimClock::by_stage)).
+    pub stage: String,
+    /// Total wall seconds across the stage's entries.
+    pub wall_secs: f64,
+    /// Total records across the stage's entries.
+    pub records: u64,
+    /// Number of ledger entries rolled into this stage.
+    pub entries: u64,
+}
+
 /// Shared ledger of wall-clock stage timings. Cloning shares the ledger.
 #[derive(Debug, Clone, Default)]
 pub struct ExecStats {
@@ -68,6 +82,42 @@ impl ExecStats {
             .sum()
     }
 
+    /// Appends every record of `other` into this ledger — rolls up stats
+    /// from an independently-built ledger (e.g. a cloned context whose
+    /// ledger was replaced rather than shared). Merging a ledger into
+    /// itself — including via a sharing clone — is a no-op rather than a
+    /// deadlock or a duplication.
+    pub fn merge(&self, other: &ExecStats) {
+        if Arc::ptr_eq(&self.records, &other.records) {
+            return;
+        }
+        let incoming = other.snapshot();
+        self.records.lock().extend(incoming);
+    }
+
+    /// Rolls the ledger up per stage, keyed by the label prefix before the
+    /// first `:`, in first-seen order.
+    pub fn by_stage(&self) -> Vec<StageTotal> {
+        let mut out: Vec<StageTotal> = Vec::new();
+        for r in self.records.lock().iter() {
+            let key = r.stage.split(':').next().unwrap_or(&r.stage);
+            match out.iter_mut().find(|t| t.stage == key) {
+                Some(t) => {
+                    t.wall_secs += r.wall_secs;
+                    t.records += r.records;
+                    t.entries += 1;
+                }
+                None => out.push(StageTotal {
+                    stage: key.to_string(),
+                    wall_secs: r.wall_secs,
+                    records: r.records,
+                    entries: 1,
+                }),
+            }
+        }
+        out
+    }
+
     /// Clears the ledger.
     pub fn reset(&self) {
         self.records.lock().clear();
@@ -100,6 +150,40 @@ mod tests {
         stats.record("solve", 4.0, 0);
         assert_eq!(stats.seconds_for_prefix("featurize"), 3.0);
         assert_eq!(stats.total_seconds(), 7.0);
+    }
+
+    #[test]
+    fn merge_rolls_up_foreign_ledgers() {
+        let a = ExecStats::new();
+        a.record("featurize:sift", 1.0, 10);
+        let b = ExecStats::new();
+        b.record("featurize:fisher", 2.0, 20);
+        b.record("solve", 4.0, 5);
+        a.merge(&b);
+        assert_eq!(a.snapshot().len(), 3);
+        assert_eq!(a.total_seconds(), 7.0);
+        // Merging a sharing clone (same ledger) must not duplicate entries.
+        let c = a.clone();
+        a.merge(&c);
+        assert_eq!(a.snapshot().len(), 3);
+        // b is untouched by the merge.
+        assert_eq!(b.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn by_stage_groups_on_prefix_with_records() {
+        let stats = ExecStats::new();
+        stats.record("featurize:a", 1.0, 100);
+        stats.record("featurize:b", 2.0, 50);
+        stats.record("solve:iter0", 4.0, 0);
+        let stages = stats.by_stage();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].stage, "featurize");
+        assert_eq!(stages[0].wall_secs, 3.0);
+        assert_eq!(stages[0].records, 150);
+        assert_eq!(stages[0].entries, 2);
+        assert_eq!(stages[1].stage, "solve");
+        assert_eq!(stages[1].wall_secs, 4.0);
     }
 
     #[test]

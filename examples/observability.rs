@@ -75,6 +75,18 @@ fn main() {
     // Machine-readable form of the same report.
     println!("\n== JSON ==");
     println!("{}", report.observability.to_json());
+
+    // Partition-level task spans, exported as a Chrome trace: load
+    // target/trace.json in chrome://tracing or https://ui.perfetto.dev to
+    // see per-worker lanes next to the simulated-cluster stage timeline.
+    let trace = chrome_trace_json(&ctx.metrics, &ctx.sim);
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write("target/trace.json", &trace).expect("write trace");
+    println!(
+        "\nwrote target/trace.json ({} task spans from {} stages)",
+        ctx.metrics.span_count(),
+        ctx.metrics.stage_skew().len()
+    );
 }
 
 /// Pipeline options with profiling samples scaled to this demo's small

@@ -1,0 +1,115 @@
+//! Worker timelines under partition skew: run a pipeline over deliberately
+//! unbalanced partitions, print the per-stage skew/utilization analysis the
+//! metrics registry computes, and export a Chrome trace of the worker lanes.
+//!
+//! ```sh
+//! cargo run --release --example trace_export
+//! # then load target/trace_skew.json in chrome://tracing or Perfetto
+//! ```
+//!
+//! The cost model (§4.1) prices a node as "slowest worker + coordination",
+//! which assumes partitions are uniform. This example breaks that
+//! assumption on purpose — one partition holds most of the data — so the
+//! report's `skew` column flags the straggler and `miss_diagnosis`
+//! attributes the runtime prediction miss to skew rather than a uniform
+//! mis-estimate.
+
+use keystoneml::prelude::*;
+
+/// Busy-waits per record: partition runtime tracks partition size.
+struct BusyWork(u64);
+impl Transformer<f64, f64> for BusyWork {
+    fn apply(&self, x: &f64) -> f64 {
+        let mut acc = 0.0f64;
+        for i in 0..self.0 * 100 {
+            acc += (i as f64).sqrt();
+        }
+        std::hint::black_box(acc);
+        *x
+    }
+}
+
+/// Subtracts the training mean — an estimator, so `fit` really executes
+/// the (skewed) training data through the pipeline.
+struct MeanShift;
+impl Estimator<f64, f64> for MeanShift {
+    fn fit(
+        &self,
+        data: &DistCollection<f64>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<f64, f64>> {
+        let n = data.count().max(1) as f64;
+        let mu = data.aggregate(0.0, |a, x| a + x, |a, b| a + b) / n;
+        struct Shift(f64);
+        impl Transformer<f64, f64> for Shift {
+            fn apply(&self, x: &f64) -> f64 {
+                x - self.0
+            }
+        }
+        Box::new(Shift(mu))
+    }
+}
+
+fn main() {
+    // Four partitions, one of them 8× the others: lane 3 straggles.
+    let skewed: Vec<Vec<f64>> = vec![
+        (0..100).map(|i| i as f64).collect(),
+        (0..100).map(|i| i as f64).collect(),
+        (0..100).map(|i| i as f64).collect(),
+        (0..800).map(|i| i as f64).collect(),
+    ];
+    let train = DistCollection::from_partitions(skewed);
+
+    let pipe = Pipeline::<f64, f64>::input()
+        .and_then(BusyWork(40))
+        .and_then_est(MeanShift, &train);
+    let ctx = ExecContext::calibrated(4);
+    let opts = PipelineOptions {
+        profile: ProfileOptions {
+            sizes: vec![64, 128],
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (fitted, report) = pipe.fit(&ctx, &opts);
+    let _ = fitted.apply(&train, &ctx);
+
+    // Per-stage skew analysis straight from the registry.
+    println!("== per-stage partition skew ==");
+    for sk in ctx.metrics.stage_skew() {
+        println!(
+            "{:<28} tasks {:>3}  max {:>8.5}s  median {:>8.5}s  skew {:>5.2}{}  util {:>3.0}%",
+            sk.stage,
+            sk.tasks,
+            sk.max_secs,
+            sk.median_secs,
+            sk.skew_ratio,
+            if sk.straggler { "  STRAGGLER" } else { "" },
+            sk.utilization * 100.0
+        );
+    }
+
+    // The same analysis joined onto the predicted-vs-actual report, plus
+    // the diagnosis of *why* predictions missed.
+    println!("\n== report with skew/utilization columns ==");
+    print!("{}", report.observability.render_table());
+    for n in &report.observability.nodes {
+        if let Some(cause) = n.miss_diagnosis(0.15) {
+            println!(
+                "prediction miss on {}: {:.0}% off, attributed to {cause}",
+                n.label,
+                n.time_rel_error.unwrap_or(0.0) * 100.0
+            );
+        }
+    }
+
+    // Chrome trace: worker lanes (pid 1) next to the simulated-cluster
+    // stage timeline (pid 2).
+    let trace = chrome_trace_json(&ctx.metrics, &ctx.sim);
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write("target/trace_skew.json", &trace).expect("write trace");
+    println!(
+        "\nwrote target/trace_skew.json ({} spans) — load it in chrome://tracing",
+        ctx.metrics.span_count()
+    );
+}

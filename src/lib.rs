@@ -46,6 +46,7 @@ pub mod prelude {
     pub use keystone_core::trace::{TraceEvent, TracedEvent, Tracer};
     pub use keystone_dataflow::cluster::{ClusterProfile, ResourceDesc};
     pub use keystone_dataflow::collection::DistCollection;
+    pub use keystone_dataflow::metrics::{chrome_trace_json, MetricsRegistry, StageSkew, TaskSpan};
     pub use keystone_linalg::{DenseMatrix, SparseVector};
     pub use keystone_ops::eval::{accuracy, top_k_error};
     pub use keystone_solvers::solver_op::LinearSolverOp;
