@@ -1,6 +1,7 @@
 //! Execution context threaded through every operator invocation.
 
 use keystone_dataflow::cluster::{ClusterProfile, ResourceDesc};
+use keystone_dataflow::faults::FaultPlan;
 use keystone_dataflow::metrics::MetricsRegistry;
 use keystone_dataflow::simclock::SimClock;
 use keystone_dataflow::stats::ExecStats;
@@ -27,6 +28,11 @@ pub struct ExecContext {
     /// opens a task scope per node, so every `DistCollection` operation an
     /// operator runs lands here with stage/partition/worker attribution.
     pub metrics: MetricsRegistry,
+    /// Optional deterministic fault-injection plan. When set, the executor
+    /// threads it into every task scope (task failures and stragglers land
+    /// inside partition work) and probes it for cache-entry loss; recovery
+    /// costs are charged back to `sim`.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ExecContext {
@@ -38,7 +44,15 @@ impl ExecContext {
             wall: ExecStats::new(),
             tracer: Tracer::new(),
             metrics: MetricsRegistry::new(),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault-injection plan; pipelines fit under this context
+    /// will see its scheduled task failures, stragglers, and cache losses.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Convenience: a 16-node `r3.4xlarge` cluster, the paper's default.
@@ -67,6 +81,7 @@ impl ExecContext {
             wall: self.wall.clone(),
             tracer: self.tracer.clone(),
             metrics: self.metrics.clone(),
+            faults: self.faults.clone(),
         }
     }
 }

@@ -6,17 +6,41 @@
 //! [`CacheManager`] holds it — exactly the Spark behaviour the automatic
 //! materialization optimizer (§4.3) manages. Fitted models *are* memoized
 //! per run: an estimator fits once.
+//!
+//! ## Fault tolerance
+//!
+//! When the context carries a [`FaultPlan`], the executor provides the
+//! recovery guarantees the paper inherits from Spark's RDD lineage:
+//!
+//! * **Task retry** — injected per-partition failures surface as `retries`
+//!   on task spans; the executor charges each retry's exponential backoff to
+//!   the simulated clock (under a `recovery:` stage) and emits a
+//!   [`TraceEvent::TaskRetry`](crate::trace::TraceEvent) per attempt. A task
+//!   exceeding the retry limit fails the job, as on a real cluster.
+//! * **Speculative re-execution** — partitions whose measured busy time
+//!   straggles past 2× the stage median get a simulated median-speed copy:
+//!   the original span is tagged `speculative` (it lost the race) and the
+//!   copy's runtime is charged under a `speculative:` stage.
+//! * **Lineage recompute** — a cache entry that is lost (or holds a foreign
+//!   value) is invalidated and the node recomputed from its DAG ancestry
+//!   instead of panicking; losses surface as `CacheLost` events.
+//!
+//! Recovery is *accounted* centrally on the driving thread after the node's
+//! own work completes, in deterministic span order, so two runs with the
+//! same fault seed produce identical event streams.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use keystone_dataflow::cache::CacheManager;
-use keystone_dataflow::metrics::with_task_scope;
+use keystone_dataflow::faults::FaultPlan;
+use keystone_dataflow::metrics::{enter_task_scope, TaskScope};
 
 use crate::context::ExecContext;
 use crate::graph::{Graph, NodeId, NodeKind};
 use crate::operator::{AnyData, ErasedTransformer, InputHandle, NodeOutput};
 use crate::profiler::NodeProfile;
+use crate::trace::TraceEvent;
 use parking_lot::Mutex;
 
 /// DAG evaluator over a frozen graph.
@@ -111,13 +135,25 @@ impl<'g> Executor<'g> {
         if let Some(m) = self.models.lock().get(&node) {
             return NodeOutput::Model(m.clone());
         }
-        // Policy-driven cache for data nodes.
+        // Policy-driven cache for data nodes. A resident entry can still be
+        // *lost* (simulated executor failure) or hold a foreign value; both
+        // cases invalidate and fall through to lineage recompute — a cached
+        // output is an optimization, never a correctness requirement.
         if let Some(v) = self.cache.get(node as u64) {
-            let data = v
-                .downcast_ref::<AnyData>()
-                .expect("cache holds AnyData")
-                .clone();
-            return NodeOutput::Data(data);
+            if self
+                .active_faults()
+                .is_some_and(|f| f.cache_entry_lost(node as u64))
+            {
+                self.cache.invalidate(node as u64);
+                self.ctx.metrics.inc_counter("faults.cache_losses", 1);
+            } else {
+                match v.downcast_ref::<AnyData>() {
+                    Some(data) => return NodeOutput::Data(data.clone()),
+                    None => {
+                        self.cache.invalidate(node as u64);
+                    }
+                }
+            }
         }
 
         let out = self.compute(node);
@@ -136,6 +172,31 @@ impl<'g> Executor<'g> {
             }
         }
         out
+    }
+
+    /// The fault plan in effect, if any. Single-pass modes (profiling,
+    /// `FittedPipeline::apply`) run with `memoize_all` and stay fault-free:
+    /// injection targets the fit-time executor the recovery machinery
+    /// protects, and profiled estimates must not absorb injected noise.
+    fn active_faults(&self) -> Option<&FaultPlan> {
+        if self.memoize_all {
+            None
+        } else {
+            self.ctx.faults.as_ref()
+        }
+    }
+
+    /// Opens a fault-aware task scope for one node's work and runs `f`
+    /// inside it.
+    fn scoped<T>(&self, label: &str, node: NodeId, f: impl FnOnce() -> T) -> T {
+        let scope = TaskScope::new(
+            &self.ctx.metrics,
+            label,
+            Some(node as u64),
+            self.ctx.resources.workers,
+        )
+        .with_faults(self.active_faults().cloned());
+        enter_task_scope(scope, f)
     }
 
     /// Computes a node unconditionally (no cache lookup).
@@ -166,20 +227,15 @@ impl<'g> Executor<'g> {
                 let in_count = inputs.first().map_or(0, |d| d.stats().count);
                 self.ctx.tracer.node_start(node, &label);
                 let sim_mark = self.ctx.sim.mark();
+                let span_mark = self.ctx.metrics.span_count();
                 let start = std::time::Instant::now();
                 // Task scope: every DistCollection operation inside the
                 // operator emits per-partition spans attributed to this node.
-                let out = with_task_scope(
-                    &self.ctx.metrics,
-                    &label,
-                    Some(node as u64),
-                    self.ctx.resources.workers,
-                    || {
-                        self.ctx
-                            .wall
-                            .time(&label, in_count as u64, || op.apply_any(&inputs, &self.ctx))
-                    },
-                );
+                let out = self.scoped(&label, node, || {
+                    self.ctx
+                        .wall
+                        .time(&label, in_count as u64, || op.apply_any(&inputs, &self.ctx))
+                });
                 let wall_secs = start.elapsed().as_secs_f64();
                 self.charge_sim(node, &label, in_count, wall_secs);
                 self.ctx.tracer.node_end(
@@ -190,6 +246,7 @@ impl<'g> Executor<'g> {
                     wall_secs,
                     self.ctx.sim.seconds_since(sim_mark),
                 );
+                self.apply_recovery(node, &label, span_mark);
                 NodeOutput::Data(out)
             }
             NodeKind::Estimate(op) => {
@@ -207,21 +264,17 @@ impl<'g> Executor<'g> {
                 self.ctx.tracer.node_start(node, &label);
                 let sim_mark = self.ctx.sim.mark();
                 let sim_before = self.ctx.sim.total_seconds();
+                let span_mark = self.ctx.metrics.span_count();
                 let start = std::time::Instant::now();
                 // Estimators re-enter the executor through lazy handles;
                 // inner nodes push their own (innermost-wins) scope, so only
-                // the fit's own collection work is attributed here.
-                let model = with_task_scope(
-                    &self.ctx.metrics,
-                    &label,
-                    Some(node as u64),
-                    self.ctx.resources.workers,
-                    || {
-                        self.ctx
-                            .wall
-                            .time(&label, 0, || op.fit_any(&handle_refs, &self.ctx))
-                    },
-                );
+                // the fit's own collection work is attributed here. Inner
+                // nodes likewise run their own recovery accounting.
+                let model = self.scoped(&label, node, || {
+                    self.ctx
+                        .wall
+                        .time(&label, 0, || op.fit_any(&handle_refs, &self.ctx))
+                });
                 let wall_secs = start.elapsed().as_secs_f64();
                 // If the estimator didn't charge the simulated clock itself
                 // (solvers do), fall back to the profiled estimate. The
@@ -242,6 +295,7 @@ impl<'g> Executor<'g> {
                     wall_secs,
                     self.ctx.sim.seconds_since(sim_mark),
                 );
+                self.apply_recovery(node, &label, span_mark);
                 NodeOutput::Model(model)
             }
             NodeKind::ModelApply => {
@@ -251,18 +305,13 @@ impl<'g> Executor<'g> {
                 let in_count = data.stats().count;
                 self.ctx.tracer.node_start(node, &label);
                 let sim_mark = self.ctx.sim.mark();
+                let span_mark = self.ctx.metrics.span_count();
                 let start = std::time::Instant::now();
-                let out = with_task_scope(
-                    &self.ctx.metrics,
-                    &label,
-                    Some(node as u64),
-                    self.ctx.resources.workers,
-                    || {
-                        self.ctx.wall.time(&label, in_count as u64, || {
-                            model.apply_any(&[data], &self.ctx)
-                        })
-                    },
-                );
+                let out = self.scoped(&label, node, || {
+                    self.ctx.wall.time(&label, in_count as u64, || {
+                        model.apply_any(&[data], &self.ctx)
+                    })
+                });
                 let wall_secs = start.elapsed().as_secs_f64();
                 self.charge_sim(node, &label, in_count, wall_secs);
                 self.ctx.tracer.node_end(
@@ -273,6 +322,7 @@ impl<'g> Executor<'g> {
                     wall_secs,
                     self.ctx.sim.seconds_since(sim_mark),
                 );
+                self.apply_recovery(node, &label, span_mark);
                 NodeOutput::Data(out)
             }
         }
@@ -292,6 +342,115 @@ impl<'g> Executor<'g> {
                 self.ctx.sim.charge_seconds(label, total / w, 0.0);
             }
             None => self.ctx.sim.charge_seconds(label, wall_secs / w, 0.0),
+        }
+    }
+
+    /// Accounts for the recovery work a node's execution incurred, reading
+    /// the task spans recorded since `span_mark`. Runs on the driving thread
+    /// after the node's own work (and its `NodeEnd` event), so the charges
+    /// land in deterministic span order and never perturb the node's own
+    /// `sim_secs`.
+    ///
+    /// Two recovery mechanisms are accounted here:
+    ///
+    /// * **Retries** — each failed attempt a task absorbed is charged its
+    ///   exponential backoff under a `recovery:` sim stage and emitted as a
+    ///   [`TraceEvent::TaskRetry`].
+    /// * **Speculation** — within each parallel wave (spans sharing an
+    ///   `op_seq`), per-partition busy time is compared against the wave
+    ///   median; a partition past 2× the median (and past the plan's noise
+    ///   floor) is assumed beaten by a median-speed speculative copy: its
+    ///   spans are tagged `speculative` and the copy's runtime is charged
+    ///   under a `speculative:` stage. Waves, not node-lifetime totals,
+    ///   because a straggler in one pass of an iterative estimator washes
+    ///   out when summed over the node's other passes.
+    fn apply_recovery(&self, node: NodeId, label: &str, span_mark: usize) {
+        let Some(faults) = self.active_faults() else {
+            return;
+        };
+        let spans: Vec<_> = self
+            .ctx
+            .metrics
+            .spans_from(span_mark)
+            .into_iter()
+            .filter(|s| s.stage_id == Some(node as u64))
+            .collect();
+        if spans.is_empty() {
+            return;
+        }
+
+        // Retries: charge each failed attempt's backoff.
+        let mut backoff_total = 0.0;
+        let mut retries = 0u64;
+        for s in &spans {
+            for attempt in 0..s.retries {
+                let backoff_secs = faults.backoff_secs(attempt);
+                backoff_total += backoff_secs;
+                retries += 1;
+                self.ctx.tracer.record(TraceEvent::TaskRetry {
+                    node,
+                    partition: s.partition,
+                    attempt,
+                    backoff_secs,
+                });
+            }
+        }
+        if retries > 0 {
+            self.ctx.metrics.inc_counter("faults.retries", retries);
+            self.ctx
+                .sim
+                .charge_seconds(&format!("recovery:{label}"), backoff_total, 0.0);
+        }
+
+        // Speculation: within each parallel wave (one `op_seq` = one
+        // collection operation fanned out over partitions), compare each
+        // partition's busy time to that wave's median.
+        let mut waves: BTreeMap<u64, BTreeMap<usize, f64>> = BTreeMap::new();
+        for s in &spans {
+            *waves
+                .entry(s.op_seq)
+                .or_default()
+                .entry(s.partition)
+                .or_insert(0.0) += s.duration_secs();
+        }
+        let floor_secs = faults.speculation_threshold_us() as f64 / 1e6;
+        let mut copies_total = 0.0;
+        let mut wins = 0u64;
+        for (&op_seq, busy) in &waves {
+            if busy.len() < 2 {
+                continue;
+            }
+            let mut sorted: Vec<f64> = busy.values().copied().collect();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+            // Nearest-rank median, matching `MetricsRegistry::stage_skew`.
+            let median = sorted[sorted.len().div_ceil(2) - 1];
+            for (&partition, &original_secs) in busy {
+                if original_secs > 2.0 * median && original_secs >= floor_secs {
+                    let tagged = self.ctx.metrics.mark_speculative(
+                        span_mark,
+                        Some(node as u64),
+                        op_seq,
+                        partition,
+                    );
+                    debug_assert!(tagged > 0, "straggler partition has no spans");
+                    copies_total += median;
+                    wins += 1;
+                    self.ctx.tracer.record(TraceEvent::SpeculativeWin {
+                        node,
+                        partition,
+                        original_secs,
+                        copy_secs: median,
+                    });
+                }
+            }
+        }
+        if wins > 0 {
+            self.ctx
+                .metrics
+                .inc_counter("faults.speculative_wins", wins);
+            self.ctx
+                .sim
+                .charge_seconds(&format!("speculative:{label}"), copies_total, 0.0);
         }
     }
 }
@@ -551,5 +710,115 @@ mod tests {
         let _ = exec.eval(t);
         assert!(ctx.wall.seconds_for_prefix("transform:double") >= 0.0);
         assert_eq!(ctx.wall.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn foreign_cache_value_recomputes_instead_of_panicking() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let (g, _src, t) = chain_graph(calls.clone());
+        let cache = big_cache();
+        // Poison the node's cache slot with a value of the wrong type.
+        assert!(cache.put(t as u64, Arc::new(123i32), 4));
+        let exec = Executor::new(&g, ExecContext::default_cluster(), cache.clone());
+        let v: DistCollection<f64> = exec.eval(t).data().downcast();
+        assert_eq!(v.collect(), vec![2.0, 4.0, 6.0]);
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "lineage recompute ran");
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn lost_cache_entry_recomputes_from_lineage() {
+        use keystone_dataflow::faults::FaultSpec;
+        let calls = Arc::new(AtomicU64::new(0));
+        let (g, _src, t) = chain_graph(calls.clone());
+        let ctx = ExecContext::default_cluster()
+            .with_faults(FaultSpec::new(11).with_cache_loss(1.0).into_plan());
+        // Observer wiring matches what `Pipeline::fit` sets up, so losses
+        // surface as `CacheLost` trace events.
+        let cache = Arc::new(
+            CacheManager::new(
+                u64::MAX,
+                CachePolicy::Lru {
+                    admission_fraction: 1.0,
+                },
+            )
+            .with_observer(Arc::new(crate::trace::TraceCacheObserver(
+                ctx.tracer.clone(),
+            ))),
+        );
+        let exec = Executor::new(&g, ctx.clone(), cache);
+        let _ = exec.eval(t);
+        // The entry is resident but every probe loses it: re-evaluation must
+        // recompute rather than panic, and still return the right data.
+        let v: DistCollection<f64> = exec.eval(t).data().downcast();
+        assert_eq!(v.collect(), vec![2.0, 4.0, 6.0]);
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "lost block recomputed");
+        // Both resident entries (source and transform) are probed and lost.
+        let losses = ctx
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::CacheLost { .. }))
+            .count() as u64;
+        assert_eq!(ctx.metrics.counter("faults.cache_losses"), losses);
+        assert_eq!(losses, 2);
+    }
+
+    #[test]
+    fn injected_failures_surface_as_retries_with_backoff() {
+        use keystone_dataflow::faults::FaultSpec;
+        let calls = Arc::new(AtomicU64::new(0));
+        let (g, _src, t) = chain_graph(calls.clone());
+        // Certain failure: every task absorbs the per-task cap (2 failures).
+        let ctx = ExecContext::default_cluster()
+            .with_faults(FaultSpec::new(5).with_task_failures(1.0).into_plan());
+        let exec = Executor::new(&g, ctx.clone(), no_cache());
+        let v: DistCollection<f64> = exec.eval(t).data().downcast();
+        assert_eq!(v.collect(), vec![2.0, 4.0, 6.0], "faults changed results");
+        // 2 partitions × 2 failed attempts each.
+        let retries = ctx.metrics.counter("faults.retries");
+        assert_eq!(retries, 4);
+        let retry_events: Vec<_> = ctx
+            .tracer
+            .events()
+            .into_iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::TaskRetry {
+                    attempt,
+                    backoff_secs,
+                    ..
+                } => Some((attempt, backoff_secs)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retry_events.len(), 4);
+        // Exponential backoff: attempt 0 charges base, attempt 1 charges 2×.
+        assert!(retry_events.iter().any(|(a, b)| *a == 0 && *b == 1.0));
+        assert!(retry_events.iter().any(|(a, b)| *a == 1 && *b == 2.0));
+        // Backoff landed on the simulated clock under a recovery stage.
+        let recovery_secs: f64 = ctx
+            .sim
+            .entries()
+            .iter()
+            .filter(|e| e.stage.starts_with("recovery:"))
+            .map(|e| e.exec_secs)
+            .sum();
+        assert!((recovery_secs - 6.0).abs() < 1e-9, "got {recovery_secs}");
+        // Spans carry the retry counts.
+        let spans = ctx.metrics.spans();
+        assert_eq!(spans.iter().map(|s| u64::from(s.retries)).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        use keystone_dataflow::faults::FaultSpec;
+        let calls = Arc::new(AtomicU64::new(0));
+        let (g, _src, t) = chain_graph(calls);
+        let ctx = ExecContext::default_cluster().with_faults(FaultSpec::new(3).into_plan());
+        let exec = Executor::new(&g, ctx.clone(), no_cache());
+        let _ = exec.eval(t);
+        assert_eq!(ctx.metrics.counter("faults.retries"), 0);
+        assert_eq!(ctx.metrics.counter("faults.cache_losses"), 0);
+        assert!(ctx.tracer.recovery_stats() == Default::default());
     }
 }

@@ -19,7 +19,7 @@ use keystone_dataflow::metrics::MetricsRegistry;
 
 use crate::graph::{Graph, NodeId};
 use crate::profiler::PipelineProfile;
-use crate::trace::{CacheCounters, Tracer};
+use crate::trace::{CacheCounters, RecoveryStats, Tracer};
 
 /// One node's predicted-vs-actual row.
 #[derive(Debug, Clone)]
@@ -58,6 +58,13 @@ pub struct NodeReport {
     pub skew_ratio: Option<f64>,
     /// Busy wall time ÷ (lanes × stage span), clamped to 1.0.
     pub utilization: Option<f64>,
+    /// Failed task attempts this node's executions absorbed as retries.
+    pub retries: u64,
+    /// Straggler partitions beaten by a speculative copy.
+    pub speculative_wins: u64,
+    /// Simulated seconds of recovery work (retry backoff + speculative
+    /// copies) charged against this node.
+    pub recovery_secs: f64,
 }
 
 impl NodeReport {
@@ -91,6 +98,14 @@ pub struct PipelineReport {
     pub cache_hits: u64,
     /// Total cache misses across nodes.
     pub cache_misses: u64,
+    /// Total retries across nodes.
+    pub retries: u64,
+    /// Total speculative wins across nodes.
+    pub speculative_wins: u64,
+    /// Total cache entries lost and recomputed from lineage.
+    pub cache_losses: u64,
+    /// Total simulated recovery seconds across nodes.
+    pub recovery_secs: f64,
 }
 
 fn rel_error(predicted: f64, actual: f64) -> f64 {
@@ -116,6 +131,7 @@ impl PipelineReport {
     ) -> Self {
         let actuals = tracer.node_actuals();
         let counters = tracer.cache_counters();
+        let recovery = tracer.recovery_by_node();
         // One skew row per executor node; when a node somehow carries more
         // than one stage group (relabeled re-execution), keep the busier one.
         let mut skew_by_node: HashMap<u64, keystone_dataflow::metrics::StageSkew> = HashMap::new();
@@ -135,7 +151,11 @@ impl PipelineReport {
         for id in 0..graph.len() {
             let prof = profile.nodes.get(&id);
             let act = actuals.get(&id);
-            if prof.is_none() && act.is_none() && !counters.contains_key(&id) {
+            if prof.is_none()
+                && act.is_none()
+                && !counters.contains_key(&id)
+                && !recovery.contains_key(&id)
+            {
                 continue;
             }
             let predicted_secs = prof.map(|p| p.est_secs(p.records_hint));
@@ -157,6 +177,7 @@ impl PipelineReport {
                 _ => None,
             };
             let skew = skew_by_node.get(&(id as u64));
+            let rec = recovery.get(&id).copied().unwrap_or_default();
             nodes.push(NodeReport {
                 node: id,
                 label: graph.nodes[id].label.clone(),
@@ -173,15 +194,23 @@ impl PipelineReport {
                 partitions: skew.map_or(0, |s| s.partitions as u64),
                 skew_ratio: skew.map(|s| s.skew_ratio),
                 utilization: skew.map(|s| s.utilization),
+                retries: rec.retries,
+                speculative_wins: rec.speculative_wins,
+                recovery_secs: rec.recovery_secs,
             });
         }
         let cache_hits = nodes.iter().map(|n| n.cache.hits).sum();
         let cache_misses = nodes.iter().map(|n| n.cache.misses).sum();
+        let totals: RecoveryStats = tracer.recovery_stats();
         PipelineReport {
             nodes,
             events: tracer.len(),
             cache_hits,
             cache_misses,
+            retries: totals.retries,
+            speculative_wins: totals.speculative_wins,
+            cache_losses: totals.cache_losses,
+            recovery_secs: totals.recovery_secs,
         }
     }
 
@@ -215,6 +244,14 @@ impl PipelineReport {
         s.push_str(&self.cache_hits.to_string());
         s.push_str(",\"cache_misses\":");
         s.push_str(&self.cache_misses.to_string());
+        s.push_str(",\"retries\":");
+        s.push_str(&self.retries.to_string());
+        s.push_str(",\"speculative_wins\":");
+        s.push_str(&self.speculative_wins.to_string());
+        s.push_str(",\"cache_losses\":");
+        s.push_str(&self.cache_losses.to_string());
+        s.push_str(",\"recovery_secs\":");
+        json_f64(&mut s, self.recovery_secs);
         s.push_str(",\"nodes\":[");
         for (i, n) in self.nodes.iter().enumerate() {
             if i > 0 {
@@ -258,6 +295,12 @@ impl PipelineReport {
             json_opt_f64(&mut s, n.skew_ratio);
             s.push_str(",\"utilization\":");
             json_opt_f64(&mut s, n.utilization);
+            s.push_str(",\"retries\":");
+            s.push_str(&n.retries.to_string());
+            s.push_str(",\"speculative_wins\":");
+            s.push_str(&n.speculative_wins.to_string());
+            s.push_str(",\"recovery_secs\":");
+            json_f64(&mut s, n.recovery_secs);
             s.push('}');
         }
         s.push_str("]}");
@@ -268,8 +311,19 @@ impl PipelineReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<28} {:>6} {:>11} {:>11} {:>7} {:>6} {:>6} {:>6} {:>6}\n",
-            "node", "execs", "pred(s)", "wall(s)", "err%", "hits", "miss", "skew", "util%"
+            "{:<28} {:>6} {:>11} {:>11} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>8}\n",
+            "node",
+            "execs",
+            "pred(s)",
+            "wall(s)",
+            "err%",
+            "hits",
+            "miss",
+            "skew",
+            "util%",
+            "retry",
+            "spec",
+            "rec(s)"
         ));
         for n in &self.nodes {
             let pred = n
@@ -289,8 +343,13 @@ impl PipelineReport {
                 label.truncate(25);
                 label.push_str("...");
             }
+            let rec = if n.recovery_secs > 0.0 {
+                format!("{:.3}", n.recovery_secs)
+            } else {
+                "-".to_string()
+            };
             out.push_str(&format!(
-                "{:<28} {:>6} {:>11} {:>11.5} {:>7} {:>6} {:>6} {:>6} {:>6}\n",
+                "{:<28} {:>6} {:>11} {:>11.5} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>8}\n",
                 label,
                 n.execs,
                 pred,
@@ -299,12 +358,22 @@ impl PipelineReport {
                 n.cache.hits,
                 n.cache.misses,
                 skew,
-                util
+                util,
+                n.retries,
+                n.speculative_wins,
+                rec
             ));
         }
         out.push_str(&format!(
-            "events: {}, cache hits: {}, misses: {}\n",
-            self.events, self.cache_hits, self.cache_misses
+            "events: {}, cache hits: {}, misses: {}, retries: {}, speculative wins: {}, \
+             cache losses: {}, recovery: {:.3}s\n",
+            self.events,
+            self.cache_hits,
+            self.cache_misses,
+            self.retries,
+            self.speculative_wins,
+            self.cache_losses,
+            self.recovery_secs
         ));
         out
     }
@@ -502,6 +571,7 @@ mod tests {
             m.record_span(keystone_dataflow::metrics::TaskSpan {
                 stage: "op".into(),
                 op: "map",
+                op_seq: 0,
                 stage_id: Some(1),
                 partition: p as usize,
                 worker: p as usize % 2,
@@ -510,6 +580,8 @@ mod tests {
                 items_in: 1,
                 items_out: 1,
                 bytes: 8,
+                retries: 0,
+                speculative: false,
             });
         }
         let r = PipelineReport::build_with_metrics(&g, &profile, &t, Some(&m));
@@ -548,6 +620,9 @@ mod tests {
             partitions: 4,
             skew_ratio: Some(1.1),
             utilization: Some(0.9),
+            retries: 0,
+            speculative_wins: 0,
+            recovery_secs: 0.0,
         };
         // Even load but 50% off → uniform mis-estimate.
         assert_eq!(base.miss_diagnosis(0.15), Some("uniform"));
@@ -563,6 +638,46 @@ mod tests {
             ..base
         };
         assert_eq!(no_spans.miss_diagnosis(0.15), Some("uniform"));
+    }
+
+    #[test]
+    fn recovery_events_join_onto_node_rows_and_totals() {
+        use crate::trace::TraceEvent;
+        let g = graph_with(&["src", "op"]);
+        let profile = profile_for(1, 2.0, 800.0);
+        let t = Tracer::new();
+        t.node_end(1, "op", 100, 800, 1.0, 0.5);
+        t.record(TraceEvent::TaskRetry {
+            node: 1,
+            partition: 0,
+            attempt: 0,
+            backoff_secs: 1.0,
+        });
+        t.record(TraceEvent::SpeculativeWin {
+            node: 1,
+            partition: 2,
+            original_secs: 5.0,
+            copy_secs: 0.5,
+        });
+        t.record(TraceEvent::CacheLost { node: 1 });
+        let r = PipelineReport::build(&g, &profile, &t);
+        let row = r.node("op").expect("row");
+        assert_eq!(row.retries, 1);
+        assert_eq!(row.speculative_wins, 1);
+        assert!((row.recovery_secs - 1.5).abs() < 1e-12);
+        assert_eq!(r.retries, 1);
+        assert_eq!(r.speculative_wins, 1);
+        assert_eq!(r.cache_losses, 1);
+        assert!((r.recovery_secs - 1.5).abs() < 1e-12);
+        let json = r.to_json();
+        assert!(json_is_balanced(&json), "unbalanced: {json}");
+        assert!(json.contains("\"retries\":1"));
+        assert!(json.contains("\"speculative_wins\":1"));
+        assert!(json.contains("\"cache_losses\":1"));
+        assert!(json.contains("\"recovery_secs\":1.5"));
+        let table = r.render_table();
+        assert!(table.contains("retry"));
+        assert!(table.contains("recovery: 1.500s"));
     }
 
     #[test]

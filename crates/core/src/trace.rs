@@ -137,6 +137,69 @@ pub enum TraceEvent {
         /// Output size charged against the memory budget, bytes.
         size_bytes: u64,
     },
+    /// A partition task absorbed one injected failure and was retried
+    /// (attempt `attempt` failed; the retry's backoff is charged to the
+    /// simulated clock).
+    TaskRetry {
+        /// Node whose work the failed task belonged to.
+        node: NodeId,
+        /// Partition index of the failed task.
+        partition: usize,
+        /// Zero-based index of the failed attempt.
+        attempt: u32,
+        /// Backoff charged before the retry, simulated seconds.
+        backoff_secs: f64,
+    },
+    /// A straggler partition lost to its speculative copy: the copy's
+    /// (estimated, median-speed) runtime replaces the straggler's on the
+    /// simulated clock, and the original span is tagged `speculative`.
+    SpeculativeWin {
+        /// Node whose work straggled.
+        node: NodeId,
+        /// The straggler partition.
+        partition: usize,
+        /// The straggler's measured busy seconds.
+        original_secs: f64,
+        /// The winning copy's charged seconds (stage median).
+        copy_secs: f64,
+    },
+    /// A cache entry was found lost (or was explicitly invalidated); the
+    /// executor recomputes the node from its DAG ancestry.
+    CacheLost {
+        /// Node id (cache key).
+        node: NodeId,
+    },
+}
+
+/// Aggregate recovery statistics derived from the event stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Failed attempts absorbed as retries.
+    pub retries: u64,
+    /// Straggler partitions beaten by a speculative copy.
+    pub speculative_wins: u64,
+    /// Cache entries lost and recomputed from lineage.
+    pub cache_losses: u64,
+    /// Simulated seconds spent on recovery: retry backoff plus the
+    /// speculative copies' charged runtimes.
+    pub recovery_secs: f64,
+}
+
+impl RecoveryStats {
+    fn absorb(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::TaskRetry { backoff_secs, .. } => {
+                self.retries += 1;
+                self.recovery_secs += backoff_secs;
+            }
+            TraceEvent::SpeculativeWin { copy_secs, .. } => {
+                self.speculative_wins += 1;
+                self.recovery_secs += copy_secs;
+            }
+            TraceEvent::CacheLost { .. } => self.cache_losses += 1,
+            _ => {}
+        }
+    }
 }
 
 /// A [`TraceEvent`] plus its global sequence number (0-based, in the order
@@ -295,6 +358,30 @@ impl Tracer {
         out
     }
 
+    /// Pipeline-wide recovery statistics aggregated from the stream.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        let mut out = RecoveryStats::default();
+        for e in self.events.lock().iter() {
+            out.absorb(e);
+        }
+        out
+    }
+
+    /// Per-node recovery statistics aggregated from the stream.
+    pub fn recovery_by_node(&self) -> HashMap<NodeId, RecoveryStats> {
+        let mut out: HashMap<NodeId, RecoveryStats> = HashMap::new();
+        for e in self.events.lock().iter() {
+            let node = match e {
+                TraceEvent::TaskRetry { node, .. }
+                | TraceEvent::SpeculativeWin { node, .. }
+                | TraceEvent::CacheLost { node } => *node,
+                _ => continue,
+            };
+            out.entry(node).or_default().absorb(e);
+        }
+        out
+    }
+
     /// Labels of `NodeEnd` events in completion order (handy for asserting
     /// execution order in tests).
     pub fn completion_order(&self) -> Vec<String> {
@@ -338,6 +425,11 @@ impl CacheObserver for TraceCacheObserver {
     }
     fn on_reject(&self, key: u64) {
         self.0.record(TraceEvent::CacheReject {
+            node: key as NodeId,
+        });
+    }
+    fn on_invalidate(&self, key: u64) {
+        self.0.record(TraceEvent::CacheLost {
             node: key as NodeId,
         });
     }
@@ -396,6 +488,41 @@ mod tests {
         );
         assert_eq!(counters[&2].misses, 1);
         assert_eq!(counters[&2].rejections, 1);
+    }
+
+    #[test]
+    fn recovery_stats_aggregate_globally_and_per_node() {
+        let t = Tracer::new();
+        t.record(TraceEvent::TaskRetry {
+            node: 1,
+            partition: 0,
+            attempt: 0,
+            backoff_secs: 1.0,
+        });
+        t.record(TraceEvent::TaskRetry {
+            node: 1,
+            partition: 0,
+            attempt: 1,
+            backoff_secs: 2.0,
+        });
+        t.record(TraceEvent::SpeculativeWin {
+            node: 2,
+            partition: 3,
+            original_secs: 9.0,
+            copy_secs: 1.5,
+        });
+        t.record(TraceEvent::CacheLost { node: 1 });
+        let total = t.recovery_stats();
+        assert_eq!(total.retries, 2);
+        assert_eq!(total.speculative_wins, 1);
+        assert_eq!(total.cache_losses, 1);
+        assert!((total.recovery_secs - 4.5).abs() < 1e-12);
+        let per = t.recovery_by_node();
+        assert_eq!(per[&1].retries, 2);
+        assert_eq!(per[&1].cache_losses, 1);
+        assert!((per[&1].recovery_secs - 3.0).abs() < 1e-12);
+        assert_eq!(per[&2].speculative_wins, 1);
+        assert!((per[&2].recovery_secs - 1.5).abs() < 1e-12);
     }
 
     #[test]

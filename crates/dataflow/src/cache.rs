@@ -48,6 +48,11 @@ pub trait CacheObserver: Send + Sync {
     fn on_reject(&self, key: u64) {
         let _ = key;
     }
+    /// `key` was explicitly invalidated (e.g. a simulated executor lost the
+    /// block), distinct from a capacity eviction.
+    fn on_invalidate(&self, key: u64) {
+        let _ = key;
+    }
 }
 
 /// Admission/eviction policy.
@@ -74,6 +79,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Put calls refused by policy or size.
     pub rejected: u64,
+    /// Entries explicitly invalidated (lost blocks), not capacity evictions.
+    pub invalidations: u64,
 }
 
 struct Entry {
@@ -169,10 +176,33 @@ impl CacheManager {
     }
 
     /// Offers a value for caching. Returns `true` if it was admitted.
+    ///
+    /// Re-offering a resident key at the same size is a hit: the stored
+    /// value is refreshed, recency is bumped, and `on_hit` fires — the same
+    /// outcome a lookup would have had, so trace counters stay in step with
+    /// executor behavior. A re-offer at a *different* size drops the stale
+    /// entry (its accounting would otherwise desync `used`) and runs the
+    /// normal admission path for the new size.
     pub fn put(&self, key: u64, value: CachedValue, size: u64) -> bool {
         let mut inner = self.inner.lock();
-        if inner.entries.contains_key(&key) {
-            return true;
+        match inner.entries.get(&key).map(|e| e.size == size) {
+            Some(true) => {
+                inner.clock += 1;
+                let clock = inner.clock;
+                let e = inner.entries.get_mut(&key).expect("resident");
+                e.value = value;
+                e.last_used = clock;
+                inner.stats.hits += 1;
+                self.notify(|o| o.on_hit(key));
+                return true;
+            }
+            Some(false) => {
+                let old = inner.entries.remove(&key).expect("resident");
+                inner.used -= old.size;
+                inner.stats.invalidations += 1;
+                self.notify(|o| o.on_invalidate(key));
+            }
+            None => {}
         }
         match &self.policy {
             CachePolicy::Pinned(set) => {
@@ -240,6 +270,37 @@ impl CacheManager {
                 self.notify(|o| o.on_admit(key, size));
                 true
             }
+        }
+    }
+
+    /// Drops a resident entry (a lost block, not a capacity eviction) and
+    /// releases its bytes. Returns `true` if the key was resident. Fires
+    /// `on_invalidate` so trace sinks can distinguish loss from eviction.
+    pub fn invalidate(&self, key: u64) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.entries.remove(&key) {
+            Some(e) => {
+                inner.used -= e.size;
+                inner.stats.invalidations += 1;
+                self.notify(|o| o.on_invalidate(key));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks a resident entry as pinned, exempting it from LRU eviction
+    /// (the whole-pipeline optimizer protects its chosen set this way even
+    /// when the baseline policy manages the rest). Returns `true` if the key
+    /// was resident.
+    pub fn pin(&self, key: u64) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.entries.get_mut(&key) {
+            Some(e) => {
+                e.pinned = true;
+                true
+            }
+            None => false,
         }
     }
 
@@ -348,6 +409,123 @@ mod tests {
         assert!(c.put(1, val(1), 30));
         assert!(c.put(1, val(1), 30));
         assert_eq!(c.used(), 30);
+        // The re-offer counts as a hit, not a silent no-op.
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn resident_put_refreshes_value_and_recency() {
+        let c = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        );
+        assert!(c.put(1, val(10), 40));
+        assert!(c.put(2, val(20), 40));
+        // Re-offering key 1 bumps its recency, so key 2 is now the LRU
+        // victim — before the fix this was a no-op and key 1 got evicted.
+        assert!(c.put(1, val(11), 40));
+        assert!(c.put(3, val(30), 40));
+        assert!(c.get(1).is_some(), "recently re-offered entry evicted");
+        assert!(c.get(2).is_none(), "LRU entry survived");
+        // The refreshed value is the one stored.
+        let v = c.get(1).expect("resident");
+        assert_eq!(*v.downcast::<i64>().expect("type"), 11);
+    }
+
+    #[test]
+    fn resident_put_with_new_size_reaccounts() {
+        let c = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        );
+        assert!(c.put(1, val(1), 30));
+        assert_eq!(c.used(), 30);
+        // Same key, different size: the stale entry is dropped and the new
+        // size admitted, keeping `used` truthful.
+        assert!(c.put(1, val(2), 50));
+        assert_eq!(c.used(), 50);
+        assert_eq!(c.stats().invalidations, 1);
+        // Shrinking works the same way.
+        assert!(c.put(1, val(3), 10));
+        assert_eq!(c.used(), 10);
+        // A size-changed re-offer that fails admission leaves the key gone
+        // rather than resident with stale accounting.
+        let tight = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 0.5,
+            },
+        );
+        assert!(tight.put(7, val(1), 40));
+        assert!(!tight.put(7, val(2), 60), "oversized re-offer admitted");
+        assert!(tight.get(7).is_none());
+        assert_eq!(tight.used(), 0);
+    }
+
+    #[test]
+    fn lru_admission_boundary_truncation() {
+        // budget 10 × fraction 0.35 = 3.5, truncated to a 3-byte cap: an
+        // exact-fit 3-byte object is admitted, 4 bytes is rejected.
+        let c = CacheManager::new(
+            10,
+            CachePolicy::Lru {
+                admission_fraction: 0.35,
+            },
+        );
+        assert!(c.put(1, val(1), 3), "exact-fit object rejected");
+        assert!(!c.put(2, val(2), 4), "over-cap object admitted");
+        assert_eq!(c.stats().rejected, 1);
+        // fraction 1.0 admits exactly up to the budget.
+        let full = CacheManager::new(
+            10,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        );
+        assert!(full.put(1, val(1), 10));
+        assert!(!full.put(2, val(2), 11));
+    }
+
+    #[test]
+    fn eviction_loop_rejects_when_all_residents_pinned() {
+        let c = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        );
+        assert!(c.put(1, val(1), 60));
+        assert!(c.pin(1));
+        assert!(!c.pin(9), "pinned a non-resident key");
+        // Key 2 fits the admission cap but not the remaining budget, and
+        // the only candidate victim is pinned: the offer must be rejected
+        // rather than evicting the pinned entry or looping forever.
+        assert!(!c.put(2, val(2), 50));
+        assert_eq!(c.stats().rejected, 1);
+        assert_eq!(c.stats().evictions, 0);
+        assert!(c.get(1).is_some(), "pinned entry lost");
+    }
+
+    #[test]
+    fn invalidate_releases_bytes_and_counts() {
+        let c = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        );
+        assert!(c.put(1, val(1), 30));
+        assert!(c.invalidate(1));
+        assert!(!c.invalidate(1), "double invalidate reported success");
+        assert_eq!(c.used(), 0);
+        assert_eq!(c.stats().invalidations, 1);
+        assert!(c.get(1).is_none());
+        // The freed room is reusable.
+        assert!(c.put(2, val(2), 100));
     }
 
     #[test]
@@ -384,6 +562,36 @@ mod tests {
         fn on_reject(&self, key: u64) {
             self.events.lock().push(format!("reject:{key}"));
         }
+        fn on_invalidate(&self, key: u64) {
+            self.events.lock().push(format!("invalidate:{key}"));
+        }
+    }
+
+    #[test]
+    fn observer_sees_invalidations() {
+        let rec = Arc::new(Recorder::default());
+        let c = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        )
+        .with_observer(rec.clone());
+        assert!(c.put(1, val(1), 30));
+        assert!(c.invalidate(1));
+        assert!(c.put(2, val(2), 30));
+        assert!(c.put(2, val(2), 40)); // size change → invalidate + admit
+        let events = rec.events.lock().clone();
+        assert_eq!(
+            events,
+            vec![
+                "admit:1:30",
+                "invalidate:1",
+                "admit:2:30",
+                "invalidate:2",
+                "admit:2:40",
+            ]
+        );
     }
 
     #[test]

@@ -26,11 +26,22 @@ fn part_bytes<T>(p: &[T]) -> u64 {
 /// Runs one partition's work, measuring a [`TaskSpan`] when a task scope is
 /// active. `f` returns the result plus the number of items produced. This is
 /// called on the pool's worker threads, so timestamps bracket the real
-/// per-partition work; the scope itself is captured on the driving thread
-/// before the fan-out.
+/// per-partition work; the scope itself is captured (and `op_seq` drawn) on
+/// the driving thread before the fan-out.
+///
+/// When the scope carries a [`FaultPlan`](crate::faults::FaultPlan), this is
+/// also where injected faults land: the task absorbs its scheduled failures
+/// as `retries` on the span (recovery charges their backoff upstream), and a
+/// task picked as a straggler sleeps its injected delay before the end
+/// timestamp, so the slowdown is real wall time that skew detection sees.
+///
+/// # Panics
+/// Panics when the injected failure count exceeds the plan's retry limit —
+/// a permanently failing task fails the job, as on the real cluster.
 fn measure_partition<R>(
     scope: &Option<TaskScope>,
     op: &'static str,
+    op_seq: u64,
     partition: usize,
     items_in: usize,
     bytes: u64,
@@ -39,24 +50,57 @@ fn measure_partition<R>(
     match scope {
         None => (f().0, None),
         Some(sc) => {
+            let retries = match &sc.faults {
+                Some(fp) => {
+                    let fails = fp.injected_failures(sc.fault_key(), op_seq, partition);
+                    assert!(
+                        fails <= fp.retry_limit(),
+                        "stage {:?} partition {partition}: task failed {fails} times, \
+                         exceeding the retry limit of {}",
+                        sc.stage,
+                        fp.retry_limit()
+                    );
+                    fails
+                }
+                None => 0,
+            };
             let start_us = sc.registry.now_micros();
             let (out, items_out) = f();
+            if let Some(fp) = &sc.faults {
+                let busy_us = sc.registry.now_micros().saturating_sub(start_us);
+                if let Some(extra_us) =
+                    fp.straggler_extra_us(sc.fault_key(), op_seq, partition, busy_us)
+                {
+                    std::thread::sleep(std::time::Duration::from_micros(extra_us));
+                }
+            }
             let end_us = sc.registry.now_micros();
             let span = TaskSpan {
                 stage: sc.stage.to_string(),
                 op,
+                op_seq,
                 stage_id: sc.stage_id,
                 partition,
-                worker: partition % sc.workers.max(1),
+                worker: rayon::current_thread_index().unwrap_or(partition % sc.workers.max(1)),
                 start_us,
                 end_us,
                 items_in: items_in as u64,
                 items_out,
                 bytes,
+                retries,
+                speculative: false,
             };
             (out, Some(span))
         }
     }
+}
+
+/// Draws the next operation sequence number from the active scope (0 when
+/// uninstrumented) — one per collection operation, before the fan-out, so
+/// every partition of the op shares it and fault decisions for distinct ops
+/// on the same partition stay independent.
+fn next_op_seq(scope: &Option<TaskScope>) -> u64 {
+    scope.as_ref().map_or(0, |sc| sc.next_op_seq())
 }
 
 /// Strips measured spans off per-partition results, committing them to the
@@ -133,10 +177,16 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
     /// pipeline optimizer to recognize that two bound sources are the same
     /// dataset (common sub-expression elimination across `and_then_est`
     /// calls).
+    ///
+    /// The id hashes the partition count plus *every* partition's `Arc`
+    /// pointer, so collections that merely share a first allocation (e.g. a
+    /// collection and its union with extra partitions) cannot alias.
     pub fn content_id(&self) -> usize {
-        self.partitions
-            .first()
-            .map_or(0, |p| Arc::as_ptr(p) as *const () as usize)
+        let mut h = split_seed(0x9E37_79B9, self.partitions.len() as u64);
+        for p in &self.partitions {
+            h = split_seed(h, Arc::as_ptr(p) as *const () as usize as u64);
+        }
+        h as usize
     }
 
     /// Total number of elements.
@@ -161,12 +211,13 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         F: Fn(&T) -> U + Send + Sync,
     {
         let scope = current_task_scope();
+        let seq = next_op_seq(&scope);
         let results = self
             .partitions
             .par_iter()
             .enumerate()
             .map(|(pi, p)| {
-                measure_partition(&scope, "map", pi, p.len(), part_bytes::<T>(p), || {
+                measure_partition(&scope, "map", seq, pi, p.len(), part_bytes::<T>(p), || {
                     let out = Arc::new(p.iter().map(&f).collect::<Vec<U>>());
                     let n = out.len() as u64;
                     (out, n)
@@ -187,6 +238,7 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         F: Fn(&[T]) -> Vec<U> + Send + Sync,
     {
         let scope = current_task_scope();
+        let seq = next_op_seq(&scope);
         let results = self
             .partitions
             .par_iter()
@@ -195,6 +247,7 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
                 measure_partition(
                     &scope,
                     "map_partitions",
+                    seq,
                     pi,
                     p.len(),
                     part_bytes::<T>(p),
@@ -218,16 +271,25 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         F: Fn(&T) -> Vec<U> + Send + Sync,
     {
         let scope = current_task_scope();
+        let seq = next_op_seq(&scope);
         let results = self
             .partitions
             .par_iter()
             .enumerate()
             .map(|(pi, p)| {
-                measure_partition(&scope, "flat_map", pi, p.len(), part_bytes::<T>(p), || {
-                    let out = Arc::new(p.iter().flat_map(&f).collect::<Vec<U>>());
-                    let n = out.len() as u64;
-                    (out, n)
-                })
+                measure_partition(
+                    &scope,
+                    "flat_map",
+                    seq,
+                    pi,
+                    p.len(),
+                    part_bytes::<T>(p),
+                    || {
+                        let out = Arc::new(p.iter().flat_map(&f).collect::<Vec<U>>());
+                        let n = out.len() as u64;
+                        (out, n)
+                    },
+                )
             })
             .collect();
         DistCollection {
@@ -242,16 +304,25 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         F: Fn(&T) -> bool + Send + Sync,
     {
         let scope = current_task_scope();
+        let seq = next_op_seq(&scope);
         let results = self
             .partitions
             .par_iter()
             .enumerate()
             .map(|(pi, p)| {
-                measure_partition(&scope, "filter", pi, p.len(), part_bytes::<T>(p), || {
-                    let out = Arc::new(p.iter().filter(|x| f(x)).cloned().collect::<Vec<T>>());
-                    let n = out.len() as u64;
-                    (out, n)
-                })
+                measure_partition(
+                    &scope,
+                    "filter",
+                    seq,
+                    pi,
+                    p.len(),
+                    part_bytes::<T>(p),
+                    || {
+                        let out = Arc::new(p.iter().filter(|x| f(x)).cloned().collect::<Vec<T>>());
+                        let n = out.len() as u64;
+                        (out, n)
+                    },
+                )
             })
             .collect();
         DistCollection {
@@ -276,6 +347,7 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
             "zip: partition count mismatch"
         );
         let scope = current_task_scope();
+        let seq = next_op_seq(&scope);
         let results = self
             .partitions
             .par_iter()
@@ -284,7 +356,7 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
             .map(|(pi, (a, b))| {
                 assert_eq!(a.len(), b.len(), "zip: partition size mismatch");
                 let bytes = part_bytes::<T>(a) + part_bytes::<U>(b);
-                measure_partition(&scope, "zip", pi, a.len(), bytes, || {
+                measure_partition(&scope, "zip", seq, pi, a.len(), bytes, || {
                     let out = Arc::new(
                         a.iter()
                             .zip(b.iter())
@@ -312,14 +384,21 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         CombF: Fn(U, U) -> U + Send + Sync,
     {
         let scope = current_task_scope();
+        let op_seq = next_op_seq(&scope);
         let results = self
             .partitions
             .par_iter()
             .enumerate()
             .map(|(pi, p)| {
-                measure_partition(&scope, "aggregate", pi, p.len(), part_bytes::<T>(p), || {
-                    (p.iter().fold(zero.clone(), &seq), 1)
-                })
+                measure_partition(
+                    &scope,
+                    "aggregate",
+                    op_seq,
+                    pi,
+                    p.len(),
+                    part_bytes::<T>(p),
+                    || (p.iter().fold(zero.clone(), &seq), 1),
+                )
             })
             .collect();
         let partials: Vec<U> = commit_spans(&scope, results);
@@ -335,6 +414,7 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         RedF: Fn(U, U) -> U + Send + Sync,
     {
         let scope = current_task_scope();
+        let seq = next_op_seq(&scope);
         let results = self
             .partitions
             .par_iter()
@@ -344,6 +424,7 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
                 measure_partition(
                     &scope,
                     "map_reduce_partitions",
+                    seq,
                     pi,
                     p.len(),
                     part_bytes::<T>(p),
@@ -413,6 +494,7 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         T: Clone,
     {
         let scope = current_task_scope();
+        let seq = next_op_seq(&scope);
         let results = self
             .partitions
             .par_iter()
@@ -421,6 +503,7 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
                 measure_partition(
                     &scope,
                     "repartition",
+                    seq,
                     pi,
                     part.len(),
                     part_bytes::<T>(part),
@@ -597,9 +680,18 @@ mod tests {
         for s in &spans {
             assert_eq!(&s.stage, "stage");
             assert_eq!(s.stage_id, Some(7));
-            assert_eq!(s.worker, s.partition % 2, "lane mapping");
+            // The shim hands contiguous chunks to pool threads, so a
+            // partition's real lane never exceeds its own index.
+            assert!(
+                s.worker <= s.partition,
+                "lane {} > partition {}",
+                s.worker,
+                s.partition
+            );
             assert!(s.end_us >= s.start_us, "negative duration");
             assert!(s.items_in > 0 && s.bytes > 0);
+            assert_eq!(s.retries, 0, "no fault plan, no retries");
+            assert!(!s.speculative);
         }
         // Outside a scope, operations are uninstrumented.
         let before = r.span_count();
@@ -623,6 +715,23 @@ mod tests {
     fn take_in_order() {
         let c = DistCollection::from_vec((0..50).collect::<Vec<i64>>(), 5);
         assert_eq!(c.take(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn content_id_covers_all_partitions() {
+        let a = DistCollection::from_vec((0..10).collect::<Vec<i64>>(), 2);
+        // Clones share allocations, so their identity matches.
+        assert_eq!(a.clone().content_id(), a.content_id());
+        // Distinct data has distinct identity.
+        let b = DistCollection::from_vec((0..10).collect::<Vec<i64>>(), 2);
+        assert_ne!(a.content_id(), b.content_id());
+        // A union shares `a`'s first partition allocation but must not alias
+        // `a`: the id covers partition count and every partition pointer.
+        let c = DistCollection::from_vec(vec![99i64], 1);
+        let u = a.union(&c);
+        assert_ne!(u.content_id(), a.content_id());
+        // Identical unions (same constituent allocations) agree.
+        assert_eq!(u.content_id(), a.union(&c).content_id());
     }
 }
 

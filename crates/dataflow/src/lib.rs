@@ -21,12 +21,17 @@
 //! * [`metrics::MetricsRegistry`] — partition-level observability: per-task
 //!   spans with worker-lane attribution, per-stage skew/utilization
 //!   analysis, and a Chrome trace-event exporter rendering measured worker
-//!   lanes next to the simulated-cluster ledger.
+//!   lanes next to the simulated-cluster ledger;
+//! * [`faults::FaultPlan`] — deterministic, seeded fault injection (task
+//!   failures, stragglers, cache-entry loss) that the executor's recovery
+//!   machinery — bounded retry, speculative re-execution, lineage
+//!   recompute — is tested against.
 
 pub mod cache;
 pub mod cluster;
 pub mod collection;
 pub mod cost;
+pub mod faults;
 pub mod metrics;
 pub mod simclock;
 pub mod stats;
@@ -48,5 +53,6 @@ pub use cache::{CacheManager, CachePolicy};
 pub use cluster::{ClusterProfile, ResourceDesc};
 pub use collection::DistCollection;
 pub use cost::CostProfile;
+pub use faults::{FaultPlan, FaultSpec};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, StageSkew, TaskSpan};
 pub use simclock::SimClock;

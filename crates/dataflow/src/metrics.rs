@@ -11,8 +11,9 @@
 //!
 //! * [`TaskSpan`] — one partition's work inside one stage: wall-clock start
 //!   and end (microseconds on a shared epoch), the partition index, the
-//!   logical worker lane it maps to (`partition % workers`), and item/byte
-//!   throughput.
+//!   worker lane that actually executed it (the pool thread's index,
+//!   falling back to `partition % workers` when no pool is active), and
+//!   item/byte throughput.
 //! * [`MetricsRegistry`] — a cheaply-cloneable sink for spans plus named
 //!   counters, gauges and fixed-bucket [`Histogram`]s whose
 //!   [`MetricsSnapshot`]s merge associatively (roll up registries from
@@ -32,9 +33,11 @@
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::faults::FaultPlan;
 use crate::simclock::SimClock;
 
 /// One partition's work inside one stage: the physical-task record the
@@ -45,13 +48,18 @@ pub struct TaskSpan {
     pub stage: String,
     /// Collection operation that did the work (`map`, `aggregate`, ...).
     pub op: &'static str,
+    /// Sequence number of the collection operation within its scope — one
+    /// per parallel wave, so recovery logic can compare partitions of the
+    /// same wave rather than lifetime totals.
+    pub op_seq: u64,
     /// Opaque stage identity set by the scope owner (the executor stores the
     /// graph node id) — lets reports join spans back to nodes even when
     /// labels collide.
     pub stage_id: Option<u64>,
     /// Partition index within the collection.
     pub partition: usize,
-    /// Logical worker lane: `partition % workers` of the active scope.
+    /// Worker lane that ran the task: the pool thread's index within its
+    /// parallel region, or `partition % workers` when none is available.
     pub worker: usize,
     /// Wall-clock start, microseconds since the registry epoch.
     pub start_us: u64,
@@ -63,6 +71,12 @@ pub struct TaskSpan {
     pub items_out: u64,
     /// Bytes read, estimated shallowly as `items_in × size_of::<T>()`.
     pub bytes: u64,
+    /// Failed attempts this task absorbed before succeeding (fault
+    /// injection; 0 on healthy runs).
+    pub retries: u32,
+    /// This span lost a speculative race: it straggled, a re-execution's
+    /// result was taken instead. Tagged after the fact by recovery.
+    pub speculative: bool,
 }
 
 impl TaskSpan {
@@ -236,6 +250,34 @@ impl MetricsRegistry {
     /// Number of recorded spans.
     pub fn span_count(&self) -> usize {
         self.inner.spans.lock().len()
+    }
+
+    /// Spans recorded at index `mark` onward ([`MetricsRegistry::span_count`]
+    /// taken earlier serves as the mark) — how the executor attributes a
+    /// window of the ledger to one node execution.
+    pub fn spans_from(&self, mark: usize) -> Vec<TaskSpan> {
+        self.inner.spans.lock().iter().skip(mark).cloned().collect()
+    }
+
+    /// Tags spans of `(stage_id, op_seq, partition)` recorded at `mark`
+    /// onward as speculative losers (their straggling result was replaced by
+    /// a re-execution's). Returns how many spans were tagged.
+    pub fn mark_speculative(
+        &self,
+        mark: usize,
+        stage_id: Option<u64>,
+        op_seq: u64,
+        partition: usize,
+    ) -> usize {
+        let mut spans = self.inner.spans.lock();
+        let mut tagged = 0;
+        for s in spans.iter_mut().skip(mark) {
+            if s.stage_id == stage_id && s.op_seq == op_seq && s.partition == partition {
+                s.speculative = true;
+                tagged += 1;
+            }
+        }
+        tagged
     }
 
     /// Adds `by` to the named counter.
@@ -416,7 +458,8 @@ impl StageSkew {
 
 /// Ambient attribution for instrumented collection operations: which
 /// registry to record into, what the current stage is called, and how many
-/// logical worker lanes the active `ResourceDesc` provides.
+/// logical worker lanes the active `ResourceDesc` provides. Optionally
+/// carries a [`FaultPlan`] so partition tasks run under injected faults.
 #[derive(Debug, Clone)]
 pub struct TaskScope {
     /// Destination registry.
@@ -425,8 +468,52 @@ pub struct TaskScope {
     pub stage: Arc<str>,
     /// Opaque stage identity (executor node id).
     pub stage_id: Option<u64>,
-    /// Logical worker lanes; partitions map to lane `partition % workers`.
+    /// Logical worker lanes (fallback lane mapping when no pool thread
+    /// index is available is `partition % workers`).
     pub workers: usize,
+    /// Fault schedule governing tasks under this scope, if any.
+    pub faults: Option<FaultPlan>,
+    /// Sequence number of collection operations run under this scope, so
+    /// two ops on the same partition get independent fault decisions.
+    op_seq: Arc<AtomicU64>,
+}
+
+impl TaskScope {
+    /// A fault-free scope.
+    pub fn new(
+        registry: &MetricsRegistry,
+        stage: &str,
+        stage_id: Option<u64>,
+        workers: usize,
+    ) -> Self {
+        TaskScope {
+            registry: registry.clone(),
+            stage: Arc::from(stage),
+            stage_id,
+            workers: workers.max(1),
+            faults: None,
+            op_seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Attaches a fault plan (pass `None` to keep the scope fault-free).
+    pub fn with_faults(mut self, faults: Option<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Key identifying this stage in fault decisions: the stage id when the
+    /// scope owner set one, else a hash of the stage label.
+    pub fn fault_key(&self) -> u64 {
+        self.stage_id
+            .unwrap_or_else(|| crate::faults::hash_label(&self.stage))
+    }
+
+    /// Takes the next operation sequence number (one per collection
+    /// operation, drawn on the driving thread before the fan-out).
+    pub fn next_op_seq(&self) -> u64 {
+        self.op_seq.fetch_add(1, Ordering::Relaxed)
+    }
 }
 
 thread_local! {
@@ -456,14 +543,14 @@ pub fn with_task_scope<T>(
     workers: usize,
     f: impl FnOnce() -> T,
 ) -> T {
-    SCOPES.with(|s| {
-        s.borrow_mut().push(TaskScope {
-            registry: registry.clone(),
-            stage: Arc::from(stage),
-            stage_id,
-            workers: workers.max(1),
-        })
-    });
+    enter_task_scope(TaskScope::new(registry, stage, stage_id, workers), f)
+}
+
+/// Runs `f` with an explicit [`TaskScope`] active on this thread — the
+/// general form of [`with_task_scope`], used when the scope carries extras
+/// such as a fault plan.
+pub fn enter_task_scope<T>(scope: TaskScope, f: impl FnOnce() -> T) -> T {
+    SCOPES.with(|s| s.borrow_mut().push(scope));
     let _guard = ScopeGuard;
     f()
 }
@@ -538,6 +625,10 @@ pub fn chrome_trace_json(registry: &MetricsRegistry, sim: &SimClock) -> String {
         ev.push_str(&s.items_out.to_string());
         ev.push_str(",\"bytes\":");
         ev.push_str(&s.bytes.to_string());
+        ev.push_str(",\"retries\":");
+        ev.push_str(&s.retries.to_string());
+        ev.push_str(",\"speculative\":");
+        ev.push_str(if s.speculative { "true" } else { "false" });
         ev.push_str("}}");
         push(&mut out, ev);
     }
@@ -857,6 +948,7 @@ mod tests {
         TaskSpan {
             stage: stage.to_string(),
             op: "map",
+            op_seq: 0,
             stage_id: Some(1),
             partition,
             worker,
@@ -865,6 +957,8 @@ mod tests {
             items_in: 10,
             items_out: 10,
             bytes: 80,
+            retries: 0,
+            speculative: false,
         }
     }
 

@@ -117,6 +117,12 @@ impl SimClock {
     /// [`metrics::chrome_trace_json`](crate::metrics::chrome_trace_json)) —
     /// the ledger records durations, not timestamps, so the timeline is the
     /// canonical reconstruction.
+    ///
+    /// Note the layout is strictly sequential: charges that would overlap
+    /// wall-clock time on a real cluster — e.g. `recovery:`/`speculative:`
+    /// stages the executor books for retry backoff and speculative copies,
+    /// which run concurrently with other partitions — are laid end to end
+    /// here. The timeline is a cost ledger, not a schedule.
     pub fn timeline(&self) -> Vec<(f64, SimEntry)> {
         let mut t = 0.0;
         self.entries

@@ -19,6 +19,19 @@ pub fn current_num_threads() -> usize {
         .unwrap_or(1)
 }
 
+thread_local! {
+    static POOL_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Index of the calling thread within its parallel region (its chunk index),
+/// or `None` on threads outside one — the same contract as rayon's
+/// `current_thread_index`, which callers use for worker-lane attribution.
+/// Because each region hands one contiguous chunk to each thread, an item's
+/// lane never exceeds its own index within the region.
+pub fn current_thread_index() -> Option<usize> {
+    POOL_INDEX.with(|c| c.get())
+}
+
 /// Evaluates `f` over `items` in parallel, preserving order.
 fn parallel_process<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
 where
@@ -45,7 +58,13 @@ where
         let f = &f;
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<O>>()))
+            .enumerate()
+            .map(|(ci, c)| {
+                scope.spawn(move || {
+                    POOL_INDEX.with(|cell| cell.set(Some(ci)));
+                    c.into_iter().map(f).collect::<Vec<O>>()
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -281,5 +300,25 @@ mod tests {
     #[test]
     fn current_num_threads_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_index_set_inside_region_and_absent_outside() {
+        assert_eq!(super::current_thread_index(), None);
+        let v: Vec<usize> = (0..64).collect();
+        let lanes: Vec<Option<usize>> = v.par_iter().map(|_| super::current_thread_index()).collect();
+        let threads = super::current_num_threads().min(64);
+        if threads > 1 {
+            for lane in &lanes {
+                let lane = lane.expect("pool thread has an index");
+                assert!(lane < threads, "lane {lane} out of range");
+            }
+            // Chunks are contiguous: lane indices are non-decreasing in
+            // input order and an item's lane never exceeds its index.
+            for (i, lane) in lanes.iter().enumerate() {
+                assert!(lane.unwrap() <= i);
+            }
+        }
+        assert_eq!(super::current_thread_index(), None);
     }
 }

@@ -43,9 +43,10 @@ pub mod prelude {
     pub use keystone_core::profiler::ProfileOptions;
     pub use keystone_core::record::{DataStats, Record};
     pub use keystone_core::report::{NodeReport, PipelineReport};
-    pub use keystone_core::trace::{TraceEvent, TracedEvent, Tracer};
+    pub use keystone_core::trace::{RecoveryStats, TraceEvent, TracedEvent, Tracer};
     pub use keystone_dataflow::cluster::{ClusterProfile, ResourceDesc};
     pub use keystone_dataflow::collection::DistCollection;
+    pub use keystone_dataflow::faults::{FaultPlan, FaultSpec};
     pub use keystone_dataflow::metrics::{chrome_trace_json, MetricsRegistry, StageSkew, TaskSpan};
     pub use keystone_linalg::{DenseMatrix, SparseVector};
     pub use keystone_ops::eval::{accuracy, top_k_error};

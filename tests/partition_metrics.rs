@@ -94,9 +94,26 @@ fn every_instrumented_node_has_a_span_per_partition() {
                 "node {node} covered partition {max_p} but not {p}"
             );
         }
-        // Lane attribution is partition % workers.
+        // Lane attribution records the pool thread that actually ran the
+        // partition, so two spans on the same (node, lane) can never
+        // overlap in time — a lane is one thread running tasks serially.
+        let mut by_lane: HashMap<usize, Vec<(u64, u64)>> = HashMap::new();
         for s in group {
-            assert_eq!(s.worker, s.partition % ctx.resources.workers);
+            by_lane
+                .entry(s.worker)
+                .or_default()
+                .push((s.start_us, s.end_us));
+        }
+        for (lane, mut intervals) in by_lane {
+            intervals.sort_unstable();
+            for w in intervals.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].1,
+                    "node {node} lane {lane}: spans {:?} and {:?} overlap",
+                    w[0],
+                    w[1]
+                );
+            }
         }
     }
 
