@@ -220,6 +220,37 @@ impl Graph {
         sig
     }
 
+    /// Deterministic one-line-per-node text summary: node id, kind, label,
+    /// and input ids, in insertion (topological) order. Two structurally
+    /// identical graphs always produce identical summaries, so the
+    /// differential-testing harness embeds this in failure messages and
+    /// compares it across runs — unlike `Debug` output it never leaks
+    /// addresses or hash-map iteration order.
+    pub fn summary(&self) -> String {
+        let mut out = String::with_capacity(self.nodes.len() * 32);
+        for (id, node) in self.nodes.iter().enumerate() {
+            let kind = match node.kind {
+                NodeKind::RuntimeInput => "input",
+                NodeKind::DataSource(_) => "source",
+                NodeKind::Transform(_) => "transform",
+                NodeKind::Estimate(_) => "estimate",
+                NodeKind::ModelApply => "apply",
+            };
+            out.push_str(&format!("{id}: {kind} {}", node.label));
+            if !node.inputs.is_empty() {
+                out.push_str(" <- ");
+                for (i, input) in node.inputs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&input.to_string());
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
     /// Graphviz rendering; nodes in `highlight` are filled (used to show the
     /// cache set chosen by the materialization optimizer, Fig. 11).
     pub fn to_dot(&self, highlight: &HashSet<NodeId>) -> String {
@@ -356,6 +387,27 @@ mod tests {
         let b = g.add(transform_node(), vec![input], "b"); // distinct Arc
         let sig = g.signatures();
         assert_ne!(sig[a], sig[b]);
+    }
+
+    #[test]
+    fn summary_is_deterministic_and_structural() {
+        let build = || {
+            let mut g = Graph::new();
+            let input = g.add(NodeKind::RuntimeInput, vec![], "input");
+            let a = g.add(transform_node(), vec![input], "AddOne");
+            let b = g.add(transform_node(), vec![input], "AddOne");
+            g.add(NodeKind::ModelApply, vec![a, b], "Model");
+            g
+        };
+        let s1 = build().summary();
+        let s2 = build().summary();
+        // Operator Arcs differ between the two builds, but the summary is
+        // purely structural, so it must match byte for byte.
+        assert_eq!(s1, s2);
+        assert_eq!(
+            s1,
+            "0: input input\n1: transform AddOne <- 0\n2: transform AddOne <- 0\n3: apply Model <- 1,2\n"
+        );
     }
 
     #[test]

@@ -256,4 +256,112 @@ mod proptests {
             prop_assert_eq!(g.len() - r.graph.len(), r.eliminated);
         }
     }
+
+    use self::keystone_core_estimator_pool::random_pipeline_graph;
+    use crate::operator::TypedEstimator;
+
+    /// Shared estimator/transformer pool for pipeline-shaped random graphs:
+    /// estimator duplicates occur naturally the same way prefix cloning
+    /// produces them in real pipelines.
+    mod keystone_core_estimator_pool {
+        use super::{AnyData, DistCollection, Id, NodeKind, TypedEstimator, TypedTransformer};
+        use crate::context::ExecContext;
+        use crate::graph::Graph;
+        use crate::operator::{ErasedEstimator, ErasedTransformer, Estimator, Transformer};
+        use std::sync::Arc;
+
+        pub struct MeanFit;
+        impl Estimator<f64, f64> for MeanFit {
+            fn fit(
+                &self,
+                data: &DistCollection<f64>,
+                _ctx: &ExecContext,
+            ) -> Box<dyn Transformer<f64, f64>> {
+                let mu = data.aggregate(0.0, |a, x| a + x, |a, b| a + b);
+                struct Shift(f64);
+                impl Transformer<f64, f64> for Shift {
+                    fn apply(&self, x: &f64) -> f64 {
+                        x - self.0
+                    }
+                }
+                Box::new(Shift(mu))
+            }
+        }
+
+        /// Builds a pipeline-shaped random graph: runtime input + source,
+        /// then transform / estimate+apply steps wired to earlier nodes.
+        pub fn random_pipeline_graph(spec: &[(usize, usize)]) -> (Graph, crate::graph::NodeId) {
+            let t_pool: Vec<Arc<dyn ErasedTransformer>> = (0..3)
+                .map(|_| Arc::new(TypedTransformer::new(Id)) as _)
+                .collect();
+            let e_pool: Vec<Arc<dyn ErasedEstimator>> = (0..2)
+                .map(|_| Arc::new(TypedEstimator::new(MeanFit)) as _)
+                .collect();
+            let mut g = Graph::new();
+            let input = g.add(NodeKind::RuntimeInput, vec![], "input");
+            let _src = g.add(
+                NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(vec![1.0f64], 1))),
+                vec![],
+                "src",
+            );
+            let mut out = input;
+            for &(op_idx, input_offset) in spec {
+                let pick = input_offset % g.len();
+                if op_idx < 3 {
+                    out = g.add(
+                        NodeKind::Transform(t_pool[op_idx].clone()),
+                        vec![pick],
+                        format!("t{op_idx}"),
+                    );
+                } else {
+                    let est = g.add(
+                        NodeKind::Estimate(e_pool[op_idx - 3].clone()),
+                        vec![pick],
+                        format!("e{}", op_idx - 3),
+                    );
+                    out = g.add(NodeKind::ModelApply, vec![est, out], "apply");
+                }
+            }
+            (g, out)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Differential idempotence on estimator-bearing graphs: the CSE of a
+        /// CSE'd graph is the identity — same node count, identity remap.
+        #[test]
+        fn prop_cse_idempotent_with_estimators(spec in proptest::collection::vec((0usize..5, 0usize..10), 1..14)) {
+            let (g, _out) = random_pipeline_graph(&spec);
+            let once = eliminate_common_subexpressions(&g);
+            let twice = eliminate_common_subexpressions(&once.graph);
+            prop_assert_eq!(twice.eliminated, 0);
+            prop_assert_eq!(twice.graph.len(), once.graph.len());
+            for id in 0..once.graph.len() {
+                prop_assert_eq!(twice.remap[&id], id, "second pass moved node {}", id);
+            }
+        }
+
+        /// CSE preserves the topological reachability of fit roots: the
+        /// estimators feeding the output before CSE map exactly onto the
+        /// estimators feeding the mapped output afterwards.
+        #[test]
+        fn prop_cse_preserves_fit_roots(spec in proptest::collection::vec((0usize..5, 0usize..10), 1..14)) {
+            use std::collections::BTreeSet;
+            let (g, out) = random_pipeline_graph(&spec);
+            let roots = crate::optimizer::fit_roots(&g, out);
+            let r = eliminate_common_subexpressions(&g);
+            let mapped: BTreeSet<NodeId> = roots.iter().map(|root| r.remap[root]).collect();
+            let after: BTreeSet<NodeId> =
+                crate::optimizer::fit_roots(&r.graph, r.remap[&out]).into_iter().collect();
+            prop_assert_eq!(&mapped, &after, "fit roots changed under CSE");
+            // Every mapped root must remain a topological ancestor of the
+            // mapped output.
+            let anc = r.graph.ancestors(&[r.remap[&out]]);
+            for root in &mapped {
+                prop_assert!(anc.contains(root), "root {} unreachable from output", root);
+            }
+        }
+    }
 }

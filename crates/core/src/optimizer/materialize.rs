@@ -608,6 +608,98 @@ mod proptests {
             );
         }
 
+        /// Each traced pick's claimed saving equals the runtime delta its
+        /// cache insertion actually causes, recomputed independently from
+        /// `exec_counts`: the trace is an accurate story of Algorithm 1, not
+        /// a parallel bookkeeping path that can drift.
+        #[test]
+        fn prop_traced_picks_match_exec_count_deltas(n in 3usize..11, seed in 1u64..4000, budget in 0u64..4000) {
+            let p = random_problem(n, seed);
+            let (set, picks) = p.greedy_cache_set_traced(budget);
+            let mut cache: HashSet<usize> = HashSet::new();
+            for pick in &picks {
+                // Recompute the delta from raw exec counts, not est_runtime,
+                // so the two paths are independent.
+                let before = p.exec_counts(&cache);
+                cache.insert(pick.node);
+                let after = p.exec_counts(&cache);
+                let delta: f64 = before
+                    .iter()
+                    .zip(&after)
+                    .zip(&p.nodes)
+                    .map(|((&b, &a), node)| (b - a) * node.t_secs)
+                    .sum();
+                prop_assert!(
+                    (delta - pick.est_saving_secs).abs() < 1e-9,
+                    "pick {} claimed {} but exec-count delta is {}",
+                    pick.label,
+                    pick.est_saving_secs,
+                    delta
+                );
+                // A pick must strictly reduce its own exec count: caching a
+                // node that was already executed at most once saves nothing.
+                prop_assert!(before[pick.node] > after[pick.node]);
+            }
+            prop_assert_eq!(cache, set);
+        }
+
+        /// The bytes the picks charge agree with `set_bytes`, every greedy
+        /// prefix stays within budget, and the final set passes the same
+        /// budget check the optimizer applies.
+        #[test]
+        fn prop_set_bytes_agrees_with_budget_check(n in 3usize..11, seed in 1u64..4000, budget in 0u64..4000) {
+            let p = random_problem(n, seed);
+            let (set, picks) = p.greedy_cache_set_traced(budget);
+            let mut cache: HashSet<usize> = HashSet::new();
+            let mut charged = 0u64;
+            for pick in &picks {
+                cache.insert(pick.node);
+                charged += pick.size_bytes;
+                prop_assert_eq!(charged, p.set_bytes(&cache), "prefix bytes drifted");
+                prop_assert!(charged <= budget, "prefix over budget");
+            }
+            prop_assert_eq!(charged, p.set_bytes(&set));
+            prop_assert!(p.set_bytes(&set) <= budget);
+        }
+
+        /// On instances up to 12 nodes the exhaustive optimum is well
+        /// defined; it never loses to greedy, respects the same budget, and
+        /// greedy stays within 2x of it.
+        #[test]
+        fn prop_optimal_vs_greedy_up_to_12_nodes(n in 3usize..13, seed in 1u64..3000, budget in 0u64..4000) {
+            let p = random_problem(n, seed);
+            let greedy_set = p.greedy_cache_set(budget);
+            let optimal_set = p.optimal_cache_set(budget);
+            prop_assert!(p.set_bytes(&optimal_set) <= budget);
+            let greedy = p.est_runtime(&greedy_set);
+            let optimal = p.est_runtime(&optimal_set);
+            prop_assert!(optimal <= greedy + 1e-9, "optimal {} worse than greedy {}", optimal, greedy);
+            prop_assert!(greedy <= optimal * 2.0 + 1e-9, "greedy {} vs optimal {}", greedy, optimal);
+        }
+
+        /// `est_runtime` is monotone non-increasing as the cache set grows
+        /// one node at a time, along any insertion order.
+        #[test]
+        fn prop_est_runtime_monotone_in_cache_set(n in 3usize..11, seed in 1u64..4000, order_seed in 1u64..1000) {
+            let p = random_problem(n, seed);
+            // A seed-scrambled insertion order over all candidate nodes.
+            let mut ids: Vec<usize> = (0..p.nodes.len()).collect();
+            let mut s = order_seed;
+            for i in (1..ids.len()).rev() {
+                s ^= s >> 12; s ^= s << 25; s ^= s >> 27;
+                let j = (s.wrapping_mul(0x2545F4914F6CDD1D) % (i as u64 + 1)) as usize;
+                ids.swap(i, j);
+            }
+            let mut cache: HashSet<usize> = HashSet::new();
+            let mut prev = p.est_runtime(&cache);
+            for v in ids {
+                cache.insert(v);
+                let now = p.est_runtime(&cache);
+                prop_assert!(now <= prev + 1e-9, "caching node {} increased runtime {} -> {}", v, prev, now);
+                prev = now;
+            }
+        }
+
         /// Unbounded memory: greedy equals the optimum (cache everything
         /// useful), and exec counts collapse to at most one per node.
         #[test]

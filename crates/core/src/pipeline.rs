@@ -190,6 +190,25 @@ impl<A: Record, B: Record> Pipeline<A, B> {
         self.graph.lock().len()
     }
 
+    /// Snapshot of the current (pre-optimization) DAG. Test harnesses use
+    /// this to run optimizer passes such as CSE directly against the graph
+    /// `fit` would see.
+    pub fn graph_snapshot(&self) -> Graph {
+        self.graph.lock().clone()
+    }
+
+    /// The node id this handle's output corresponds to in
+    /// [`Pipeline::graph_snapshot`].
+    pub fn output_node(&self) -> NodeId {
+        self.output
+    }
+
+    /// Deterministic structural summary of the current DAG (see
+    /// [`Graph::summary`]).
+    pub fn summary(&self) -> String {
+        self.graph.lock().summary()
+    }
+
     /// Optimizes and fits the pipeline (§2.3's "optimization time" followed
     /// by estimator execution), returning the fitted pipeline and a report
     /// of every optimizer decision.
@@ -406,6 +425,14 @@ impl<A: Record, B: Record> FittedPipeline<A, B> {
     /// The optimized DAG (for inspection / Fig. 11 dumps).
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The output node id within [`FittedPipeline::graph`] — with
+    /// [`crate::optimizer::fit_roots`] and
+    /// [`crate::optimizer::build_mat_problem`], test harnesses can rebuild
+    /// the exact materialization problem this fit solved.
+    pub fn output_node(&self) -> NodeId {
+        self.output
     }
 }
 

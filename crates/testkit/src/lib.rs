@@ -1,0 +1,38 @@
+//! Differential pipeline-equivalence testkit.
+//!
+//! KeystoneML's optimizer (CSE, greedy materialization under a budget,
+//! cost-based operator selection — §4–5 of the paper) changes *how* a
+//! pipeline executes, never *what* it computes. This crate makes that claim
+//! a machine-checked invariant:
+//!
+//! * [`gen`] — a seeded random-pipeline generator composing well-typed DAGs
+//!   (chains, gathers, multi-pass estimators) from deterministic operators;
+//! * [`ops`] — the operator pool. Every operator is **bit-identical by
+//!   construction** across optimizer configurations: transformers are
+//!   per-record (partition-chunking invariant), estimators aggregate over
+//!   `collect()` (which concatenates partitions in original record order, so
+//!   float summation order never depends on the partition count), and the
+//!   optimizable operator's physical options compute the same arithmetic by
+//!   different traversals. The real `LinearSolverOp` variants are
+//!   deliberately excluded: their physical options (L-BFGS vs QR vs block
+//!   coordinate descent) are numerically different algorithms, so
+//!   bit-identity across operator selection is not a property they can or
+//!   should satisfy;
+//! * [`oracle`] — the differential-execution oracle: fit each generated
+//!   pipeline under a matrix of configurations (optimization level ×
+//!   materialization budget × partition count × caching strategy × seeded
+//!   fault plan) and require bit-identical predictions in every cell, plus
+//!   metamorphic checks of the cost model against its own laws.
+//!
+//! Seeds are ordinary `u64`s; a failing seed reproduces with
+//! `KEYSTONE_TESTKIT_SEED=<seed> cargo test --test differential`.
+
+pub mod gen;
+pub mod ops;
+pub mod oracle;
+
+pub use gen::{generate, DataSpec, GeneratedPipeline, SplitMix64};
+pub use oracle::{
+    check_cache_plan, check_seed, matrix, run_cell, seeds_from_env, CachePlanCheck, MatrixCell,
+    SeedReport,
+};

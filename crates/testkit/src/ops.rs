@@ -1,0 +1,348 @@
+//! The deterministic operator pool the pipeline fuzzer draws from.
+//!
+//! The differential oracle asserts *bit-identical* predictions across every
+//! optimizer configuration, so each operator here must be invariant to the
+//! things the optimizer is allowed to change:
+//!
+//! * **partition count** — transformers are per-record (`apply` only), so
+//!   chunking never affects them; estimators aggregate over `collect()`,
+//!   which concatenates partitions in original record order, fixing the
+//!   float summation order regardless of partitioning;
+//! * **caching / recomputation** — every operator is a pure function of its
+//!   input, so a lineage recompute after a fault or cache miss reproduces
+//!   the same bits;
+//! * **operator selection** — [`TwoPathScale`]'s physical options compute
+//!   the same per-element arithmetic by different traversals, so whichever
+//!   option the cost model picks, the output bits are identical. Their cost
+//!   models *do* differ (one is cheap on small inputs, the other on large),
+//!   so Full-level selection is genuinely exercised.
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::{
+    CostFn, Estimator, OptimizableTransformer, Transformer, TransformerOption,
+};
+use keystone_dataflow::collection::DistCollection;
+use keystone_dataflow::cost::CostProfile;
+
+// ---------------------------------------------------------------------------
+// Per-record transformers
+// ---------------------------------------------------------------------------
+
+/// `x ↦ a·x + b` element-wise.
+#[derive(Clone, Copy)]
+pub struct Affine {
+    /// Scale.
+    pub a: f64,
+    /// Shift.
+    pub b: f64,
+}
+
+impl Transformer<Vec<f64>, Vec<f64>> for Affine {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        x.iter().map(|v| v * self.a + self.b).collect()
+    }
+}
+
+/// Element-wise absolute value.
+#[derive(Clone, Copy)]
+pub struct AbsVal;
+
+impl Transformer<Vec<f64>, Vec<f64>> for AbsVal {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        x.iter().map(|v| v.abs()).collect()
+    }
+}
+
+/// Rotates the vector so its back half comes first — a cheap, invertible
+/// permutation that makes downstream per-dimension models order-sensitive.
+#[derive(Clone, Copy)]
+pub struct SwapHalves;
+
+impl Transformer<Vec<f64>, Vec<f64>> for SwapHalves {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        let mid = x.len() / 2;
+        let mut out = Vec::with_capacity(x.len());
+        out.extend_from_slice(&x[mid..]);
+        out.extend_from_slice(&x[..mid]);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Optimizable transformer with bit-identical physical options
+// ---------------------------------------------------------------------------
+
+/// Forward-order scaling traversal.
+struct ScaleForward(f64);
+
+impl Transformer<Vec<f64>, Vec<f64>> for ScaleForward {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        x.iter().map(|v| v * self.0).collect()
+    }
+
+    fn name(&self) -> String {
+        "scale:forward".into()
+    }
+}
+
+/// Chunked scaling traversal: same multiply per element, different loop
+/// structure. Element-wise products are independent, so the output bits
+/// match [`ScaleForward`] exactly.
+struct ScaleChunked(f64);
+
+impl Transformer<Vec<f64>, Vec<f64>> for ScaleChunked {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        let mut out = Vec::with_capacity(x.len());
+        for chunk in x.chunks(4) {
+            for v in chunk {
+                out.push(v * self.0);
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> String {
+        "scale:chunked".into()
+    }
+}
+
+/// A logical scaling operator with two physical options whose *outputs* are
+/// bit-identical but whose *cost models* cross over with input size: the
+/// forward traversal is modeled cheap on small inputs, the chunked one cheap
+/// on large. Operator selection at `OptLevel::Full` therefore makes a
+/// data-dependent choice — and the differential oracle checks that the
+/// choice never changes the pipeline's output.
+#[derive(Clone, Copy)]
+pub struct TwoPathScale {
+    /// The scale factor both options apply.
+    pub c: f64,
+}
+
+impl OptimizableTransformer<Vec<f64>, Vec<f64>> for TwoPathScale {
+    fn options(&self) -> Vec<TransformerOption<Vec<f64>, Vec<f64>>> {
+        let c = self.c;
+        let forward: CostFn =
+            Box::new(|stats, _r| CostProfile::compute(50.0 + stats[0].count as f64 * 40.0));
+        let chunked: CostFn =
+            Box::new(|stats, _r| CostProfile::compute(600.0 + stats[0].count as f64 * 4.0));
+        vec![
+            TransformerOption {
+                name: "scale:forward".into(),
+                cost: forward,
+                op: Box::new(ScaleForward(c)),
+            },
+            TransformerOption {
+                name: "scale:chunked".into(),
+                cost: chunked,
+                op: Box::new(ScaleChunked(c)),
+            },
+        ]
+    }
+
+    fn name(&self) -> String {
+        "TwoPathScale".into()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-pass estimators with partition-invariant aggregation
+// ---------------------------------------------------------------------------
+
+/// Subtracts a fitted per-dimension vector (zip-min semantics: dimensions
+/// beyond the fitted length pass through unchanged).
+struct SubtractVec(Vec<f64>);
+
+impl Transformer<Vec<f64>, Vec<f64>> for SubtractVec {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(j, v)| v - self.0.get(j).copied().unwrap_or(0.0))
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        "SubtractVec".into()
+    }
+}
+
+/// Divides by a fitted per-dimension vector (entries are ≥ 1, so never a
+/// division by zero).
+struct DivideVec(Vec<f64>);
+
+impl Transformer<Vec<f64>, Vec<f64>> for DivideVec {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(j, v)| v / self.0.get(j).copied().unwrap_or(1.0))
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        "DivideVec".into()
+    }
+}
+
+/// Computes the per-dimension mean by folding over `collect()` — the
+/// partition-order-invariant aggregation the module docs describe — and
+/// subtracts it. `passes` re-pulls the training input that many times
+/// (`w` in §4.3), which is what gives the materialization optimizer
+/// something to save.
+#[derive(Clone, Copy)]
+pub struct SeqMeanCenter {
+    /// Number of passes over the training input.
+    pub passes: u32,
+}
+
+fn seq_mean(rows: &[Vec<f64>]) -> Vec<f64> {
+    let dim = rows.first().map_or(0, |r| r.len());
+    let mut mean = vec![0.0f64; dim];
+    for r in rows {
+        for (j, v) in r.iter().enumerate() {
+            if j < dim {
+                mean[j] += v;
+            }
+        }
+    }
+    let n = rows.len().max(1) as f64;
+    for m in &mut mean {
+        *m /= n;
+    }
+    mean
+}
+
+impl Estimator<Vec<f64>, Vec<f64>> for SeqMeanCenter {
+    fn fit(
+        &self,
+        data: &DistCollection<Vec<f64>>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        self.fit_lazy(&|| data.clone(), ctx)
+    }
+
+    fn fit_lazy(
+        &self,
+        data: &dyn Fn() -> DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        let mut mean = Vec::new();
+        for _ in 0..self.passes.max(1) {
+            mean = seq_mean(&data().collect());
+        }
+        Box::new(SubtractVec(mean))
+    }
+
+    fn weight(&self) -> u32 {
+        self.passes.max(1)
+    }
+
+    fn name(&self) -> String {
+        "SeqMeanCenter".into()
+    }
+}
+
+/// Fits per-dimension `1 + max |x_j|` (max is order-invariant, but the fold
+/// over `collect()` keeps even rounding behaviour fixed) and divides by it,
+/// bounding every dimension to `[-1, 1]`. Multi-pass like
+/// [`SeqMeanCenter`].
+#[derive(Clone, Copy)]
+pub struct SeqRangeScale {
+    /// Number of passes over the training input.
+    pub passes: u32,
+}
+
+impl Estimator<Vec<f64>, Vec<f64>> for SeqRangeScale {
+    fn fit(
+        &self,
+        data: &DistCollection<Vec<f64>>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        self.fit_lazy(&|| data.clone(), ctx)
+    }
+
+    fn fit_lazy(
+        &self,
+        data: &dyn Fn() -> DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        let mut scale = Vec::new();
+        for _ in 0..self.passes.max(1) {
+            let rows = data().collect();
+            let dim = rows.first().map_or(0, |r| r.len());
+            let mut max_abs = vec![0.0f64; dim];
+            for r in &rows {
+                for (j, v) in r.iter().enumerate() {
+                    if j < dim && v.abs() > max_abs[j] {
+                        max_abs[j] = v.abs();
+                    }
+                }
+            }
+            scale = max_abs.into_iter().map(|m| 1.0 + m).collect();
+        }
+        Box::new(DivideVec(scale))
+    }
+
+    fn weight(&self) -> u32 {
+        self.passes.max(1)
+    }
+
+    fn name(&self) -> String {
+        "SeqRangeScale".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_path_options_are_bit_identical() {
+        let op = TwoPathScale { c: 1.25 };
+        let opts = op.options();
+        assert_eq!(opts.len(), 2);
+        let x = vec![0.1, -3.5, 7.25, 0.0, -0.125, 9.0, 2.5];
+        let a = opts[0].op.apply(&x);
+        let b = opts[1].op.apply(&x);
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn estimators_are_partition_invariant() {
+        let rows: Vec<Vec<f64>> = (0..17)
+            .map(|i| vec![i as f64 * 0.5, -(i as f64), 3.0])
+            .collect();
+        let ctx = ExecContext::default_cluster();
+        for est_passes in [1u32, 3] {
+            let mut fitted_bits = Vec::new();
+            for parts in [1usize, 2, 5] {
+                let data = DistCollection::from_vec(rows.clone(), parts);
+                let model = SeqMeanCenter { passes: est_passes }.fit(&data, &ctx);
+                let out = model.apply(&vec![1.0, 2.0, 3.0]);
+                fitted_bits.push(out.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+            }
+            assert_eq!(fitted_bits[0], fitted_bits[1]);
+            assert_eq!(fitted_bits[1], fitted_bits[2]);
+        }
+    }
+
+    #[test]
+    fn range_scale_bounds_output() {
+        let rows = vec![vec![4.0, -8.0], vec![-2.0, 6.0]];
+        let data = DistCollection::from_vec(rows, 2);
+        let ctx = ExecContext::default_cluster();
+        let model = SeqRangeScale { passes: 2 }.fit(&data, &ctx);
+        for r in [vec![4.0, -8.0], vec![-2.0, 6.0]] {
+            for v in model.apply(&r) {
+                assert!(v.abs() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_halves_rotates() {
+        assert_eq!(
+            SwapHalves.apply(&vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+            vec![3.0, 4.0, 5.0, 1.0, 2.0]
+        );
+    }
+}

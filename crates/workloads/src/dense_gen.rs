@@ -24,6 +24,11 @@ pub struct TimitLike {
     pub stream: u64,
     /// Partitions.
     pub partitions: usize,
+    /// Value grid: when `Some(q)`, every generated value is rounded to the
+    /// nearest multiple of `1/q`. The differential-testing harness uses this
+    /// to produce data whose derived statistics print compactly and survive
+    /// exact (bitwise) output comparison across configurations.
+    pub quantize: Option<u32>,
 }
 
 impl Default for TimitLike {
@@ -36,6 +41,7 @@ impl Default for TimitLike {
             seed: 0x7131,
             stream: 0,
             partitions: 8,
+            quantize: None,
         }
     }
 }
@@ -68,6 +74,15 @@ impl TimitLike {
         rng.next_gaussian() * self.separation / (self.dim as f64).sqrt()
     }
 
+    /// Snaps a value to the configured grid (identity when `quantize` is
+    /// unset or zero).
+    fn snap(&self, v: f64) -> f64 {
+        match self.quantize {
+            Some(q) if q > 0 => (v * q as f64).round() / q as f64,
+            _ => v,
+        }
+    }
+
     /// Generates the dataset.
     pub fn generate(&self) -> DenseDataset {
         let mut rng = XorShiftRng::new(self.seed ^ self.stream.wrapping_mul(0xD1B54A32D192ED03));
@@ -76,7 +91,7 @@ impl TimitLike {
         for _ in 0..self.n {
             let class = rng.next_usize(self.classes.max(1));
             let x: Vec<f64> = (0..self.dim)
-                .map(|j| self.centroid(class, j) * self.separation + rng.next_gaussian())
+                .map(|j| self.snap(self.centroid(class, j) * self.separation + rng.next_gaussian()))
                 .collect();
             data.push(x);
             labels.push(class);
@@ -116,6 +131,7 @@ pub fn youtube_like(n: usize, classes: usize) -> TimitLike {
         seed: 0x7088,
         stream: 0,
         partitions: 8,
+        quantize: None,
     }
 }
 
@@ -180,6 +196,32 @@ mod tests {
         assert_eq!(test.data.count(), 30);
         // Streams differ (same centroids, different noise draws).
         assert_ne!(train.data.take(1), test.data.take(1));
+    }
+
+    #[test]
+    fn quantize_snaps_to_grid_and_is_partition_invariant() {
+        let cfg = TimitLike {
+            quantize: Some(64),
+            ..TimitLike::new(80, 6, 3)
+        };
+        let ds = cfg.generate();
+        for x in ds.data.iter() {
+            for &v in x {
+                let scaled = v * 64.0;
+                assert!(
+                    (scaled - scaled.round()).abs() < 1e-9,
+                    "value {v} not on the 1/64 grid"
+                );
+            }
+        }
+        // Re-partitioning changes chunking, never content or order.
+        let repart = TimitLike {
+            partitions: 3,
+            ..cfg.clone()
+        }
+        .generate();
+        assert_eq!(ds.data.collect(), repart.data.collect());
+        assert_eq!(ds.labels.collect(), repart.labels.collect());
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Tier-1 differential-equivalence sweep (the testkit's headline oracle).
+//!
+//! Every seed in the pinned range drives one random well-typed pipeline
+//! through the full 28-cell configuration matrix — optimization level ×
+//! materialization budget × caching strategy × partition count × seeded
+//! fault plan — and the held-out predictions must be bit-identical in every
+//! cell. A failing cell prints (and writes to `target/testkit-failure.txt`,
+//! which CI uploads as an artifact) the seed, the generated recipe, the DAG
+//! summary, and the one-command repro:
+//!
+//! ```text
+//! KEYSTONE_TESTKIT_SEED=<seed> cargo test --test differential -- --nocapture
+//! ```
+//!
+//! `KEYSTONE_TESTKIT_SEED` accepts a single seed (`17`) or a half-open
+//! range (`0..50`).
+
+use keystone_testkit::oracle;
+
+#[test]
+fn optimizer_configurations_are_output_equivalent() {
+    let seeds = oracle::seeds_from_env(0, 25);
+    let mut cells_checked = 0usize;
+    for &seed in &seeds {
+        match oracle::check_seed(seed) {
+            Ok(report) => cells_checked += report.cells,
+            Err(report) => {
+                let artifact = oracle::write_failure_artifact(&report)
+                    .map(|p| format!("failure report written to {}\n", p.display()))
+                    .unwrap_or_default();
+                panic!("{report}{artifact}");
+            }
+        }
+    }
+    // The pinned sweep must cover at least 25 pipelines x 28 cells; an env
+    // override (targeted repro) may legitimately run fewer.
+    if std::env::var("KEYSTONE_TESTKIT_SEED").is_err() {
+        assert!(
+            seeds.len() >= 25 && cells_checked >= 25 * 28,
+            "pinned sweep shrank: {} seeds, {} cells",
+            seeds.len(),
+            cells_checked
+        );
+    }
+}
