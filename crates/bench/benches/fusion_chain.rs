@@ -1,0 +1,70 @@
+//! Criterion microbench for whole-stage operator fusion: a depth-16
+//! per-record transformer chain applied fused (one `FusedMap` pass per
+//! partition) vs unfused (16 executor stages with an intermediate
+//! `DistCollection` each). The fused plan should win on both wall-clock and
+//! allocation volume; `examples/fusion_ablation.rs` is the dependency-free
+//! smoke version of the same comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use keystone_core::context::ExecContext;
+use keystone_core::operator::Transformer;
+use keystone_core::optimizer::PipelineOptions;
+use keystone_core::pipeline::Pipeline;
+use keystone_dataflow::collection::DistCollection;
+
+const DEPTH: usize = 16;
+const RECORDS: usize = 20_000;
+const DIM: usize = 16;
+const PARTITIONS: usize = 8;
+
+struct AxPlusB {
+    a: f64,
+    b: f64,
+}
+
+impl Transformer<Vec<f64>, Vec<f64>> for AxPlusB {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        x.iter().map(|v| self.a * v + self.b).collect()
+    }
+}
+
+fn chain() -> Pipeline<Vec<f64>, Vec<f64>> {
+    let mut pipe = Pipeline::<Vec<f64>, Vec<f64>>::input();
+    for i in 0..DEPTH {
+        pipe = pipe.and_then(AxPlusB {
+            a: 1.0 + i as f64 * 1e-3,
+            b: 0.5,
+        });
+    }
+    pipe
+}
+
+fn data() -> DistCollection<Vec<f64>> {
+    let records: Vec<Vec<f64>> = (0..RECORDS)
+        .map(|r| (0..DIM).map(|c| (r * DIM + c) as f64 * 1e-6).collect())
+        .collect();
+    DistCollection::from_vec(records, PARTITIONS)
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let input = data();
+    let mut g = c.benchmark_group("fusion_chain_depth16");
+    g.sample_size(20);
+    for (name, opts) in [
+        ("unfused", PipelineOptions::full().with_fusion(false)),
+        ("fused", PipelineOptions::full()),
+    ] {
+        let ctx = ExecContext::default_cluster();
+        let (fitted, report) = chain().fit(&ctx, &opts);
+        assert_eq!(
+            report.fused.is_empty(),
+            name == "unfused",
+            "fusion toggle did not take effect for {name}"
+        );
+        g.bench_function(name, |bch| bch.iter(|| fitted.apply(&input, &ctx).collect()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

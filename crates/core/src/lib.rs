@@ -26,7 +26,9 @@ pub use operator::{
     OptimizableEstimator, OptimizableLabelEstimator, OptimizableTransformer, Transformer,
     TransformerOption,
 };
-pub use optimizer::{CachingStrategy, OptLevel, PipelineOptions};
+pub use optimizer::{
+    CachingStrategy, FusedChain, FusedMap, FusionResult, OptLevel, PipelineOptions,
+};
 pub use pipeline::{gather, FitReport, FittedPipeline, Pipeline};
 pub use record::{DataStats, Record};
 pub use report::{NodeReport, PipelineReport};

@@ -25,6 +25,47 @@ use crate::record::{DataStats, Record};
 /// Type-preserving sampler stored inside [`AnyData`].
 pub type ErasedSampler = Arc<dyn Fn(&AnyData, usize, u64) -> AnyData + Send + Sync>;
 
+/// A type-erased record in flight between members of a fused operator chain.
+pub type AnyRecord = Box<dyn Any + Send + Sync>;
+
+/// One fused-chain member applied to a single erased record.
+pub type RecordFn = Arc<dyn Fn(AnyRecord) -> AnyRecord + Send + Sync>;
+
+/// Folds one partition's fused outputs into a typed, still-boxed partition
+/// (`Box<Vec<B>>`). Runs inside the fused partition pass, on worker threads.
+pub type PartitionFold = Arc<dyn Fn(Vec<AnyRecord>) -> AnyRecord + Send + Sync>;
+
+/// Assembles the folded partitions into the typed output collection.
+pub type PartitionAssemble = Arc<dyn Fn(Vec<AnyRecord>) -> AnyData + Send + Sync>;
+
+/// Drives a fused chain over its typed input in **one** partition-parallel
+/// pass: applies the owning member's operator to each record, pipes the
+/// boxed result through `rest` (the downstream members' composed
+/// [`RecordFn`]s), folds each partition with `fold`, and hands the folded
+/// partitions to `assemble`. Provided by the chain *head*, which is the only
+/// member that knows the input element type.
+pub type FusedDriver = Arc<
+    dyn Fn(&AnyData, &RecordFn, &PartitionFold, &PartitionAssemble, &ExecContext) -> AnyData
+        + Send
+        + Sync,
+>;
+
+/// The fusion surface of a per-record transformer: everything the
+/// whole-stage fusion pass (`optimizer::fusion`) needs to splice this
+/// operator into a fused chain. `driver` is used when the operator heads a
+/// chain, `func` when it sits anywhere downstream, and `fold`/`assemble`
+/// when it terminates one (only the tail knows the output element type).
+pub struct RecordKernel {
+    /// Applies this member to one erased record.
+    pub func: RecordFn,
+    /// Runs a whole chain over this member's typed input (chain head role).
+    pub driver: FusedDriver,
+    /// Folds a partition of this member's outputs (chain tail role).
+    pub fold: PartitionFold,
+    /// Rebuilds the typed output collection (chain tail role).
+    pub assemble: PartitionAssemble,
+}
+
 /// Erased cost model over a node's input statistics.
 pub type ErasedCostFn = Arc<dyn Fn(&[DataStats], &ResourceDesc) -> CostProfile + Send + Sync>;
 
@@ -57,6 +98,17 @@ pub trait Transformer<A: Record, B: Record>: Send + Sync + 'static {
     /// Human-readable operator name.
     fn name(&self) -> String {
         short_type_name::<Self>()
+    }
+
+    /// Whether `apply_collection` is equivalent to mapping [`apply`] over
+    /// every record independently. Operators that override
+    /// `apply_collection` with per-partition setup or distributed semantics
+    /// must return `false` here, or the fusion pass would change their
+    /// behaviour by replaying them record-wise inside a fused chain.
+    ///
+    /// [`apply`]: Transformer::apply
+    fn per_record(&self) -> bool {
+        true
     }
 }
 
@@ -373,6 +425,18 @@ pub trait ErasedTransformer: Send + Sync {
     fn physical_options(&self) -> Option<Vec<ErasedTransformerOption>> {
         None
     }
+
+    /// The per-record fusion surface, when this operator is a pure
+    /// record-wise map (see [`Transformer::per_record`]). `None` marks the
+    /// operator as a fusion barrier.
+    fn record_kernel(&self) -> Option<RecordKernel> {
+        None
+    }
+
+    /// Labels of the original member operators, when this is a fused chain.
+    fn fused_members(&self) -> Option<Vec<String>> {
+        None
+    }
 }
 
 /// Lazy access to an estimator's input: calling [`InputHandle::get`] may hit
@@ -431,6 +495,78 @@ impl<A: Record, B: Record> ErasedTransformer for TypedTransformer<A, B> {
     fn apply_any(&self, inputs: &[AnyData], ctx: &ExecContext) -> AnyData {
         let input = inputs[0].downcast::<A>();
         AnyData::wrap(self.op.apply_collection(&input, ctx))
+    }
+
+    fn record_kernel(&self) -> Option<RecordKernel> {
+        if !self.op.per_record() {
+            return None;
+        }
+        let func: RecordFn = {
+            let op = self.op.clone();
+            Arc::new(move |r: AnyRecord| {
+                let x = r.downcast::<A>().unwrap_or_else(|_| {
+                    panic!(
+                        "fused chain type error: expected record of type {}",
+                        std::any::type_name::<A>()
+                    )
+                });
+                Box::new(op.apply(&x)) as AnyRecord
+            })
+        };
+        // The driver borrows each input record directly out of the
+        // partition slice — the only per-record allocation in a fused pass
+        // is the small `Box` carrying the value between members.
+        let driver: FusedDriver = {
+            let op = self.op.clone();
+            Arc::new(
+                move |input: &AnyData,
+                      rest: &RecordFn,
+                      fold: &PartitionFold,
+                      assemble: &PartitionAssemble,
+                      _ctx: &ExecContext| {
+                    let typed: DistCollection<A> = input.downcast();
+                    let folded = typed.fold_partitions(|part| {
+                        let out: Vec<AnyRecord> = part
+                            .iter()
+                            .map(|x| rest(Box::new(op.apply(x)) as AnyRecord))
+                            .collect();
+                        let n = out.len() as u64;
+                        (fold(out), n)
+                    });
+                    assemble(folded.into_partitions().into_iter().flatten().collect())
+                },
+            )
+        };
+        let fold: PartitionFold = Arc::new(|records: Vec<AnyRecord>| {
+            let typed: Vec<B> = records
+                .into_iter()
+                .map(|r| {
+                    *r.downcast::<B>().unwrap_or_else(|_| {
+                        panic!(
+                            "fused chain type error: expected record of type {}",
+                            std::any::type_name::<B>()
+                        )
+                    })
+                })
+                .collect();
+            Box::new(typed) as AnyRecord
+        });
+        let assemble: PartitionAssemble = Arc::new(|parts: Vec<AnyRecord>| {
+            let parts: Vec<Vec<B>> = parts
+                .into_iter()
+                .map(|p| {
+                    *p.downcast::<Vec<B>>()
+                        .expect("fused chain type error: partition fold mismatch")
+                })
+                .collect();
+            AnyData::wrap(DistCollection::from_partitions(parts))
+        });
+        Some(RecordKernel {
+            func,
+            driver,
+            fold,
+            assemble,
+        })
     }
 }
 
@@ -742,6 +878,45 @@ mod tests {
         let data: DistCollection<f64> = out.downcast();
         assert_eq!(data.collect(), vec![2.0, 4.0, 6.0]);
         assert!(erased.physical_options().is_none());
+    }
+
+    #[test]
+    fn record_kernel_composes_into_one_pass() {
+        // Manually splice Doubler -> ScaleBy(10) the way the fusion pass
+        // does: head's driver, downstream func, tail's fold/assemble.
+        let head = TypedTransformer::new(Doubler);
+        let tail = TypedTransformer::new(ScaleBy(10.0));
+        let hk = head.record_kernel().expect("Doubler is per-record");
+        let tk = tail.record_kernel().expect("ScaleBy is per-record");
+        let input = AnyData::wrap(DistCollection::from_vec(vec![1.0, 2.0, 3.0], 2));
+        let out = (hk.driver)(&input, &tk.func, &tk.fold, &tk.assemble, &ctx());
+        let v: DistCollection<f64> = out.downcast();
+        assert_eq!(v.collect(), vec![20.0, 40.0, 60.0]);
+    }
+
+    #[test]
+    fn non_per_record_transformer_has_no_kernel() {
+        struct WholeCollection;
+        impl Transformer<f64, f64> for WholeCollection {
+            fn apply(&self, x: &f64) -> f64 {
+                *x
+            }
+            fn apply_collection(
+                &self,
+                input: &DistCollection<f64>,
+                _ctx: &ExecContext,
+            ) -> DistCollection<f64> {
+                input.map(|x| *x)
+            }
+            fn per_record(&self) -> bool {
+                false
+            }
+        }
+        assert!(TypedTransformer::new(WholeCollection)
+            .record_kernel()
+            .is_none());
+        assert!(TypedTransformer::new(Doubler).record_kernel().is_some());
+        assert!(TypedTransformer::new(Doubler).fused_members().is_none());
     }
 
     struct DirectHandle(AnyData);

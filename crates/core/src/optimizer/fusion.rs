@@ -1,0 +1,504 @@
+//! Whole-stage operator fusion: collapse chains of per-record transformers
+//! into one partition pass.
+//!
+//! KeystoneML's optimizer (CSE + materialization) treats every transformer
+//! as its own distributed job: k chained per-record maps cost k collection
+//! allocations, k statistics probes, and k task-span waves. Following the
+//! fusion plans of SystemML ("On Optimizing Operator Fusion Plans for
+//! Large-Scale Machine Learning in SystemML", Boehm et al., 2018), this
+//! pass runs **after** CSE and materialization selection and greedily fuses
+//! maximal chains of single-consumer, per-record transformer nodes into one
+//! [`FusedMap`] physical operator that executes as a single closure per
+//! partition.
+//!
+//! Fusion barriers — a node is never absorbed into a downstream chain when:
+//!
+//! * it was **picked for materialization**: its output must exist as a
+//!   cacheable dataset under its own node id, so the greedy Algorithm 1
+//!   decisions stay valid byte-for-byte (a pick may still *terminate* a
+//!   chain as its tail, because the tail's output is exactly the chain's
+//!   output);
+//! * it has **more than one consumer**: both consumers need the
+//!   intermediate result;
+//! * it **feeds an estimator**: estimators iterate over their input
+//!   (`w > 1` passes), so the input must exist as a collection;
+//! * it is not a pure per-record map (no
+//!   [`record_kernel`](crate::operator::ErasedTransformer::record_kernel)),
+//!   takes several inputs (gather), or is the requested output node.
+//!
+//! Because the rewrite happens *in place on the chain tail's node id* —
+//! the tail's kind becomes the [`FusedMap`] and its input is rewired to the
+//! chain head's input — every external reference (cache keys, model slots,
+//! fit roots, the output id) survives unchanged; absorbed members simply
+//! become orphans outside the output's ancestor set.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use keystone_dataflow::cost::CostProfile;
+
+use crate::context::ExecContext;
+use crate::graph::{Graph, NodeId, NodeKind};
+use crate::operator::{
+    AnyData, ErasedTransformer, FusedDriver, PartitionAssemble, PartitionFold, RecordFn,
+};
+use crate::profiler::{NodeProfile, PipelineProfile};
+
+/// The fused physical operator: a chain of per-record members executed in
+/// one partition-parallel pass with no intermediate `DistCollection`.
+pub struct FusedMap {
+    labels: Vec<String>,
+    /// Members `1..` composed into a single record function.
+    composed: RecordFn,
+    /// The head member's typed driver (it knows the input element type).
+    driver: FusedDriver,
+    /// The tail member's partition fold (it knows the output element type).
+    fold: PartitionFold,
+    /// The tail member's collection assembler.
+    assemble: PartitionAssemble,
+}
+
+impl FusedMap {
+    /// Fuses `members` (head first) into one operator. Returns `None` for
+    /// chains shorter than two or when any member lacks a record kernel.
+    pub fn try_fuse(members: &[(String, Arc<dyn ErasedTransformer>)]) -> Option<FusedMap> {
+        if members.len() < 2 {
+            return None;
+        }
+        let kernels = members
+            .iter()
+            .map(|(_, op)| op.record_kernel())
+            .collect::<Option<Vec<_>>>()?;
+        let rest: Vec<RecordFn> = kernels[1..].iter().map(|k| k.func.clone()).collect();
+        let composed: RecordFn = Arc::new(move |mut r| {
+            for f in &rest {
+                r = f(r);
+            }
+            r
+        });
+        let tail = kernels.last().expect("len >= 2");
+        Some(FusedMap {
+            labels: members.iter().map(|(l, _)| l.clone()).collect(),
+            composed,
+            driver: kernels[0].driver.clone(),
+            fold: tail.fold.clone(),
+            assemble: tail.assemble.clone(),
+        })
+    }
+
+    /// Display label: `Fused[a+b+c]`.
+    pub fn label(&self) -> String {
+        format!("Fused[{}]", self.labels.join("+"))
+    }
+}
+
+impl ErasedTransformer for FusedMap {
+    fn name(&self) -> String {
+        self.label()
+    }
+
+    fn apply_any(&self, inputs: &[AnyData], ctx: &ExecContext) -> AnyData {
+        (self.driver)(&inputs[0], &self.composed, &self.fold, &self.assemble, ctx)
+    }
+
+    fn fused_members(&self) -> Option<Vec<String>> {
+        Some(self.labels.clone())
+    }
+
+    // `record_kernel` stays `None`: a FusedMap is already maximal when
+    // built, and opting out keeps a second fusion pass a structural no-op.
+}
+
+/// One fused chain, head first.
+#[derive(Debug, Clone)]
+pub struct FusedChain {
+    /// Node id the fused operator lives on (the chain's last member).
+    pub tail: NodeId,
+    /// Member node ids in execution order (`members.last() == tail`).
+    pub members: Vec<NodeId>,
+    /// Member labels in execution order.
+    pub labels: Vec<String>,
+}
+
+/// Result of [`fuse_chains`].
+pub struct FusionResult {
+    /// The rewritten graph (chain tails replaced by [`FusedMap`] nodes).
+    pub graph: Graph,
+    /// Fused chains in ascending tail-id (topological) order.
+    pub chains: Vec<FusedChain>,
+    /// Number of nodes absorbed into some downstream tail.
+    pub absorbed: usize,
+}
+
+/// Greedily fuses maximal per-record transformer chains in the subgraph
+/// feeding `output`. `picks` is the materialization set chosen by the
+/// greedy algorithm — every pick is a fusion barrier (see module docs).
+pub fn fuse_chains(graph: &Graph, output: NodeId, picks: &HashSet<NodeId>) -> FusionResult {
+    let relevant = graph.ancestors(&[output]);
+    // Consumers restricted to the live subgraph: orphans left behind by CSE
+    // (or an earlier fusion pass) must not pin their former inputs.
+    let consumers: Vec<Vec<NodeId>> = graph
+        .successors()
+        .iter()
+        .map(|s| s.iter().copied().filter(|c| relevant.contains(c)).collect())
+        .collect();
+
+    let fusable = |id: NodeId| {
+        relevant.contains(&id)
+            && graph.nodes[id].inputs.len() == 1
+            && matches!(&graph.nodes[id].kind, NodeKind::Transform(op) if op.record_kernel().is_some())
+    };
+    let feeds_estimator = |id: NodeId| {
+        consumers[id]
+            .iter()
+            .any(|&c| matches!(graph.nodes[c].kind, NodeKind::Estimate(_)))
+    };
+    // May `id` be absorbed into its (unique) downstream consumer?
+    let absorbable = |id: NodeId| {
+        fusable(id)
+            && id != output
+            && !picks.contains(&id)
+            && !feeds_estimator(id)
+            && consumers[id].len() == 1
+            && fusable(consumers[id][0])
+    };
+
+    let mut chains = Vec::new();
+    // Node ids are topological, so tails are discovered in ascending-id DAG
+    // order and `chains` needs no further sorting.
+    for tail in 0..graph.nodes.len() {
+        if !fusable(tail) || absorbable(tail) {
+            continue;
+        }
+        let mut members = vec![tail];
+        let mut head = tail;
+        loop {
+            let up = graph.nodes[head].inputs[0];
+            if !absorbable(up) {
+                break;
+            }
+            members.push(up);
+            head = up;
+        }
+        members.reverse();
+        if members.len() < 2 {
+            continue;
+        }
+        let labels = members
+            .iter()
+            .map(|&m| graph.nodes[m].label.clone())
+            .collect();
+        chains.push(FusedChain {
+            tail,
+            members,
+            labels,
+        });
+    }
+
+    let mut out = graph.clone();
+    let mut absorbed = 0;
+    for chain in &chains {
+        let members: Vec<(String, Arc<dyn ErasedTransformer>)> = chain
+            .members
+            .iter()
+            .map(|&m| match &graph.nodes[m].kind {
+                NodeKind::Transform(op) => (graph.nodes[m].label.clone(), op.clone()),
+                _ => unreachable!("fusable nodes are transforms"),
+            })
+            .collect();
+        let fused = FusedMap::try_fuse(&members).expect("chain members all carry kernels");
+        let head = chain.members[0];
+        out.nodes[chain.tail].label = fused.label();
+        out.nodes[chain.tail].kind = NodeKind::Transform(Arc::new(fused));
+        out.nodes[chain.tail].inputs = vec![graph.nodes[head].inputs[0]];
+        absorbed += chain.members.len() - 1;
+    }
+    FusionResult {
+        graph: out,
+        chains,
+        absorbed,
+    }
+}
+
+/// Folds the members' profiles into one entry on the chain tail so the
+/// materialization problem and the report cost fused nodes as units.
+///
+/// Per-record members are 1:1, so every member sees the same record count
+/// and the chain's one-execution time is the sum of member times (identical
+/// `est_secs` up to float reassociation — fusion never *increases* the
+/// modeled runtime). Output shape comes from the tail, input scale from the
+/// head. Absorbed members' entries are always removed (they are orphans in
+/// the fused graph); the merged entry is only written when every member was
+/// profiled, since a partial sum would underestimate the chain.
+pub fn merge_profiles(profile: &mut PipelineProfile, chains: &[FusedChain]) {
+    for chain in chains {
+        let members: Option<Vec<NodeProfile>> = chain
+            .members
+            .iter()
+            .map(|m| profile.nodes.get(m).cloned())
+            .collect();
+        for &m in &chain.members {
+            profile.nodes.remove(&m);
+        }
+        if let Some(members) = members {
+            let head = &members[0];
+            let tail = members.last().expect("chains have >= 2 members");
+            profile.nodes.insert(
+                chain.tail,
+                NodeProfile {
+                    secs_per_record: members.iter().map(|p| p.secs_per_record).sum(),
+                    fixed_secs: members.iter().map(|p| p.fixed_secs).sum(),
+                    out_bytes_per_record: tail.out_bytes_per_record,
+                    out_records_per_in: members.iter().map(|p| p.out_records_per_in).product(),
+                    records_hint: head.records_hint,
+                    out_stats: tail.out_stats,
+                },
+            );
+        }
+    }
+}
+
+/// Cost profile of a fused chain (Boehm 2015's generated-operator costing):
+/// compute, network, and barriers add up across members, but **memory bytes
+/// are charged only at the chain boundaries** — interior results live in
+/// registers/cache, never in a materialized collection. Treating each
+/// member's `bytes` as an even read/write split, the surviving traffic is
+/// the head's input read plus the tail's output write.
+pub fn fused_cost(members: &[CostProfile]) -> CostProfile {
+    let (Some(first), Some(last)) = (members.first(), members.last()) else {
+        return CostProfile::default();
+    };
+    CostProfile {
+        flops: members.iter().map(|m| m.flops).sum(),
+        bytes: (first.bytes + last.bytes) / 2.0,
+        network: members.iter().map(|m| m.network).sum(),
+        barriers: members.iter().map(|m| m.barriers).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{Transformer, TypedTransformer};
+    use crate::record::DataStats;
+    use keystone_dataflow::collection::DistCollection;
+
+    struct AddC(f64);
+    impl Transformer<f64, f64> for AddC {
+        fn apply(&self, x: &f64) -> f64 {
+            x + self.0
+        }
+    }
+
+    struct MulC(f64);
+    impl Transformer<f64, f64> for MulC {
+        fn apply(&self, x: &f64) -> f64 {
+            x * self.0
+        }
+    }
+
+    fn t(op: impl Transformer<f64, f64>) -> NodeKind {
+        NodeKind::Transform(Arc::new(TypedTransformer::new(op)))
+    }
+
+    fn source(n: usize) -> NodeKind {
+        NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(
+            (0..n).map(|i| i as f64).collect(),
+            2,
+        )))
+    }
+
+    fn ctx() -> ExecContext {
+        ExecContext::default_cluster()
+    }
+
+    #[test]
+    fn fuses_a_linear_chain_and_preserves_results() {
+        let mut g = Graph::new();
+        let src = g.add(source(6), vec![], "src");
+        let a = g.add(t(AddC(1.0)), vec![src], "add1");
+        let b = g.add(t(MulC(2.0)), vec![a], "mul2");
+        let c = g.add(t(AddC(3.0)), vec![b], "add3");
+        let res = fuse_chains(&g, c, &HashSet::new());
+        assert_eq!(res.chains.len(), 1);
+        assert_eq!(res.chains[0].members, vec![a, b, c]);
+        assert_eq!(res.chains[0].tail, c);
+        assert_eq!(res.absorbed, 2);
+        assert_eq!(res.graph.nodes[c].inputs, vec![src]);
+        assert_eq!(res.graph.nodes[c].label, "Fused[add1+mul2+add3]");
+
+        // Execute the fused node and compare with the unfused chain.
+        let data = AnyData::wrap(DistCollection::from_vec(vec![0.0, 1.0, 2.0], 2));
+        let NodeKind::Transform(fused) = &res.graph.nodes[c].kind else {
+            panic!("tail must stay a transform");
+        };
+        let out: DistCollection<f64> = fused.apply_any(&[data], &ctx()).downcast();
+        assert_eq!(out.collect(), vec![5.0, 7.0, 9.0]); // (x+1)*2+3
+        assert_eq!(
+            fused.fused_members().as_deref(),
+            Some(["add1", "mul2", "add3"].map(String::from).as_slice())
+        );
+    }
+
+    #[test]
+    fn materialization_pick_is_a_barrier_but_may_be_a_tail() {
+        let mut g = Graph::new();
+        let src = g.add(source(4), vec![], "src");
+        let a = g.add(t(AddC(1.0)), vec![src], "a");
+        let b = g.add(t(AddC(2.0)), vec![a], "b");
+        let c = g.add(t(AddC(3.0)), vec![b], "c");
+        let picks: HashSet<NodeId> = [b].into_iter().collect();
+        let res = fuse_chains(&g, c, &picks);
+        // b may terminate a chain (its output still materializes under its
+        // own id) but never sit inside one, so c is left alone.
+        assert_eq!(res.chains.len(), 1);
+        assert_eq!(res.chains[0].members, vec![a, b]);
+        assert!(matches!(res.graph.nodes[c].kind, NodeKind::Transform(_)));
+        assert_eq!(res.graph.nodes[c].inputs, vec![b]);
+    }
+
+    #[test]
+    fn multi_consumer_nodes_are_barriers() {
+        let mut g = Graph::new();
+        let src = g.add(source(4), vec![], "src");
+        let shared = g.add(t(AddC(1.0)), vec![src], "shared");
+        let left = g.add(t(MulC(2.0)), vec![shared], "left");
+        let right = g.add(t(MulC(3.0)), vec![shared], "right");
+        let out = g.add(
+            NodeKind::Transform(Arc::new(crate::operator::GatherConcat)),
+            vec![left, right],
+            "gather",
+        );
+        let res = fuse_chains(&g, out, &HashSet::new());
+        assert!(
+            res.chains.is_empty(),
+            "shared feeds two consumers and the branches are single nodes"
+        );
+        assert_eq!(res.absorbed, 0);
+    }
+
+    #[test]
+    fn fusion_is_idempotent() {
+        let mut g = Graph::new();
+        let src = g.add(source(4), vec![], "src");
+        let a = g.add(t(AddC(1.0)), vec![src], "a");
+        let b = g.add(t(MulC(2.0)), vec![a], "b");
+        let res = fuse_chains(&g, b, &HashSet::new());
+        assert_eq!(res.chains.len(), 1);
+        let again = fuse_chains(&res.graph, b, &HashSet::new());
+        assert!(again.chains.is_empty(), "a FusedMap exposes no kernel");
+        assert_eq!(again.graph.summary(), res.graph.summary());
+    }
+
+    #[test]
+    fn try_fuse_rejects_short_or_kernelless_chains() {
+        let one: Vec<(String, Arc<dyn ErasedTransformer>)> = vec![(
+            "a".into(),
+            Arc::new(TypedTransformer::new(AddC(1.0))) as Arc<dyn ErasedTransformer>,
+        )];
+        assert!(FusedMap::try_fuse(&one).is_none());
+        let with_gather: Vec<(String, Arc<dyn ErasedTransformer>)> = vec![
+            (
+                "a".into(),
+                Arc::new(TypedTransformer::new(AddC(1.0))) as Arc<dyn ErasedTransformer>,
+            ),
+            (
+                "g".into(),
+                Arc::new(crate::operator::GatherConcat) as Arc<dyn ErasedTransformer>,
+            ),
+        ];
+        assert!(FusedMap::try_fuse(&with_gather).is_none());
+    }
+
+    #[test]
+    fn merge_profiles_sums_time_and_keeps_boundary_shape() {
+        let mut profile = PipelineProfile::default();
+        for (id, fixed, slope) in [(1usize, 0.5, 0.01), (2, 0.25, 0.02)] {
+            profile.nodes.insert(
+                id,
+                NodeProfile {
+                    secs_per_record: slope,
+                    fixed_secs: fixed,
+                    out_bytes_per_record: id as f64 * 8.0,
+                    out_records_per_in: 1.0,
+                    records_hint: 100,
+                    out_stats: DataStats {
+                        count: 100,
+                        bytes_per_record: id as f64 * 8.0,
+                        ..DataStats::empty()
+                    },
+                },
+            );
+        }
+        let chain = FusedChain {
+            tail: 2,
+            members: vec![1, 2],
+            labels: vec!["a".into(), "b".into()],
+        };
+        let unfused: f64 = [1usize, 2]
+            .iter()
+            .map(|id| profile.nodes[id].est_secs(100))
+            .sum();
+        merge_profiles(&mut profile, &[chain]);
+        assert!(!profile.nodes.contains_key(&1));
+        let merged = &profile.nodes[&2];
+        assert!((merged.est_secs(100) - unfused).abs() < 1e-12);
+        assert_eq!(merged.out_bytes_per_record, 16.0);
+        assert_eq!(merged.records_hint, 100);
+    }
+
+    #[test]
+    fn merge_profiles_drops_partially_profiled_chains() {
+        let mut profile = PipelineProfile::default();
+        profile.nodes.insert(
+            2,
+            NodeProfile {
+                secs_per_record: 0.1,
+                fixed_secs: 0.0,
+                out_bytes_per_record: 8.0,
+                out_records_per_in: 1.0,
+                records_hint: 10,
+                out_stats: DataStats::empty(),
+            },
+        );
+        let chain = FusedChain {
+            tail: 2,
+            members: vec![1, 2], // member 1 unprofiled
+            labels: vec!["a".into(), "b".into()],
+        };
+        merge_profiles(&mut profile, &[chain]);
+        assert!(profile.nodes.is_empty(), "partial sums would under-cost");
+    }
+
+    #[test]
+    fn fused_cost_charges_bytes_only_at_boundaries() {
+        let members = [
+            CostProfile {
+                flops: 10.0,
+                bytes: 100.0,
+                network: 1.0,
+                barriers: 1.0,
+            },
+            CostProfile {
+                flops: 20.0,
+                bytes: 400.0,
+                network: 2.0,
+                barriers: 0.0,
+            },
+            CostProfile {
+                flops: 30.0,
+                bytes: 60.0,
+                network: 0.0,
+                barriers: 1.0,
+            },
+        ];
+        let c = fused_cost(&members);
+        assert_eq!(c.flops, 60.0);
+        assert_eq!(c.network, 3.0);
+        assert_eq!(c.barriers, 2.0);
+        // Head input read (50) + tail output write (30); the interior 400
+        // bytes vanish.
+        assert_eq!(c.bytes, 80.0);
+        assert_eq!(fused_cost(&[]), CostProfile::default());
+    }
+}

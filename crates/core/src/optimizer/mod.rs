@@ -3,6 +3,7 @@
 //! materialization.
 
 pub mod cse;
+pub mod fusion;
 pub mod materialize;
 
 use std::collections::HashSet;
@@ -11,6 +12,7 @@ use crate::graph::{Graph, NodeId, NodeKind};
 use crate::profiler::{PipelineProfile, ProfileOptions};
 
 pub use cse::{eliminate_common_subexpressions, CseResult};
+pub use fusion::{fuse_chains, fused_cost, merge_profiles, FusedChain, FusedMap, FusionResult};
 pub use materialize::{MatNode, MatProblem};
 
 /// How much of the optimizer to run (the three configurations of Fig. 9).
@@ -51,6 +53,9 @@ pub struct PipelineOptions {
     pub mem_budget: Option<u64>,
     /// Subsampling profiler configuration.
     pub profile: ProfileOptions,
+    /// Whole-stage operator fusion override: `None` follows the level
+    /// default (on at [`OptLevel::Full`], off below), `Some(b)` forces it.
+    pub fuse: Option<bool>,
 }
 
 impl Default for PipelineOptions {
@@ -60,6 +65,7 @@ impl Default for PipelineOptions {
             caching: CachingStrategy::Greedy,
             mem_budget: None,
             profile: ProfileOptions::default(),
+            fuse: None,
         }
     }
 }
@@ -97,6 +103,18 @@ impl PipelineOptions {
     pub fn with_caching(mut self, caching: CachingStrategy) -> Self {
         self.caching = caching;
         self
+    }
+
+    /// Forces whole-stage fusion on or off regardless of the level default.
+    pub fn with_fusion(mut self, on: bool) -> Self {
+        self.fuse = Some(on);
+        self
+    }
+
+    /// Whether the fusion pass runs: the explicit toggle when set, else on
+    /// exactly at [`OptLevel::Full`].
+    pub fn fusion_enabled(&self) -> bool {
+        self.fuse.unwrap_or(self.level == OptLevel::Full)
     }
 }
 

@@ -248,7 +248,7 @@ impl<A: Record, B: Record> Pipeline<A, B> {
         let roots = fit_roots(&graph, output);
 
         // 2. Execution subsampling + (at Full) operator selection.
-        let profile = if opts.level == OptLevel::None {
+        let mut profile = if opts.level == OptLevel::None {
             PipelineProfile::default()
         } else {
             let popts = ProfileOptions {
@@ -292,6 +292,36 @@ impl<A: Record, B: Record> Pipeline<A, B> {
                 )
             }
         };
+        // Operator-choice labels are resolved before fusion relabels chain
+        // tails to `Fused[...]`.
+        let choices: Vec<(String, String)> = profile
+            .choices
+            .iter()
+            .map(|(id, name)| (graph.nodes[*id].label.clone(), name.clone()))
+            .collect();
+
+        // 3b. Whole-stage fusion, after materialization so every pick acts
+        // as a barrier. The rewrite is id-stable (chains collapse onto their
+        // tail's node id), so the cache key set, fit roots, and the output
+        // id all apply to the fused graph unchanged.
+        let mut fused: Vec<(NodeId, Vec<String>)> = Vec::new();
+        let mut fused_nodes = 0;
+        if opts.fusion_enabled() {
+            let result = crate::optimizer::fuse_chains(&graph, output, &cache_set);
+            graph = result.graph;
+            crate::optimizer::merge_profiles(&mut profile, &result.chains);
+            fused_nodes = result.absorbed;
+            // Chains arrive in ascending tail-id order, so the event stream
+            // is deterministic (same discipline as the CseMerge emission).
+            for chain in &result.chains {
+                ctx.tracer.record(crate::trace::TraceEvent::FusionMerge {
+                    node: chain.tail,
+                    label: graph.nodes[chain.tail].label.clone(),
+                    members: chain.labels.clone(),
+                });
+                fused.push((chain.tail, chain.labels.clone()));
+            }
+        }
         let optimize_secs = t0.elapsed().as_secs_f64();
 
         // 4. Fit every estimator feeding the output.
@@ -312,11 +342,9 @@ impl<A: Record, B: Record> Pipeline<A, B> {
         let report = FitReport {
             optimize_secs,
             eliminated_nodes: eliminated,
-            choices: profile
-                .choices
-                .iter()
-                .map(|(id, name)| (graph.nodes[*id].label.clone(), name.clone()))
-                .collect(),
+            choices,
+            fused,
+            fused_nodes,
             cache_set_labels: labels_of(&graph, &cache_set),
             cache_set: cache_set.clone(),
             dot: graph.to_dot(&cache_set),
@@ -375,6 +403,11 @@ pub struct FitReport {
     pub eliminated_nodes: usize,
     /// `(node label, chosen physical operator)` pairs.
     pub choices: Vec<(String, String)>,
+    /// `(fused node id, member labels)` per whole-stage fused chain, in
+    /// ascending node-id order.
+    pub fused: Vec<(NodeId, Vec<String>)>,
+    /// Nodes absorbed into some fused chain (the span-count saving).
+    pub fused_nodes: usize,
     /// Node ids chosen for materialization.
     pub cache_set: HashSet<NodeId>,
     /// Their labels (Fig. 11).
@@ -506,6 +539,7 @@ mod tests {
             sizes: vec![4, 8],
             seed: 1,
             select_operators: true,
+            deterministic_timing: true,
         }
     }
 
@@ -635,6 +669,100 @@ mod tests {
         }
         assert_eq!(results[0], results[1], "None vs PipeOnly diverged");
         assert_eq!(results[1], results[2], "PipeOnly vs Full diverged");
+    }
+
+    #[test]
+    fn fusion_collapses_chains_and_preserves_results() {
+        let train = DistCollection::from_vec((0..32).map(|i| i as f64).collect::<Vec<_>>(), 4);
+        let pipe = Pipeline::<f64, f64>::input()
+            .and_then(Inc)
+            .and_then(Scale)
+            .and_then(Inc)
+            .and_then_est(MeanCenter, &train);
+        let test = DistCollection::from_vec(vec![1.0, 7.0], 2);
+        let base = PipelineOptions {
+            profile: small_profile(),
+            ..Default::default()
+        };
+
+        let ctx_off = ctx();
+        let (fitted_off, report_off) = pipe.fit(&ctx_off, &base.clone().with_fusion(false));
+        let ctx_on = ctx();
+        let (fitted_on, report_on) = pipe.fit(&ctx_on, &base);
+
+        assert_eq!(report_off.fused_nodes, 0);
+        assert!(report_off.fused.is_empty());
+        // The apply-side Inc -> Scale -> Inc chain always fuses (it is
+        // unprofiled, so never picked for materialization).
+        assert!(
+            report_on
+                .fused
+                .iter()
+                .any(|(_, members)| members.len() >= 3),
+            "expected a 3-member fused chain, got {:?}",
+            report_on.fused
+        );
+        assert!(report_on.fused_nodes >= 2);
+        // Picks are chosen before fusion on the identical graph.
+        assert_eq!(report_off.cache_set, report_on.cache_set);
+
+        let off = fitted_off.apply(&test, &ctx_off).collect();
+        let on = fitted_on.apply(&test, &ctx_on).collect();
+        assert_eq!(off, on, "fusion changed pipeline semantics");
+    }
+
+    #[test]
+    fn fusion_merge_events_are_deterministic_dag_order() {
+        struct ToVec(f64);
+        impl Transformer<f64, Vec<f64>> for ToVec {
+            fn apply(&self, x: &f64) -> Vec<f64> {
+                vec![x * self.0]
+            }
+        }
+        struct VShift(f64);
+        impl Transformer<Vec<f64>, Vec<f64>> for VShift {
+            fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+                x.iter().map(|v| v + self.0).collect()
+            }
+        }
+        let input = Pipeline::<f64, f64>::input();
+        let b1 = input.and_then(ToVec(1.0)).and_then(VShift(0.5));
+        let b2 = input.and_then(ToVec(10.0)).and_then(VShift(0.25));
+        let pipe = gather(&[b1, b2]);
+        let run = || {
+            let ctx = ctx();
+            let _ = pipe.fit(
+                &ctx,
+                &PipelineOptions {
+                    profile: small_profile(),
+                    ..Default::default()
+                },
+            );
+            ctx.tracer
+                .events()
+                .into_iter()
+                .filter_map(|e| match e.event {
+                    crate::trace::TraceEvent::FusionMerge {
+                        node,
+                        label,
+                        members,
+                    } => Some((node, label, members)),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first.len(), 2, "each branch is one fused chain: {first:?}");
+        assert!(
+            first.windows(2).all(|w| w[0].0 < w[1].0),
+            "FusionMerge events must arrive in ascending node order: {first:?}"
+        );
+        assert_eq!(first, second, "event stream must be deterministic");
+        for (_, label, members) in &first {
+            assert_eq!(members.len(), 2);
+            assert_eq!(label, &format!("Fused[{}]", members.join("+")));
+        }
     }
 
     #[test]

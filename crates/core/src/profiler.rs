@@ -67,6 +67,12 @@ pub struct ProfileOptions {
     pub seed: u64,
     /// Whether to perform operator-level (physical) selection.
     pub select_operators: bool,
+    /// Replace wall-clock measurements with a synthetic clock that is a
+    /// pure function of (operator label, input records). Real timings make
+    /// the materialization picks a race between near-tied candidates, so
+    /// differential oracles that compare picks across independent fits
+    /// (e.g. fusion on vs off) need this to hold deterministically.
+    pub deterministic_timing: bool,
 }
 
 impl Default for ProfileOptions {
@@ -75,8 +81,22 @@ impl Default for ProfileOptions {
             sizes: vec![512, 1024],
             seed: 0xBEEF,
             select_operators: true,
+            deterministic_timing: false,
         }
     }
+}
+
+/// The synthetic profiling clock: linear in `in_records` with an
+/// FNV-1a-derived per-label rate, so distinct operators order stably and
+/// the two-size linear fit recovers a non-negative slope and intercept.
+fn synthetic_secs(label: &str, in_records: usize) -> f64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let rate = 1.0 + (h % 1024) as f64 / 1024.0;
+    1e-6 * rate * in_records as f64 + 1e-8 * rate
 }
 
 /// One raw measurement of a node at one sample size.
@@ -182,7 +202,11 @@ pub fn profile_and_select(
                     let in_records = inputs[0].stats().count;
                     let start = Instant::now();
                     let out = op.apply_any(&inputs, ctx);
-                    let secs = start.elapsed().as_secs_f64();
+                    let secs = if opts.deterministic_timing {
+                        synthetic_secs(&graph.nodes[id].label, in_records)
+                    } else {
+                        start.elapsed().as_secs_f64()
+                    };
                     record_measurement(&mut measurements, id, in_records, secs, &out);
                     scales.insert(id, scale);
                     full_counts.insert(id, (out.stats().count as f64 * scale).round() as usize);
@@ -237,7 +261,11 @@ pub fn profile_and_select(
                     let in_records = outputs[&node.inputs[0]].stats().count;
                     let start = Instant::now();
                     let model = op.fit_any(&handle_refs, ctx);
-                    let secs = start.elapsed().as_secs_f64();
+                    let secs = if opts.deterministic_timing {
+                        synthetic_secs(&graph.nodes[id].label, in_records)
+                    } else {
+                        start.elapsed().as_secs_f64()
+                    };
                     measurements.entry(id).or_default().push(Measurement {
                         in_records,
                         secs,
@@ -259,7 +287,11 @@ pub fn profile_and_select(
                     let in_records = data.stats().count;
                     let start = Instant::now();
                     let out = model.apply_any(&[data], ctx);
-                    let secs = start.elapsed().as_secs_f64();
+                    let secs = if opts.deterministic_timing {
+                        synthetic_secs(&graph.nodes[id].label, in_records)
+                    } else {
+                        start.elapsed().as_secs_f64()
+                    };
                     record_measurement(&mut measurements, id, in_records, secs, &out);
                     scales.insert(id, scale);
                     full_counts.insert(id, (out.stats().count as f64 * scale).round() as usize);
@@ -451,6 +483,7 @@ mod tests {
                 sizes: vec![128, 256],
                 seed: 7,
                 select_operators: true,
+                ..Default::default()
             },
         );
         let p = prof.nodes.get(&t).expect("profiled");

@@ -65,6 +65,9 @@ pub struct NodeReport {
     /// Simulated seconds of recovery work (retry backoff + speculative
     /// copies) charged against this node.
     pub recovery_secs: f64,
+    /// Member labels when this node is a whole-stage fused chain
+    /// (execution order); empty for ordinary nodes.
+    pub fused_members: Vec<String>,
 }
 
 impl NodeReport {
@@ -178,6 +181,10 @@ impl PipelineReport {
             };
             let skew = skew_by_node.get(&(id as u64));
             let rec = recovery.get(&id).copied().unwrap_or_default();
+            let fused_members = match &graph.nodes[id].kind {
+                crate::graph::NodeKind::Transform(op) => op.fused_members().unwrap_or_default(),
+                _ => Vec::new(),
+            };
             nodes.push(NodeReport {
                 node: id,
                 label: graph.nodes[id].label.clone(),
@@ -197,6 +204,7 @@ impl PipelineReport {
                 retries: rec.retries,
                 speculative_wins: rec.speculative_wins,
                 recovery_secs: rec.recovery_secs,
+                fused_members,
             });
         }
         let cache_hits = nodes.iter().map(|n| n.cache.hits).sum();
@@ -301,6 +309,14 @@ impl PipelineReport {
             s.push_str(&n.speculative_wins.to_string());
             s.push_str(",\"recovery_secs\":");
             json_f64(&mut s, n.recovery_secs);
+            s.push_str(",\"fused_members\":[");
+            for (j, m) in n.fused_members.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                json_string(&mut s, m);
+            }
+            s.push(']');
             s.push('}');
         }
         s.push_str("]}");
@@ -311,7 +327,7 @@ impl PipelineReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<28} {:>6} {:>11} {:>11} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>8}\n",
+            "{:<28} {:>6} {:>11} {:>11} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>8} {}\n",
             "node",
             "execs",
             "pred(s)",
@@ -323,7 +339,8 @@ impl PipelineReport {
             "util%",
             "retry",
             "spec",
-            "rec(s)"
+            "rec(s)",
+            "fused"
         ));
         for n in &self.nodes {
             let pred = n
@@ -348,8 +365,13 @@ impl PipelineReport {
             } else {
                 "-".to_string()
             };
+            let fused = if n.fused_members.is_empty() {
+                "-".to_string()
+            } else {
+                n.fused_members.join("+")
+            };
             out.push_str(&format!(
-                "{:<28} {:>6} {:>11} {:>11.5} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>8}\n",
+                "{:<28} {:>6} {:>11} {:>11.5} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>8} {}\n",
                 label,
                 n.execs,
                 pred,
@@ -361,7 +383,8 @@ impl PipelineReport {
                 util,
                 n.retries,
                 n.speculative_wins,
-                rec
+                rec,
+                fused
             ));
         }
         out.push_str(&format!(
@@ -623,6 +646,7 @@ mod tests {
             retries: 0,
             speculative_wins: 0,
             recovery_secs: 0.0,
+            fused_members: Vec::new(),
         };
         // Even load but 50% off → uniform mis-estimate.
         assert_eq!(base.miss_diagnosis(0.15), Some("uniform"));
@@ -678,6 +702,52 @@ mod tests {
         let table = r.render_table();
         assert!(table.contains("retry"));
         assert!(table.contains("recovery: 1.500s"));
+    }
+
+    #[test]
+    fn fused_rows_render_member_lists() {
+        use crate::operator::{Transformer, TypedTransformer};
+        use std::sync::Arc;
+        struct Inc;
+        impl Transformer<f64, f64> for Inc {
+            fn apply(&self, x: &f64) -> f64 {
+                x + 1.0
+            }
+        }
+        struct Dbl;
+        impl Transformer<f64, f64> for Dbl {
+            fn apply(&self, x: &f64) -> f64 {
+                x * 2.0
+            }
+        }
+        let members: Vec<(String, Arc<dyn crate::operator::ErasedTransformer>)> = vec![
+            ("Inc".into(), Arc::new(TypedTransformer::new(Inc))),
+            ("Dbl".into(), Arc::new(TypedTransformer::new(Dbl))),
+        ];
+        let fused = crate::optimizer::FusedMap::try_fuse(&members).expect("fusable");
+        let mut g = Graph::new();
+        let src = g.add(
+            NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(vec![1.0f64], 1))),
+            vec![],
+            "src",
+        );
+        let f = g.add(
+            NodeKind::Transform(Arc::new(fused)),
+            vec![src],
+            "Fused[Inc+Dbl]",
+        );
+        let profile = profile_for(f, 1.0, 800.0);
+        let t = Tracer::new();
+        t.node_end(f, "Fused[Inc+Dbl]", 100, 800, 0.5, 0.25);
+        let r = PipelineReport::build(&g, &profile, &t);
+        let row = r.node("Fused[Inc+Dbl]").expect("row");
+        assert_eq!(row.fused_members, vec!["Inc", "Dbl"]);
+        let json = r.to_json();
+        assert!(json_is_balanced(&json), "unbalanced: {json}");
+        assert!(json.contains("\"fused_members\":[\"Inc\",\"Dbl\"]"));
+        let table = r.render_table();
+        assert!(table.contains("fused"), "header column missing: {table}");
+        assert!(table.contains("Inc+Dbl"), "member list missing: {table}");
     }
 
     #[test]

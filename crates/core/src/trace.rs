@@ -169,6 +169,18 @@ pub enum TraceEvent {
         /// Node id (cache key).
         node: NodeId,
     },
+    /// Whole-stage fusion collapsed a chain of per-record transformers into
+    /// one `FusedMap` on the chain tail's node id. Emitted in ascending
+    /// fused-node (topological) order, the same determinism discipline as
+    /// [`CseMerge`](TraceEvent::CseMerge).
+    FusionMerge {
+        /// Node id the fused operator lives on (the chain tail).
+        node: NodeId,
+        /// The fused node's label (`Fused[a+b+c]`).
+        label: String,
+        /// Member labels in execution order.
+        members: Vec<String>,
+    },
 }
 
 /// Aggregate recovery statistics derived from the event stream.

@@ -13,8 +13,11 @@
 //! GOLDEN_UPDATE=1 cargo test -p keystone-core --test golden_report
 //! ```
 
+use std::sync::Arc;
+
 use keystone_core::graph::{Graph, NodeKind};
-use keystone_core::operator::AnyData;
+use keystone_core::operator::{AnyData, ErasedTransformer, Transformer, TypedTransformer};
+use keystone_core::optimizer::FusedMap;
 use keystone_core::profiler::{NodeProfile, PipelineProfile};
 use keystone_core::record::DataStats;
 use keystone_core::report::PipelineReport;
@@ -48,9 +51,9 @@ fn assert_matches_golden(name: &str, actual: &str) {
     );
 }
 
-/// A synthetic three-node report exercising every column: a profiled,
-/// cache-hit node; a node with retries, a speculative win, and a lost cache
-/// entry; and an unprofiled node with no actuals beyond counters.
+/// A synthetic report exercising every column: a profiled, cache-hit node;
+/// a node with retries, a speculative win, and a lost cache entry; and a
+/// whole-stage fused node whose row carries its member list.
 fn synthetic_report() -> PipelineReport {
     let mut g = Graph::new();
     let src = g.add(
@@ -61,8 +64,38 @@ fn synthetic_report() -> PipelineReport {
     let featurize = g.add(NodeKind::RuntimeInput, vec![src], "Featurize");
     let solve = g.add(NodeKind::RuntimeInput, vec![featurize], "Solve");
 
+    // A real fused operator so the member-list column renders from the
+    // operator itself, not a hand-written field.
+    struct Normalize;
+    impl Transformer<f64, f64> for Normalize {
+        fn apply(&self, x: &f64) -> f64 {
+            x / 255.0
+        }
+    }
+    struct Center;
+    impl Transformer<f64, f64> for Center {
+        fn apply(&self, x: &f64) -> f64 {
+            x - 0.5
+        }
+    }
+    let members: Vec<(String, Arc<dyn ErasedTransformer>)> = vec![
+        (
+            "Normalize".into(),
+            Arc::new(TypedTransformer::new(Normalize)),
+        ),
+        ("Center".into(), Arc::new(TypedTransformer::new(Center))),
+    ];
+    let fused_op = FusedMap::try_fuse(&members).expect("per-record members fuse");
+    let fused = g.add(
+        NodeKind::Transform(Arc::new(fused_op)),
+        vec![solve],
+        "Fused[Normalize+Center]",
+    );
+
     let mut profile = PipelineProfile::default();
-    for (node, fixed_secs, bytes_per_record) in [(featurize, 2.0, 8.0), (solve, 0.5, 4.0)] {
+    for (node, fixed_secs, bytes_per_record) in
+        [(featurize, 2.0, 8.0), (solve, 0.5, 4.0), (fused, 0.75, 8.0)]
+    {
         profile.nodes.insert(
             node,
             NodeProfile {
@@ -83,6 +116,12 @@ fn synthetic_report() -> PipelineReport {
     let t = Tracer::new();
     t.node_end(featurize, "Featurize", 100, 800, 1.0, 0.5);
     t.node_end(solve, "Solve", 100, 400, 0.5, 0.25);
+    t.node_end(fused, "Fused[Normalize+Center]", 100, 800, 0.6, 0.3);
+    t.record(TraceEvent::FusionMerge {
+        node: fused,
+        label: "Fused[Normalize+Center]".into(),
+        members: vec!["Normalize".into(), "Center".into()],
+    });
     t.record(TraceEvent::CacheMiss { node: featurize });
     t.record(TraceEvent::CacheHit { node: featurize });
     t.record(TraceEvent::CacheHit { node: featurize });
@@ -101,15 +140,18 @@ fn synthetic_report() -> PipelineReport {
     t.record(TraceEvent::CacheLost { node: featurize });
 
     let m = MetricsRegistry::new();
-    // Featurize: four even partitions. Solve: one 4x straggler.
-    for (node, label, durations) in [
-        (featurize, "Featurize", [10u64, 10, 10, 10]),
-        (solve, "Solve", [10, 10, 10, 40]),
+    // Featurize: four even partitions. Solve: one 4x straggler. The fused
+    // stage emits one even "fused" span wave — a single pass for the whole
+    // chain.
+    for (node, label, op, durations) in [
+        (featurize, "Featurize", "map", [10u64, 10, 10, 10]),
+        (solve, "Solve", "map", [10, 10, 10, 40]),
+        (fused, "Fused[Normalize+Center]", "fused", [5, 5, 5, 5]),
     ] {
         for (p, dur) in durations.iter().enumerate() {
             m.record_span(TaskSpan {
                 stage: label.into(),
-                op: "map",
+                op,
                 op_seq: 0,
                 stage_id: Some(node as u64),
                 partition: p,

@@ -264,6 +264,61 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
         }
     }
 
+    /// Whole-stage fused execution: applies `f` to each partition slice in a
+    /// single instrumented pass, producing exactly one folded value per
+    /// partition. `f` returns the folded value plus the number of records it
+    /// represents, so the task span's `items_out` reflects the records a
+    /// fused operator chain produced rather than the fold count. This is the
+    /// execution primitive behind the optimizer's `FusedMap`: one task span
+    /// per partition for the whole chain, no intermediate collections.
+    pub fn fold_partitions<U, F>(&self, f: F) -> DistCollection<U>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(&[T]) -> (U, u64) + Send + Sync,
+    {
+        let scope = current_task_scope();
+        let seq = next_op_seq(&scope);
+        let results = self
+            .partitions
+            .par_iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                measure_partition(
+                    &scope,
+                    "fused",
+                    seq,
+                    pi,
+                    p.len(),
+                    part_bytes::<T>(p),
+                    || {
+                        let (out, n) = f(p);
+                        (Arc::new(vec![out]), n)
+                    },
+                )
+            })
+            .collect();
+        DistCollection {
+            partitions: commit_spans(&scope, results),
+        }
+    }
+
+    /// Takes ownership of the partition vectors without cloning. Used by the
+    /// fused-operator exit path, which owns the freshly produced collection
+    /// outright.
+    ///
+    /// # Panics
+    /// Panics if any partition is still shared with another handle.
+    pub fn into_partitions(self) -> Vec<Vec<T>> {
+        self.partitions
+            .into_iter()
+            .map(|p| {
+                Arc::try_unwrap(p).unwrap_or_else(|_| {
+                    panic!("into_partitions: partition is shared; clone the data instead")
+                })
+            })
+            .collect()
+    }
+
     /// One-to-many element transformation.
     pub fn flat_map<U, F>(&self, f: F) -> DistCollection<U>
     where
@@ -562,6 +617,33 @@ mod tests {
         let d = c.map(|x| x * 2);
         assert_eq!(d.num_partitions(), 7);
         assert_eq!(d.collect(), (0..100).map(|x| x * 2).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn fold_partitions_produces_one_value_per_partition() {
+        let c = DistCollection::from_vec((0..10).collect::<Vec<i64>>(), 4);
+        let folded = c.fold_partitions(|part| (part.iter().sum::<i64>(), part.len() as u64));
+        assert_eq!(folded.num_partitions(), 4);
+        assert_eq!(folded.count(), 4);
+        assert_eq!(folded.collect().iter().sum::<i64>(), 45);
+    }
+
+    #[test]
+    fn into_partitions_returns_owned_vectors() {
+        let c = DistCollection::from_vec((0..7).collect::<Vec<i64>>(), 3);
+        let mapped = c.map(|x| x + 1);
+        let parts = mapped.into_partitions();
+        assert_eq!(parts.len(), 3);
+        let flat: Vec<i64> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (1..8).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition is shared")]
+    fn into_partitions_rejects_shared_handles() {
+        let c = DistCollection::from_vec(vec![1, 2, 3], 2);
+        let _alias = c.clone();
+        let _ = c.into_partitions();
     }
 
     #[test]

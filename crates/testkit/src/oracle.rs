@@ -2,13 +2,17 @@
 //!
 //! For one seed, [`matrix`] enumerates a grid of optimizer configurations —
 //! optimization level × materialization budget × caching strategy ×
-//! partition count × seeded fault plan — and [`check_seed`] fits the seed's
-//! generated pipeline in every cell, comparing held-out predictions
-//! *bitwise* (`f64::to_bits`, so `-0.0` vs `0.0` or NaN payload drift cannot
-//! masquerade as equality). Any divergence produces a report carrying the
-//! seed, the generated recipe, the DAG summary, and the one-command repro.
+//! partition count × seeded fault plan × whole-stage fusion on/off — and
+//! [`check_seed`] fits the seed's generated pipeline in every cell,
+//! comparing held-out predictions *bitwise* (`f64::to_bits`, so `-0.0` vs
+//! `0.0` or NaN payload drift cannot masquerade as equality). The fused and
+//! unfused variant of each configuration must additionally choose the exact
+//! same materialization picks — fusion is a physical rewrite and may never
+//! perturb the caching decision. Any divergence produces a report carrying
+//! the seed, the generated recipe, the DAG summary, and the one-command
+//! repro.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use keystone_core::context::ExecContext;
 use keystone_core::optimizer::{build_mat_problem, fit_roots, CachingStrategy, PipelineOptions};
@@ -26,14 +30,19 @@ pub const BUDGET_UNBOUNDED: u64 = 1 << 40;
 
 /// One configuration under which a generated pipeline is fit and applied.
 pub struct MatrixCell {
-    /// Display name, e.g. `full/greedy-tight/p4/faults`.
+    /// Display name, e.g. `full/greedy-tight/p4/faults+fuse`.
     pub name: String,
+    /// Key shared by the fused and unfused variant of the same base
+    /// configuration; materialization picks are compared within a pair.
+    pub pair: String,
     /// Optimizer configuration.
     pub opts: PipelineOptions,
     /// Partition count for both the training and held-out data.
     pub partitions: usize,
     /// Whether a seeded fault plan is injected during fit.
     pub faulted: bool,
+    /// Whether whole-stage fusion is forced on (vs forced off).
+    pub fused: bool,
 }
 
 fn profile_opts() -> ProfileOptions {
@@ -41,11 +50,15 @@ fn profile_opts() -> ProfileOptions {
         sizes: vec![8, 16],
         seed: 5,
         select_operators: true,
+        // Pick-equality between fusion variants (and repro of a failing
+        // cell) requires the cost model to be a pure function of the seed.
+        deterministic_timing: true,
     }
 }
 
 /// The full configuration matrix for one seed: 7 optimizer configurations ×
-/// {1, 4} partitions × {no faults, seeded faults} = 28 cells.
+/// {1, 4} partitions × {no faults, seeded faults} × {fusion off, fusion on}
+/// = 56 cells.
 pub fn matrix(_seed: u64) -> Vec<MatrixCell> {
     let configs: Vec<(&str, PipelineOptions)> = vec![
         ("none", PipelineOptions::none()),
@@ -78,22 +91,31 @@ pub fn matrix(_seed: u64) -> Vec<MatrixCell> {
             PipelineOptions::full().with_budget(BUDGET_UNBOUNDED),
         ),
     ];
-    let mut cells = Vec::with_capacity(configs.len() * 4);
+    let mut cells = Vec::with_capacity(configs.len() * 8);
     for partitions in [1usize, 4] {
         for faulted in [false, true] {
             for (tag, opts) in &configs {
-                cells.push(MatrixCell {
-                    name: format!(
-                        "{tag}/p{partitions}{}",
-                        if faulted { "/faults" } else { "" }
-                    ),
-                    opts: PipelineOptions {
-                        profile: profile_opts(),
-                        ..opts.clone()
-                    },
-                    partitions,
-                    faulted,
-                });
+                let pair = format!(
+                    "{tag}/p{partitions}{}",
+                    if faulted { "/faults" } else { "" }
+                );
+                for fused in [false, true] {
+                    cells.push(MatrixCell {
+                        name: if fused {
+                            format!("{pair}+fuse")
+                        } else {
+                            pair.clone()
+                        },
+                        pair: pair.clone(),
+                        opts: PipelineOptions {
+                            profile: profile_opts(),
+                            ..opts.clone().with_fusion(fused)
+                        },
+                        partitions,
+                        faulted,
+                        fused,
+                    });
+                }
             }
         }
     }
@@ -119,21 +141,34 @@ fn cell_context(seed: u64, cell: &MatrixCell) -> ExecContext {
     }
 }
 
+/// What one matrix cell produced: the held-out predictions (bitwise) plus
+/// the materialization picks the fit chose, for pairwise fused-vs-unfused
+/// comparison.
+pub struct CellRun {
+    /// Held-out predictions as raw `f64::to_bits` patterns.
+    pub bits: Vec<Vec<u64>>,
+    /// The chosen cache set, sorted for stable comparison.
+    pub mat_picks: Vec<usize>,
+}
+
 /// Fits the seed's pipeline under `cell` and returns the held-out
-/// predictions as raw bit patterns.
-pub fn run_cell(seed: u64, cell: &MatrixCell) -> Vec<Vec<u64>> {
+/// predictions as raw bit patterns plus the materialization picks.
+pub fn run_cell(seed: u64, cell: &MatrixCell) -> CellRun {
     let spec = DataSpec::from_seed(seed);
     let train = spec.train(cell.partitions);
     let test = spec.test(cell.partitions);
     let generated = generate(seed, &train);
     let ctx = cell_context(seed, cell);
-    let (fitted, _report) = generated.pipeline.fit(&ctx, &cell.opts);
-    fitted
+    let (fitted, report) = generated.pipeline.fit(&ctx, &cell.opts);
+    let mut mat_picks: Vec<usize> = report.cache_set.iter().copied().collect();
+    mat_picks.sort_unstable();
+    let bits = fitted
         .apply(&test, &ctx)
         .collect()
         .into_iter()
         .map(|row| row.into_iter().map(f64::to_bits).collect())
-        .collect()
+        .collect();
+    CellRun { bits, mat_picks }
 }
 
 /// Successful differential run over one seed.
@@ -146,18 +181,39 @@ pub struct SeedReport {
 }
 
 /// Runs the full matrix for `seed`, requiring bit-identical predictions in
-/// every cell. On divergence returns a report with everything needed to
-/// reproduce: the seed, the generated recipe, the DAG, and the command.
+/// every cell and identical materialization picks between the fused and
+/// unfused variant of each base configuration. On divergence returns a
+/// report with everything needed to reproduce: the seed, the generated
+/// recipe, the DAG, and the command.
 pub fn check_seed(seed: u64) -> Result<SeedReport, String> {
     let cells = matrix(seed);
     let mut baseline: Option<(&str, Vec<Vec<u64>>)> = None;
+    let mut picks_by_pair: HashMap<&str, (&str, Vec<usize>)> = HashMap::new();
     for cell in &cells {
-        let out = run_cell(seed, cell);
+        let run = run_cell(seed, cell);
         match &baseline {
-            None => baseline = Some((&cell.name, out)),
+            None => baseline = Some((&cell.name, run.bits)),
             Some((base_name, base_out)) => {
-                if *base_out != out {
+                if *base_out != run.bits {
                     return Err(failure_report(seed, base_name, &cell.name));
+                }
+            }
+        }
+        match picks_by_pair.get(cell.pair.as_str()) {
+            None => {
+                picks_by_pair.insert(&cell.pair, (&cell.name, run.mat_picks));
+            }
+            Some((other_name, other_picks)) => {
+                if *other_picks != run.mat_picks {
+                    return Err(format!(
+                        "materialization picks diverged between fusion variants: \
+                         `{}` chose {:?} but `{}` chose {:?}\n{}",
+                        other_name,
+                        other_picks,
+                        cell.name,
+                        run.mat_picks,
+                        failure_report(seed, other_name, &cell.name)
+                    ));
                 }
             }
         }
@@ -278,13 +334,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn matrix_has_28_distinct_cells() {
+    fn matrix_has_56_distinct_cells_in_fused_unfused_pairs() {
         let cells = matrix(0);
-        assert_eq!(cells.len(), 28);
+        assert_eq!(cells.len(), 56);
         let names: HashSet<&str> = cells.iter().map(|c| c.name.as_str()).collect();
-        assert_eq!(names.len(), 28, "cell names must be unique");
+        assert_eq!(names.len(), 56, "cell names must be unique");
+        let pairs: HashSet<&str> = cells.iter().map(|c| c.pair.as_str()).collect();
+        assert_eq!(pairs.len(), 28, "every base config appears as one pair");
+        for pair in &pairs {
+            let variants: Vec<&MatrixCell> = cells.iter().filter(|c| c.pair == *pair).collect();
+            assert_eq!(variants.len(), 2, "pair `{pair}` must have 2 variants");
+            assert!(variants.iter().any(|c| c.fused) && variants.iter().any(|c| !c.fused));
+        }
         assert!(cells.iter().any(|c| c.faulted));
         assert!(cells.iter().any(|c| c.partitions == 4));
+        // The fusion axis must be forced in both directions, never left to
+        // the opt level's default.
+        assert!(cells.iter().all(|c| c.opts.fusion_enabled() == c.fused));
     }
 
     #[test]
@@ -310,6 +376,6 @@ mod tests {
     #[test]
     fn single_seed_smoke() {
         let report = check_seed(3).unwrap_or_else(|e| panic!("{e}"));
-        assert_eq!(report.cells, 28);
+        assert_eq!(report.cells, 56);
     }
 }

@@ -131,12 +131,129 @@ fn cse_is_idempotent_and_preserves_fit_roots() {
     }
 }
 
+/// Whole-stage fusion laws on every generated DAG, checked against the same
+/// pass `fit` runs: the pass is idempotent, every absorbed (non-tail) member
+/// was a single-consumer node outside the materialization picks, the cost
+/// model's `est_runtime` never increases, and the rewrite touches only chain
+/// tails — every other node keeps its label and inputs byte-for-byte.
+#[test]
+fn fusion_respects_barriers_and_cost_model() {
+    use keystone_core::context::ExecContext;
+    use keystone_core::optimizer::{build_mat_problem, fuse_chains, merge_profiles};
+    use keystone_core::profiler::{profile_and_select, ProfileOptions};
+
+    let mut chains_seen = 0usize;
+    for seed in 0..16u64 {
+        let spec = DataSpec::from_seed(seed);
+        let generated = generate(seed, &spec.train(2));
+        let cse = eliminate_common_subexpressions(&generated.pipeline.graph_snapshot());
+        let mut graph = cse.graph;
+        let output = cse.remap[&generated.pipeline.output_node()];
+        let roots = fit_roots(&graph, output);
+        let ctx = ExecContext::default_cluster();
+        let mut profile = profile_and_select(
+            &mut graph,
+            &roots,
+            &ctx,
+            &ProfileOptions {
+                sizes: vec![8, 16],
+                seed: 5,
+                select_operators: false,
+                deterministic_timing: true,
+            },
+        );
+        let problem = build_mat_problem(&graph, &profile, &roots);
+        let picks = problem.greedy_cache_set(BUDGET_TIGHT);
+        let rt_before = problem.est_runtime(&picks);
+
+        let relevant = graph.ancestors(&[output]);
+        let successors = graph.successors();
+        let result = fuse_chains(&graph, output, &picks);
+        chains_seen += result.chains.len();
+
+        // Barriers: absorbed members were single-consumer, un-picked nodes.
+        let mut tails = std::collections::HashSet::new();
+        for chain in &result.chains {
+            assert!(chain.members.len() >= 2, "seed {seed}: degenerate chain");
+            assert_eq!(*chain.members.last().unwrap(), chain.tail);
+            tails.insert(chain.tail);
+            for &m in &chain.members[..chain.members.len() - 1] {
+                assert!(
+                    !picks.contains(&m),
+                    "seed {seed}: fused across materialization pick {m}\n{}",
+                    generated.description
+                );
+                let live: Vec<_> = successors[m]
+                    .iter()
+                    .filter(|c| relevant.contains(*c))
+                    .collect();
+                assert_eq!(
+                    live.len(),
+                    1,
+                    "seed {seed}: fused across multi-consumer node {m}\n{}",
+                    generated.description
+                );
+            }
+        }
+
+        // The rewrite is tail-only: every non-tail node keeps its label and
+        // inputs; every tail keeps its consumers and takes the head's input.
+        assert_eq!(
+            result.graph.len(),
+            graph.len(),
+            "seed {seed}: fusion resized graph"
+        );
+        for id in 0..graph.len() {
+            if tails.contains(&id) {
+                let chain = result.chains.iter().find(|c| c.tail == id).unwrap();
+                let head = chain.members[0];
+                assert!(
+                    result.graph.nodes[id].label.starts_with("Fused["),
+                    "seed {seed}: tail {id} not relabeled"
+                );
+                assert_eq!(
+                    result.graph.nodes[id].inputs, graph.nodes[head].inputs,
+                    "seed {seed}: tail {id} must take the chain head's input"
+                );
+            } else {
+                assert_eq!(result.graph.nodes[id].label, graph.nodes[id].label);
+                assert_eq!(result.graph.nodes[id].inputs, graph.nodes[id].inputs);
+            }
+        }
+
+        // Cost model: fusing never makes the planned runtime worse.
+        merge_profiles(&mut profile, &result.chains);
+        let fused_problem = build_mat_problem(&result.graph, &profile, &roots);
+        let rt_after = fused_problem.est_runtime(&picks);
+        assert!(
+            rt_after <= rt_before * (1.0 + 1e-9) + 1e-9,
+            "seed {seed}: fusion increased est_runtime ({rt_after} > {rt_before})\n{}",
+            generated.description
+        );
+
+        // Idempotence: a second pass finds nothing and changes nothing.
+        let second = fuse_chains(&result.graph, output, &picks);
+        assert_eq!(
+            second.chains.len(),
+            0,
+            "seed {seed}: second fusion pass still found chains\n{}",
+            generated.description
+        );
+        assert_eq!(second.absorbed, 0);
+        assert_eq!(second.graph.summary(), result.graph.summary());
+    }
+    assert!(
+        chains_seen > 0,
+        "fuzzer produced no fusable chain in 16 seeds — the fusion laws never ran"
+    );
+}
+
 /// A handful of full differential sweeps from a disjoint seed range (the
 /// tier-1 `tests/differential.rs` covers the pinned 0..25 range).
 #[test]
 fn differential_smoke() {
     for seed in 100..106u64 {
         let report = check_seed(seed).unwrap_or_else(|e| panic!("{e}"));
-        assert_eq!(report.cells, 28);
+        assert_eq!(report.cells, 56);
     }
 }

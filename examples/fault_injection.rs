@@ -103,6 +103,7 @@ fn fit_and_apply(ctx: &ExecContext) -> (Vec<Vec<f64>>, FitReport) {
             sizes: vec![64, 128],
             seed: 7,
             select_operators: false,
+            ..Default::default()
         },
         ..Default::default()
     };

@@ -82,6 +82,7 @@ fn options() -> PipelineOptions {
             sizes: vec![64, 128],
             seed: 7,
             select_operators: false,
+            ..Default::default()
         },
         ..Default::default()
     }

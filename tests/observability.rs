@@ -52,6 +52,7 @@ fn opts() -> PipelineOptions {
             sizes: vec![64, 128],
             seed: 7,
             select_operators: true,
+            ..Default::default()
         },
         caching: CachingStrategy::Greedy,
         mem_budget: Some(64 << 20),

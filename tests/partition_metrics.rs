@@ -53,6 +53,7 @@ fn fit_pipeline() -> (ExecContext, FitReport) {
             sizes: vec![64, 128],
             seed: 7,
             select_operators: true,
+            ..Default::default()
         },
         ..Default::default()
     };
