@@ -58,6 +58,13 @@ pub struct Executor<'g> {
     profiles: Option<Arc<HashMap<NodeId, NodeProfile>>>,
     /// Memoize every data node (single-pass modes: profiling, apply).
     memoize_all: bool,
+    /// In `memoize_all` mode, additionally offer data outputs the cache
+    /// policy admits to the [`CacheManager`], so a cache shared across runs
+    /// (the serving pattern) can serve request-independent intermediates to
+    /// later waves. Offers are gated on [`CacheManager::policy_admits`]: an
+    /// apply-path node must never be offered, or wave N would serve wave
+    /// N-1's answers.
+    cross_run_cache: bool,
     memo: Mutex<HashMap<NodeId, NodeOutput>>,
     /// How many times each node was actually computed (not served from
     /// cache/memo) — the measured counterpart of the paper's `C(v)`.
@@ -76,6 +83,7 @@ impl<'g> Executor<'g> {
             source_overrides: HashMap::new(),
             profiles: None,
             memoize_all: false,
+            cross_run_cache: false,
             memo: Mutex::new(HashMap::new()),
             eval_counts: Mutex::new(HashMap::new()),
         }
@@ -102,6 +110,14 @@ impl<'g> Executor<'g> {
     /// Memoizes every node output for the run (single-pass modes).
     pub fn memoize_all(mut self) -> Self {
         self.memoize_all = true;
+        self
+    }
+
+    /// In `memoize_all` mode, also offer policy-admitted data outputs to
+    /// the cache so they survive this run (see the field docs). A no-op
+    /// against the nothing-admitted cache single-shot apply uses.
+    pub fn with_cross_run_cache(mut self) -> Self {
+        self.cross_run_cache = true;
         self
     }
 
@@ -162,6 +178,13 @@ impl<'g> Executor<'g> {
             NodeOutput::Data(d) => {
                 if self.memoize_all {
                     self.memo.lock().insert(node, out.clone());
+                    // Gate on policy so a run that cannot reuse the node
+                    // (or must not — apply-path nodes) produces no reject
+                    // noise in trace streams.
+                    if self.cross_run_cache && self.cache.policy_admits(node as u64) {
+                        self.cache
+                            .put(node as u64, Arc::new(d.clone()), d.total_bytes().max(1));
+                    }
                 } else {
                     self.cache
                         .put(node as u64, Arc::new(d.clone()), d.total_bytes().max(1));

@@ -29,7 +29,7 @@ pub use operator::{
 pub use optimizer::{
     CachingStrategy, FusedChain, FusedMap, FusionResult, OptLevel, PipelineOptions,
 };
-pub use pipeline::{gather, FitReport, FittedPipeline, Pipeline};
+pub use pipeline::{gather, ExecutablePlan, FitReport, FittedPipeline, Pipeline};
 pub use record::{DataStats, Record};
 pub use report::{NodeReport, PipelineReport};
 pub use trace::{TraceEvent, TracedEvent, Tracer};

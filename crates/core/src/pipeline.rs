@@ -352,10 +352,12 @@ impl<A: Record, B: Record> Pipeline<A, B> {
             observability,
         };
         let fitted = FittedPipeline {
-            graph: Arc::new(graph),
-            output,
-            models,
-            profiles,
+            plan: Arc::new(ExecutablePlan {
+                graph: Arc::new(graph),
+                output,
+                models,
+                profiles,
+            }),
             _ph: PhantomData,
         };
         (fitted, report)
@@ -421,29 +423,173 @@ pub struct FitReport {
     pub observability: crate::report::PipelineReport,
 }
 
-/// A fitted pipeline: the optimized DAG plus every fitted model.
-pub struct FittedPipeline<A: Record, B: Record> {
+/// The type-erased executable artifact of a fit: the optimized DAG, the
+/// fitted models, and the per-node profiles — everything needed to run the
+/// apply path, with the input typing stripped off.
+///
+/// Both [`FittedPipeline::apply`] and the serving layer (`keystone-serve`)
+/// execute through this one object, so batch apply and micro-batched
+/// serving cannot diverge: a serving wave *is* an [`ExecutablePlan::
+/// execute_erased`] call over the wave's records.
+pub struct ExecutablePlan {
     graph: Arc<Graph>,
     output: NodeId,
     models: HashMap<NodeId, Arc<dyn ErasedTransformer>>,
     profiles: Arc<HashMap<NodeId, crate::profiler::NodeProfile>>,
-    _ph: PhantomData<fn(&A) -> B>,
 }
 
-impl<A: Record, B: Record> FittedPipeline<A, B> {
-    /// Applies the fitted pipeline to new data.
-    pub fn apply(&self, data: &DistCollection<A>, ctx: &ExecContext) -> DistCollection<B> {
+impl ExecutablePlan {
+    /// Assembles a plan from its parts. `Pipeline::fit` is the normal
+    /// producer; this constructor exists for serving/test harnesses that
+    /// build the optimized graph directly (e.g. to exercise cross-request
+    /// cache reuse on hand-crafted DAGs).
+    pub fn new(
+        graph: Arc<Graph>,
+        output: NodeId,
+        models: HashMap<NodeId, Arc<dyn ErasedTransformer>>,
+        profiles: Arc<HashMap<NodeId, crate::profiler::NodeProfile>>,
+    ) -> Self {
+        ExecutablePlan {
+            graph,
+            output,
+            models,
+            profiles,
+        }
+    }
+
+    /// The optimized DAG.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The output node id within [`ExecutablePlan::graph`].
+    pub fn output_node(&self) -> NodeId {
+        self.output
+    }
+
+    /// Runs the apply path over an erased input with a fresh, nothing-
+    /// admitted cache — the classic single-shot `apply`.
+    pub fn execute_erased(&self, input: AnyData, ctx: &ExecContext) -> AnyData {
         let cache = Arc::new(
             CacheManager::new(0, CachePolicy::Pinned(HashSet::new())).with_observer(Arc::new(
                 crate::trace::TraceCacheObserver(ctx.tracer.clone()),
             )),
         );
+        self.execute_erased_with_cache(input, ctx, cache)
+    }
+
+    /// Runs the apply path against a caller-supplied cache. The serving
+    /// layer passes one long-lived [`CacheManager`] across waves so
+    /// request-independent intermediates (see
+    /// [`ExecutablePlan::reusable_nodes`]) are computed once per process,
+    /// not once per batch.
+    pub fn execute_erased_with_cache(
+        &self,
+        input: AnyData,
+        ctx: &ExecContext,
+        cache: Arc<CacheManager>,
+    ) -> AnyData {
         let executor = Executor::new(&self.graph, ctx.clone(), cache)
-            .with_runtime_input(AnyData::wrap(data.clone()))
+            .with_runtime_input(input)
             .with_models(self.models.clone())
             .with_profiles(self.profiles.clone())
-            .memoize_all();
-        executor.eval(self.output).data().downcast()
+            .memoize_all()
+            .with_cross_run_cache();
+        executor.eval(self.output).data().clone()
+    }
+
+    /// Data-producing nodes on the output's ancestry whose value does *not*
+    /// depend on the runtime input — safe to cache across apply calls with
+    /// different inputs. Estimator models are memoized separately and data
+    /// sources are already resident, so only `Transform` and `ModelApply`
+    /// nodes qualify.
+    pub fn reusable_nodes(&self) -> HashSet<NodeId> {
+        let tainted = self
+            .graph
+            .runtime_input()
+            .map(|ri| self.graph.dependents(ri))
+            .unwrap_or_default();
+        self.graph
+            .topo_ancestors(&[self.output])
+            .into_iter()
+            .filter(|&id| {
+                !tainted.contains(&id)
+                    && matches!(
+                        self.graph.nodes[id].kind,
+                        NodeKind::Transform(_) | NodeKind::ModelApply
+                    )
+            })
+            .collect()
+    }
+
+    /// Apply-path nodes: the output's ancestry restricted to what the
+    /// runtime input feeds, in topological order. This is exactly the work
+    /// one `execute_erased` call performs per wave (request-independent
+    /// ancestry is either a memoized model or served by the cross-run
+    /// cache after the first wave).
+    pub fn apply_path(&self) -> Vec<NodeId> {
+        let tainted = self
+            .graph
+            .runtime_input()
+            .map(|ri| self.graph.dependents(ri))
+            .unwrap_or_default();
+        self.graph
+            .topo_ancestors(&[self.output])
+            .into_iter()
+            .filter(|id| tainted.contains(id))
+            .collect()
+    }
+
+    /// Deterministic estimate of one apply wave's simulated seconds over
+    /// `records` input records on `workers` workers. Profiled nodes use
+    /// their extrapolated cost; apply-path nodes the profiler skipped (they
+    /// hang off the runtime input) are priced on the same synthetic
+    /// per-label scale that `deterministic_timing` profiling uses, so the
+    /// estimate — and everything the serving layer derives from it — is a
+    /// pure function of the plan, the record count, and the worker count.
+    pub fn est_apply_secs(&self, records: usize, workers: usize) -> f64 {
+        let w = workers.max(1) as f64;
+        self.apply_path()
+            .into_iter()
+            .filter(|&id| {
+                matches!(
+                    self.graph.nodes[id].kind,
+                    NodeKind::Transform(_) | NodeKind::ModelApply
+                )
+            })
+            .map(|id| {
+                let n = &self.graph.nodes[id];
+                match self.profiles.get(&id) {
+                    Some(p) => p.est_secs(records),
+                    None => crate::profiler::synthetic_secs(&n.label, records),
+                }
+            })
+            .sum::<f64>()
+            / w
+    }
+}
+
+/// A fitted pipeline: a typed handle over the shared [`ExecutablePlan`].
+pub struct FittedPipeline<A: Record, B: Record> {
+    plan: Arc<ExecutablePlan>,
+    _ph: PhantomData<fn(&A) -> B>,
+}
+
+impl<A: Record, B: Record> Clone for FittedPipeline<A, B> {
+    fn clone(&self) -> Self {
+        FittedPipeline {
+            plan: self.plan.clone(),
+            _ph: PhantomData,
+        }
+    }
+}
+
+impl<A: Record, B: Record> FittedPipeline<A, B> {
+    /// Applies the fitted pipeline to new data.
+    pub fn apply(&self, data: &DistCollection<A>, ctx: &ExecContext) -> DistCollection<B> {
+        self.plan
+            .execute_erased(AnyData::wrap(data.clone()), ctx)
+            .downcast()
     }
 
     /// Applies to a single record (convenience; wraps it in a collection).
@@ -455,9 +601,14 @@ impl<A: Record, B: Record> FittedPipeline<A, B> {
             .expect("one output for one input")
     }
 
+    /// The shared executable plan (the serving layer's entry point).
+    pub fn plan(&self) -> Arc<ExecutablePlan> {
+        self.plan.clone()
+    }
+
     /// The optimized DAG (for inspection / Fig. 11 dumps).
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.plan.graph()
     }
 
     /// The output node id within [`FittedPipeline::graph`] — with
@@ -465,7 +616,7 @@ impl<A: Record, B: Record> FittedPipeline<A, B> {
     /// [`crate::optimizer::build_mat_problem`], test harnesses can rebuild
     /// the exact materialization problem this fit solved.
     pub fn output_node(&self) -> NodeId {
-        self.output
+        self.plan.output_node()
     }
 }
 

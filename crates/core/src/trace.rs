@@ -181,6 +181,27 @@ pub enum TraceEvent {
         /// Member labels in execution order.
         members: Vec<String>,
     },
+    /// The serving layer closed one micro-batch and dispatched it as a
+    /// single apply wave (`keystone-serve`). All durations are virtual
+    /// (simulated-clock) seconds.
+    ServeBatch {
+        /// Zero-based batch sequence number.
+        batch: u64,
+        /// Requests in the wave.
+        size: usize,
+        /// Seconds the batch lingered open waiting for more arrivals.
+        linger_secs: f64,
+        /// Seconds the wave's plan execution was charged.
+        execute_secs: f64,
+    },
+    /// Admission control refused a request: the bounded serving queue was
+    /// full at arrival.
+    ServeReject {
+        /// The rejected request's id.
+        request: u64,
+        /// Queue depth observed at arrival (equals the configured bound).
+        queue_depth: usize,
+    },
 }
 
 /// Aggregate recovery statistics derived from the event stream.

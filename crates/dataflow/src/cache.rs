@@ -25,8 +25,15 @@ pub type CachedValue = Arc<dyn Any + Send + Sync>;
 
 /// Observer of cache-manager decisions, for tracing layers that want the
 /// per-key story (which node hit, which was evicted to make room) rather
-/// than the aggregate [`CacheStats`] counters. All callbacks fire while the
-/// cache lock is held, so implementations must not call back into the cache.
+/// than the aggregate [`CacheStats`] counters.
+///
+/// Callbacks fire *after* the cache lock is released, in the order the
+/// decisions were made within one operation, so implementations may call
+/// back into the cache (the serving layer's many small concurrent lookups
+/// made the old hold-the-lock contract a deadlock hazard). The trade-off:
+/// under concurrent use, callbacks from different threads interleave in
+/// scheduling order rather than strict cache-state order; within a single
+/// thread the stream is unchanged.
 pub trait CacheObserver: Send + Sync {
     /// A lookup found `key` resident.
     fn on_hit(&self, key: u64) {
@@ -97,6 +104,18 @@ struct Inner {
     stats: CacheStats,
 }
 
+/// One observer notification, buffered inside the locked section and
+/// replayed once the lock is released (see [`CacheObserver`]).
+#[derive(Debug, Clone, Copy)]
+enum Note {
+    Hit(u64),
+    Miss(u64),
+    Admit(u64, u64),
+    Evict(u64),
+    Reject(u64),
+    Invalidate(u64),
+}
+
 /// Budgeted, policy-driven cache of erased node outputs.
 pub struct CacheManager {
     budget: u64,
@@ -128,9 +147,21 @@ impl CacheManager {
         self
     }
 
-    fn notify(&self, f: impl FnOnce(&dyn CacheObserver)) {
-        if let Some(obs) = &self.observer {
-            f(obs.as_ref());
+    /// Replays the notes an operation buffered while it held the lock.
+    /// Called only after the lock guard is dropped.
+    fn emit(&self, notes: &[Note]) {
+        let Some(obs) = &self.observer else {
+            return;
+        };
+        for note in notes {
+            match *note {
+                Note::Hit(k) => obs.on_hit(k),
+                Note::Miss(k) => obs.on_miss(k),
+                Note::Admit(k, size) => obs.on_admit(k, size),
+                Note::Evict(k) => obs.on_evict(k),
+                Note::Reject(k) => obs.on_reject(k),
+                Note::Invalidate(k) => obs.on_invalidate(k),
+            }
         }
     }
 
@@ -159,53 +190,87 @@ impl CacheManager {
         keys
     }
 
+    /// Whether the policy would even consider admitting `key` (ignoring
+    /// size and occupancy). Callers that share a cache across runs check
+    /// this before offering, so outputs the policy can never take (e.g.
+    /// request-dependent nodes outside a pinned set) produce no reject
+    /// noise in observers or counters.
+    pub fn policy_admits(&self, key: u64) -> bool {
+        match &self.policy {
+            CachePolicy::Pinned(set) => set.contains(&key),
+            CachePolicy::Lru { .. } => true,
+        }
+    }
+
     /// Looks up a cached value, updating recency.
     pub fn get(&self, key: u64) -> Option<CachedValue> {
-        let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let clock = inner.clock;
-        match inner.entries.get_mut(&key) {
-            Some(e) => {
-                e.last_used = clock;
-                let v = e.value.clone();
-                inner.stats.hits += 1;
-                self.notify(|o| o.on_hit(key));
-                Some(v)
+        let (result, note) = {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            match inner.entries.get_mut(&key) {
+                Some(e) => {
+                    e.last_used = clock;
+                    let v = e.value.clone();
+                    inner.stats.hits += 1;
+                    (Some(v), Note::Hit(key))
+                }
+                None => {
+                    inner.stats.misses += 1;
+                    (None, Note::Miss(key))
+                }
             }
-            None => {
-                inner.stats.misses += 1;
-                self.notify(|o| o.on_miss(key));
-                None
-            }
-        }
+        };
+        self.emit(&[note]);
+        result
     }
 
     /// Offers a value for caching. Returns `true` if it was admitted.
     ///
-    /// Re-offering a resident key at the same size is a hit: the stored
-    /// value is refreshed, recency is bumped, and `on_hit` fires — the same
-    /// outcome a lookup would have had, so trace counters stay in step with
-    /// executor behavior. A re-offer at a *different* size drops the stale
-    /// entry (its accounting would otherwise desync `used`) and runs the
-    /// normal admission path for the new size.
+    /// Re-offering a resident key at the same size is a hit: recency is
+    /// bumped and `on_hit` fires — the same outcome a lookup would have
+    /// had, so trace counters stay in step with executor behavior. The
+    /// *stored value keeps the first-admitted `Arc`*: concurrent readers
+    /// may hold it, and value identity is observable downstream
+    /// (`DistCollection::content_id` hashes partition pointers), so
+    /// swapping in an equal-but-distinct recomputation under a racing
+    /// reader would make two lookups of one key disagree on identity. A
+    /// re-offer at a *different* size drops the stale entry (its accounting
+    /// would otherwise desync `used`) and runs the normal admission path
+    /// for the new size.
     pub fn put(&self, key: u64, value: CachedValue, size: u64) -> bool {
-        let mut inner = self.inner.lock();
+        let mut notes = Vec::new();
+        let admitted = {
+            let mut inner = self.inner.lock();
+            self.put_locked(&mut inner, key, value, size, &mut notes)
+        };
+        self.emit(&notes);
+        admitted
+    }
+
+    fn put_locked(
+        &self,
+        inner: &mut Inner,
+        key: u64,
+        value: CachedValue,
+        size: u64,
+        notes: &mut Vec<Note>,
+    ) -> bool {
         match inner.entries.get(&key).map(|e| e.size == size) {
             Some(true) => {
                 inner.clock += 1;
                 let clock = inner.clock;
                 let e = inner.entries.get_mut(&key).expect("resident");
-                e.value = value;
                 e.last_used = clock;
                 inner.stats.hits += 1;
-                self.notify(|o| o.on_hit(key));
+                notes.push(Note::Hit(key));
                 return true;
             }
             Some(false) => {
                 let old = inner.entries.remove(&key).expect("resident");
                 inner.used -= old.size;
                 inner.stats.invalidations += 1;
-                self.notify(|o| o.on_invalidate(key));
+                notes.push(Note::Invalidate(key));
             }
             None => {}
         }
@@ -213,7 +278,7 @@ impl CacheManager {
             CachePolicy::Pinned(set) => {
                 if !set.contains(&key) || size > self.budget.saturating_sub(inner.used) {
                     inner.stats.rejected += 1;
-                    self.notify(|o| o.on_reject(key));
+                    notes.push(Note::Reject(key));
                     return false;
                 }
                 inner.clock += 1;
@@ -228,14 +293,14 @@ impl CacheManager {
                     },
                 );
                 inner.used += size;
-                self.notify(|o| o.on_admit(key, size));
+                notes.push(Note::Admit(key, size));
                 true
             }
             CachePolicy::Lru { admission_fraction } => {
                 let max_object = (self.budget as f64 * admission_fraction) as u64;
                 if size > max_object || size > self.budget {
                     inner.stats.rejected += 1;
-                    self.notify(|o| o.on_reject(key));
+                    notes.push(Note::Reject(key));
                     return false;
                 }
                 // Evict LRU non-pinned entries until the new object fits.
@@ -254,11 +319,11 @@ impl CacheManager {
                             let e = inner.entries.remove(&k).expect("victim exists");
                             inner.used -= e.size;
                             inner.stats.evictions += 1;
-                            self.notify(|o| o.on_evict(k));
+                            notes.push(Note::Evict(k));
                         }
                         None => {
                             inner.stats.rejected += 1;
-                            self.notify(|o| o.on_reject(key));
+                            notes.push(Note::Reject(key));
                             return false;
                         }
                     }
@@ -275,7 +340,7 @@ impl CacheManager {
                     },
                 );
                 inner.used += size;
-                self.notify(|o| o.on_admit(key, size));
+                notes.push(Note::Admit(key, size));
                 true
             }
         }
@@ -285,16 +350,21 @@ impl CacheManager {
     /// releases its bytes. Returns `true` if the key was resident. Fires
     /// `on_invalidate` so trace sinks can distinguish loss from eviction.
     pub fn invalidate(&self, key: u64) -> bool {
-        let mut inner = self.inner.lock();
-        match inner.entries.remove(&key) {
-            Some(e) => {
-                inner.used -= e.size;
-                inner.stats.invalidations += 1;
-                self.notify(|o| o.on_invalidate(key));
-                true
+        let removed = {
+            let mut inner = self.inner.lock();
+            match inner.entries.remove(&key) {
+                Some(e) => {
+                    inner.used -= e.size;
+                    inner.stats.invalidations += 1;
+                    true
+                }
+                None => false,
             }
-            None => false,
+        };
+        if removed {
+            self.emit(&[Note::Invalidate(key)]);
         }
+        removed
     }
 
     /// Marks a resident entry as pinned, exempting it from LRU eviction
@@ -422,7 +492,7 @@ mod tests {
     }
 
     #[test]
-    fn resident_put_refreshes_value_and_recency() {
+    fn resident_put_bumps_recency_and_keeps_first_value() {
         let c = CacheManager::new(
             100,
             CachePolicy::Lru {
@@ -437,9 +507,144 @@ mod tests {
         assert!(c.put(3, val(30), 40));
         assert!(c.get(1).is_some(), "recently re-offered entry evicted");
         assert!(c.get(2).is_none(), "LRU entry survived");
-        // The refreshed value is the one stored.
+        // First write wins: the originally admitted value stays resident, so
+        // readers holding the old Arc and fresh lookups agree on identity.
         let v = c.get(1).expect("resident");
-        assert_eq!(*v.downcast::<i64>().expect("type"), 11);
+        assert_eq!(*v.downcast::<i64>().expect("type"), 10);
+    }
+
+    #[test]
+    fn same_size_reoffer_preserves_value_identity() {
+        // The serving pattern: two waves race to compute the same
+        // request-independent node and both offer it. Whoever wins, every
+        // subsequent lookup must return the *same* Arc — pointer identity
+        // is observable via `DistCollection::content_id`.
+        let c = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        );
+        let first: CachedValue = Arc::new(7i64);
+        assert!(c.put(1, first.clone(), 16));
+        let held = c.get(1).expect("resident");
+        assert!(c.put(1, Arc::new(7i64), 16), "re-offer not a hit");
+        let after = c.get(1).expect("resident");
+        assert!(
+            Arc::ptr_eq(&held, &after),
+            "same-size re-offer replaced the resident Arc under a reader"
+        );
+        assert!(Arc::ptr_eq(&after, &first));
+    }
+
+    /// An observer that re-enters the cache from its callbacks. Before the
+    /// buffered-notification fix, callbacks fired while the cache lock was
+    /// held, so this deadlocked; now callbacks run outside the lock and
+    /// re-entrancy is legal.
+    struct Reentrant {
+        cache: Mutex<Option<Arc<CacheManager>>>,
+        seen: Mutex<Vec<String>>,
+    }
+    impl CacheObserver for Reentrant {
+        fn on_hit(&self, key: u64) {
+            let guard = self.cache.lock();
+            if let Some(c) = guard.as_ref() {
+                // A stats probe and a foreign-key lookup, both of which
+                // take the cache lock.
+                let stats = c.stats();
+                let other = c.get(key + 1000).is_some();
+                self.seen
+                    .lock()
+                    .push(format!("hit:{key}:hits={}:other={other}", stats.hits));
+            }
+        }
+    }
+
+    #[test]
+    fn observer_may_reenter_the_cache() {
+        let obs = Arc::new(Reentrant {
+            cache: Mutex::new(None),
+            seen: Mutex::new(Vec::new()),
+        });
+        let c = Arc::new(
+            CacheManager::new(
+                100,
+                CachePolicy::Lru {
+                    admission_fraction: 1.0,
+                },
+            )
+            .with_observer(obs.clone()),
+        );
+        *obs.cache.lock() = Some(c.clone());
+        assert!(c.put(1, val(1), 10));
+        let _ = c.get(1); // on_hit re-enters: stats() + get(1001)
+        let seen = obs.seen.lock().clone();
+        assert_eq!(seen, vec!["hit:1:hits=1:other=false"]);
+        // Drop the cycle so the test leaks nothing.
+        *obs.cache.lock() = None;
+    }
+
+    #[test]
+    fn concurrent_small_lookups_keep_stats_and_identity_consistent() {
+        // The serving workload: many threads issuing small lookups and
+        // re-offers against one fitted pipeline's materialized set. Checks
+        // (a) no hit/miss undercounting, (b) the resident Arc is stable,
+        // (c) `used` stays truthful.
+        const THREADS: usize = 8;
+        const OPS: usize = 200;
+        let c = Arc::new(CacheManager::new(
+            10_000,
+            CachePolicy::Lru {
+                admission_fraction: 1.0,
+            },
+        ));
+        let original: CachedValue = Arc::new(42i64);
+        assert!(c.put(7, original.clone(), 100));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let c = c.clone();
+                let original = original.clone();
+                s.spawn(move || {
+                    for i in 0..OPS {
+                        let got = c.get(7).expect("resident entry vanished");
+                        assert!(
+                            Arc::ptr_eq(&got, &original),
+                            "resident Arc replaced under concurrent readers"
+                        );
+                        if i % 3 == t % 3 {
+                            // Competing same-size re-offer (counts as a hit).
+                            assert!(c.put(7, Arc::new(42i64), 100));
+                        }
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        let reoffers: u64 = (0..THREADS)
+            .map(|t| (0..OPS).filter(|i| i % 3 == t % 3).count() as u64)
+            .sum();
+        assert_eq!(
+            s.hits,
+            (THREADS * OPS) as u64 + reoffers,
+            "hit accounting lost updates under concurrency"
+        );
+        assert_eq!(s.misses, 0);
+        assert_eq!(c.used(), 100, "size accounting drifted");
+        assert_eq!(c.resident_keys(), vec![7]);
+    }
+
+    #[test]
+    fn policy_admits_reflects_policy_membership() {
+        let pinned = CacheManager::new(100, CachePolicy::Pinned([3u64].into_iter().collect()));
+        assert!(pinned.policy_admits(3));
+        assert!(!pinned.policy_admits(4));
+        let lru = CacheManager::new(
+            100,
+            CachePolicy::Lru {
+                admission_fraction: 0.5,
+            },
+        );
+        assert!(lru.policy_admits(9), "LRU considers any key");
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Serving load bench: p50/p99 latency and sustained QPS across
+//! batch-size × linger × fusion on/off on a depth-16 per-record chain.
+//!
+//! Plain-`main` harness (criterion is unavailable offline); CI compiles it
+//! with `cargo bench -p keystone-serve --no-run`. Run manually:
+//!
+//! ```sh
+//! cargo bench -p keystone-serve
+//! ```
+//!
+//! Latency percentiles are virtual (deterministic, from the micro-batcher's
+//! discrete-event clock); QPS is measured wall throughput. The headline
+//! comparison: micro-batching (batch ≥ 8) vs batch=1 on the fused chain —
+//! per-wave dispatch overhead (executor construction, graph walk, per-node
+//! tracing) amortizes over the batch, so larger batches sustain more QPS.
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::Transformer;
+use keystone_core::optimizer::PipelineOptions;
+use keystone_core::pipeline::Pipeline;
+use keystone_core::profiler::ProfileOptions;
+use keystone_serve::{BatchPolicy, LoadGen, Server};
+
+const DEPTH: usize = 16;
+const DIM: usize = 16;
+const REQUESTS: usize = 2_000;
+const MEAN_GAP_SECS: f64 = 1e-5;
+
+struct AxPlusB {
+    a: f64,
+    b: f64,
+}
+
+impl Transformer<Vec<f64>, Vec<f64>> for AxPlusB {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        x.iter().map(|v| self.a * v + self.b).collect()
+    }
+}
+
+fn chain() -> Pipeline<Vec<f64>, Vec<f64>> {
+    let mut pipe = Pipeline::<Vec<f64>, Vec<f64>>::input();
+    for i in 0..DEPTH {
+        pipe = pipe.and_then(AxPlusB {
+            a: 1.0 + i as f64 * 1e-3,
+            b: 0.5,
+        });
+    }
+    pipe
+}
+
+fn opts(fusion: bool) -> PipelineOptions {
+    PipelineOptions {
+        profile: ProfileOptions {
+            sizes: vec![8, 16],
+            seed: 17,
+            select_operators: true,
+            deterministic_timing: true,
+        },
+        ..PipelineOptions::full()
+    }
+    .with_fusion(fusion)
+}
+
+fn main() {
+    let pool: Vec<Vec<f64>> = (0..64)
+        .map(|r| (0..DIM).map(|c| (r * DIM + c) as f64 * 1e-4).collect())
+        .collect();
+
+    println!(
+        "serve load: depth-{DEPTH} chain, {REQUESTS} requests, mean gap {MEAN_GAP_SECS}s\n\
+         {:<8} {:>8} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "fusion", "batch", "linger", "p50-secs", "p99-secs", "qps", "waves"
+    );
+    for fusion in [false, true] {
+        let ctx = ExecContext::default_cluster();
+        let (fitted, _) = chain().fit(&ctx, &opts(fusion));
+        for max_batch in [1usize, 8, 32] {
+            for linger in [0.0, 1e-4, 1e-3] {
+                let server = Server::new(
+                    &fitted,
+                    BatchPolicy::new(max_batch, linger).with_queue_capacity(REQUESTS),
+                );
+                let requests = LoadGen::new(42).requests_from_pool(REQUESTS, MEAN_GAP_SECS, &pool);
+                // One warm-up wave, then the measured run.
+                let _ = server.run(
+                    LoadGen::new(7).requests_from_pool(64, MEAN_GAP_SECS, &pool),
+                    &ctx,
+                );
+                let outcome = server.run(requests, &ctx);
+                assert_eq!(outcome.responses.len(), REQUESTS, "dropped responses");
+                println!(
+                    "{:<8} {:>8} {:>10.0e} {:>12.6} {:>12.6} {:>10.0} {:>8}",
+                    fusion,
+                    max_batch,
+                    linger,
+                    outcome.latency_percentile(50.0),
+                    outcome.latency_percentile(99.0),
+                    outcome.qps(),
+                    outcome.batches.len()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! The deterministic discrete-event micro-batcher.
+//!
+//! The batcher runs over *virtual* time: every request carries an arrival
+//! instant, a single logical executor is busy until `free_at`, and the
+//! dispatch rule below decides when the open batch ships. No wall clocks,
+//! no threads — the schedule (and every per-request latency split derived
+//! from it) is a pure function of the arrival stamps, the policy, and the
+//! per-batch execution cost, which is what lets two load-generator runs
+//! compare bit-identically.
+//!
+//! ## Dispatch rule
+//!
+//! With `open` = the oldest waiting request's arrival and `free_at` = when
+//! the executor frees up, the next batch dispatches at
+//!
+//! * `max(free_at, arrival of the max_batch-th member)` once the queue
+//!   holds a full batch,
+//! * `max(free_at, open + max_linger)` while it doesn't and more arrivals
+//!   may still join,
+//! * `max(free_at, newest waiting arrival)` when the arrival stream is
+//!   exhausted (no point lingering for requests that cannot come, but a
+//!   batch can never ship before its youngest member has arrived).
+//!
+//! Arrivals strictly before the dispatch instant are admitted (or rejected
+//! by the bounded queue) first; an arrival at exactly the dispatch instant
+//! misses the wave. Backlogged requests left over from an oversized queue
+//! carry their original arrival as `open`, so their linger window is
+//! already spent and they ship as soon as the executor frees.
+//!
+//! ## Latency decomposition
+//!
+//! For a request arriving at `a`, dispatched at `D` in a wave that
+//! executes for `E` seconds, with `ready = max(a, free_at_before)`:
+//!
+//! * `queue_secs = ready - a` — time blocked behind the busy executor,
+//! * `batch_secs = D - ready` — time waiting for the batch to fill/linger,
+//! * `execute_secs = E` — the wave itself,
+//!
+//! and `queue + batch + execute` is *exactly* the request's total virtual
+//! latency `D + E - a`.
+
+use std::collections::VecDeque;
+
+use crate::policy::{BatchPolicy, RejectReason};
+
+/// One request entering the batcher: an id, an arrival stamp, a payload.
+#[derive(Debug, Clone)]
+pub struct Arrival<T> {
+    /// Caller-assigned id (unique per run).
+    pub id: u64,
+    /// Virtual arrival instant, seconds.
+    pub at_secs: f64,
+    /// The request payload (the record to score).
+    pub payload: T,
+}
+
+/// A dispatched batch: members in FIFO order plus its schedule entry.
+#[derive(Debug, Clone)]
+pub struct DispatchedBatch<T> {
+    /// Zero-based dispatch sequence number.
+    pub index: u64,
+    /// Members in admission (FIFO) order.
+    pub members: Vec<Arrival<T>>,
+    /// When the batch opened (oldest member's arrival), virtual seconds.
+    pub open_secs: f64,
+    /// When it dispatched, virtual seconds.
+    pub dispatch_secs: f64,
+    /// `dispatch - open`: how long the batch formation window stayed open.
+    pub linger_secs: f64,
+    /// The wave's charged execution seconds.
+    pub execute_secs: f64,
+}
+
+/// A rejected request (bounded queue full at arrival).
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    /// The rejected request's id.
+    pub id: u64,
+    /// Its arrival instant.
+    pub at_secs: f64,
+    /// Queue depth observed at arrival.
+    pub queue_depth: usize,
+    /// Why it was refused.
+    pub reason: RejectReason,
+}
+
+/// Per-request virtual-latency breakdown (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestTiming {
+    /// The request id.
+    pub id: u64,
+    /// Arrival instant, virtual seconds.
+    pub arrival_secs: f64,
+    /// Seconds blocked behind the busy executor.
+    pub queue_secs: f64,
+    /// Seconds waiting for the batch to fill or linger out.
+    pub batch_secs: f64,
+    /// The wave's execution seconds.
+    pub execute_secs: f64,
+    /// Which batch served the request.
+    pub batch_index: u64,
+}
+
+impl RequestTiming {
+    /// Total virtual latency: queue + batch + execute.
+    pub fn total_secs(&self) -> f64 {
+        self.queue_secs + self.batch_secs + self.execute_secs
+    }
+}
+
+/// The batcher's complete, deterministic output.
+#[derive(Debug, Clone)]
+pub struct BatchSchedule<T> {
+    /// Dispatched batches in dispatch order.
+    pub batches: Vec<DispatchedBatch<T>>,
+    /// Rejected requests in arrival order.
+    pub rejects: Vec<Rejection>,
+    /// Per-admitted-request latency splits, in admission order.
+    pub timings: Vec<RequestTiming>,
+    /// Largest queue depth observed (never exceeds the policy bound).
+    pub max_queue_depth: usize,
+    /// When the last wave finished, virtual seconds.
+    pub makespan_secs: f64,
+}
+
+/// Discrete-event micro-batcher over one policy.
+pub struct MicroBatcher {
+    policy: BatchPolicy,
+}
+
+impl MicroBatcher {
+    /// Creates a batcher with the given policy.
+    pub fn new(policy: BatchPolicy) -> Self {
+        MicroBatcher { policy }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Runs the event loop over `arrivals`, calling `execute` once per
+    /// dispatched batch. `execute` receives the members (FIFO order) and
+    /// returns the wave's virtual execution seconds; it is where the
+    /// server actually scores the records.
+    ///
+    /// Arrivals are sorted by `(at_secs, id)` first, so callers may pass
+    /// them in any order; ids must be unique.
+    pub fn run<T>(
+        &self,
+        mut arrivals: Vec<Arrival<T>>,
+        mut execute: impl FnMut(&DispatchedBatch<T>) -> f64,
+    ) -> BatchSchedule<T> {
+        arrivals.sort_by(|a, b| {
+            a.at_secs
+                .partial_cmp(&b.at_secs)
+                .expect("arrival stamps are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        debug_assert!(
+            {
+                let mut ids: Vec<u64> = arrivals.iter().map(|a| a.id).collect();
+                ids.sort_unstable();
+                ids.windows(2).all(|w| w[0] != w[1])
+            },
+            "request ids must be unique"
+        );
+
+        let mut schedule = BatchSchedule {
+            batches: Vec::new(),
+            rejects: Vec::new(),
+            timings: Vec::new(),
+            max_queue_depth: 0,
+            makespan_secs: 0.0,
+        };
+        let mut pending: VecDeque<Arrival<T>> = VecDeque::new();
+        let mut iter = arrivals.into_iter().peekable();
+        let mut free_at = 0.0f64;
+        let mut batch_index = 0u64;
+
+        loop {
+            if pending.is_empty() {
+                match iter.next() {
+                    // Empty queue always admits.
+                    Some(a) => {
+                        pending.push_back(a);
+                        schedule.max_queue_depth = schedule.max_queue_depth.max(pending.len());
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            let open = pending[0].at_secs;
+            let cand = if pending.len() >= self.policy.max_batch {
+                free_at.max(pending[self.policy.max_batch - 1].at_secs)
+            } else if iter.peek().is_none() {
+                // No more arrivals can come: ship as soon as the executor is
+                // free and the youngest queued request has arrived. Waiting
+                // out the linger would be pure added latency; dispatching at
+                // `open` could ship a batch before its newest member exists.
+                free_at.max(pending[pending.len() - 1].at_secs)
+            } else {
+                free_at.max(open + self.policy.max_linger_secs)
+            };
+
+            if let Some(next) = iter.peek() {
+                if next.at_secs < cand {
+                    let a = iter.next().expect("peeked");
+                    if pending.len() >= self.policy.queue_capacity {
+                        schedule.rejects.push(Rejection {
+                            id: a.id,
+                            at_secs: a.at_secs,
+                            queue_depth: pending.len(),
+                            reason: RejectReason::QueueFull {
+                                capacity: self.policy.queue_capacity,
+                            },
+                        });
+                    } else {
+                        pending.push_back(a);
+                        schedule.max_queue_depth = schedule.max_queue_depth.max(pending.len());
+                    }
+                    continue;
+                }
+            }
+
+            // Dispatch at `cand`: take the first max_batch waiting requests.
+            let take = pending.len().min(self.policy.max_batch);
+            let members: Vec<Arrival<T>> = pending.drain(..take).collect();
+            let mut batch = DispatchedBatch {
+                index: batch_index,
+                open_secs: open,
+                dispatch_secs: cand,
+                linger_secs: cand - open,
+                execute_secs: 0.0,
+                members,
+            };
+            let execute_secs = execute(&batch);
+            debug_assert!(
+                execute_secs.is_finite() && execute_secs >= 0.0,
+                "execute cost must be a finite non-negative duration"
+            );
+            batch.execute_secs = execute_secs;
+            for m in &batch.members {
+                let ready = m.at_secs.max(free_at);
+                schedule.timings.push(RequestTiming {
+                    id: m.id,
+                    arrival_secs: m.at_secs,
+                    queue_secs: ready - m.at_secs,
+                    batch_secs: cand - ready,
+                    execute_secs,
+                    batch_index,
+                });
+            }
+            free_at = cand + execute_secs;
+            schedule.makespan_secs = free_at;
+            schedule.batches.push(batch);
+            batch_index += 1;
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(id: u64, at: f64) -> Arrival<u64> {
+        Arrival {
+            id,
+            at_secs: at,
+            payload: id,
+        }
+    }
+
+    fn ids<T>(b: &DispatchedBatch<T>) -> Vec<u64> {
+        b.members.iter().map(|m| m.id).collect()
+    }
+
+    #[test]
+    fn full_batch_dispatches_without_waiting_out_the_linger() {
+        let b = MicroBatcher::new(BatchPolicy::new(2, 10.0));
+        let s = b.run(vec![arr(0, 0.0), arr(1, 0.5), arr(2, 9.0)], |_| 0.0);
+        assert_eq!(s.batches.len(), 2);
+        // Batch 0 fills at t=0.5, well before the linger bound.
+        assert_eq!(ids(&s.batches[0]), vec![0, 1]);
+        assert!((s.batches[0].dispatch_secs - 0.5).abs() < 1e-12);
+        // The straggler ships alone once the stream ends (no tail linger).
+        assert_eq!(ids(&s.batches[1]), vec![2]);
+        assert!((s.batches[1].dispatch_secs - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linger_bounds_the_wait_for_a_partial_batch() {
+        let b = MicroBatcher::new(BatchPolicy::new(8, 1.0));
+        // Request 1 arrives within the window, request 2 after it closes.
+        let s = b.run(vec![arr(0, 0.0), arr(1, 0.4), arr(2, 1.7)], |_| 0.0);
+        assert_eq!(s.batches.len(), 2);
+        assert_eq!(ids(&s.batches[0]), vec![0, 1]);
+        assert!((s.batches[0].dispatch_secs - 1.0).abs() < 1e-12);
+        assert!((s.batches[0].linger_secs - 1.0).abs() < 1e-12);
+        assert_eq!(ids(&s.batches[1]), vec![2]);
+    }
+
+    #[test]
+    fn busy_executor_defers_dispatch_and_charges_queue_time() {
+        // Batch 0 executes for 5s; request 1 arrives during that window and
+        // must wait for the executor, all of it accounted as queue time.
+        let b = MicroBatcher::new(BatchPolicy::new(1, 0.0));
+        let s = b.run(vec![arr(0, 0.0), arr(1, 2.0)], |_| 5.0);
+        assert_eq!(s.batches.len(), 2);
+        assert!((s.batches[1].dispatch_secs - 5.0).abs() < 1e-12);
+        let t1 = s.timings[1];
+        assert!((t1.queue_secs - 3.0).abs() < 1e-12, "{t1:?}");
+        assert!((t1.batch_secs - 0.0).abs() < 1e-12);
+        assert!((t1.execute_secs - 5.0).abs() < 1e-12);
+        assert!((t1.total_secs() - 8.0).abs() < 1e-12);
+        assert!((s.makespan_secs - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_with_observable_reason() {
+        // Capacity 1, executor busy forever-ish: the second concurrent
+        // arrival is rejected, the first waits.
+        let b = MicroBatcher::new(BatchPolicy::new(1, 0.0).with_queue_capacity(1));
+        let s = b.run(vec![arr(0, 0.0), arr(1, 1.0), arr(2, 1.5)], |_| 10.0);
+        assert_eq!(s.rejects.len(), 1);
+        let r = &s.rejects[0];
+        assert_eq!(r.id, 2);
+        assert_eq!(r.queue_depth, 1);
+        assert_eq!(r.reason, RejectReason::QueueFull { capacity: 1 });
+        assert_eq!(s.max_queue_depth, 1);
+        // Every admitted request still got served.
+        assert_eq!(s.timings.len(), 2);
+    }
+
+    #[test]
+    fn latency_split_sums_exactly() {
+        let b = MicroBatcher::new(BatchPolicy::new(4, 0.25));
+        let arrivals: Vec<_> = (0..16).map(|i| arr(i, 0.1 * i as f64)).collect();
+        let s = b.run(arrivals, |batch| 0.05 * batch.members.len() as f64);
+        for t in &s.timings {
+            let batch = &s.batches[t.batch_index as usize];
+            let direct = batch.dispatch_secs + batch.execute_secs - t.arrival_secs;
+            assert!(
+                (t.total_secs() - direct).abs() < 1e-12,
+                "decomposition does not sum: {t:?} vs direct {direct}"
+            );
+            assert!(t.queue_secs >= 0.0 && t.batch_secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn unsorted_arrivals_are_normalized() {
+        let b = MicroBatcher::new(BatchPolicy::new(2, 0.0));
+        let s = b.run(vec![arr(1, 5.0), arr(0, 1.0)], |_| 0.0);
+        let all: Vec<u64> = s.batches.iter().flat_map(ids).collect();
+        assert_eq!(all, vec![0, 1]);
+    }
+}

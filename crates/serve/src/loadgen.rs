@@ -1,0 +1,122 @@
+//! Seeded load generation and latency-summary helpers.
+//!
+//! The generator is a tiny splitmix64 stream (the same primitive the
+//! testkit uses, duplicated here because `keystone-testkit` depends on
+//! this crate): a seed fully determines every arrival stamp, so a load
+//! profile regenerates bit-identically across runs and processes.
+
+use crate::server::Request;
+
+/// Seeded arrival-schedule generator.
+#[derive(Debug, Clone)]
+pub struct LoadGen {
+    state: u64,
+}
+
+impl LoadGen {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        LoadGen {
+            state: seed ^ 0x6A09_E667_F3BC_C908,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 random bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `n` arrival stamps with inter-arrival gaps uniform in
+    /// `[0.5, 1.5) × mean_gap_secs`, starting at zero.
+    pub fn arrival_stamps(&mut self, n: usize, mean_gap_secs: f64) -> Vec<f64> {
+        let mut at = 0.0;
+        (0..n)
+            .map(|_| {
+                let stamp = at;
+                at += mean_gap_secs * (0.5 + self.next_f64());
+                stamp
+            })
+            .collect()
+    }
+
+    /// `n` requests drawing records round-robin from `pool`, ids `0..n`,
+    /// with [`LoadGen::arrival_stamps`] spacing.
+    pub fn requests_from_pool<A: Clone>(
+        &mut self,
+        n: usize,
+        mean_gap_secs: f64,
+        pool: &[A],
+    ) -> Vec<Request<A>> {
+        assert!(!pool.is_empty(), "record pool is empty");
+        self.arrival_stamps(n, mean_gap_secs)
+            .into_iter()
+            .enumerate()
+            .map(|(i, at_secs)| Request {
+                id: i as u64,
+                arrival_secs: at_secs,
+                record: pool[i % pool.len()].clone(),
+            })
+            .collect()
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample (`p` in `[0, 100]`).
+/// Returns 0.0 on an empty sample.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_reproduces_the_schedule() {
+        let a = LoadGen::new(7).arrival_stamps(32, 0.01);
+        let b = LoadGen::new(7).arrival_stamps(32, 0.01);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[1] > w[0]), "stamps not increasing");
+        assert_eq!(a[0], 0.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(
+            LoadGen::new(1).arrival_stamps(8, 1.0),
+            LoadGen::new(2).arrival_stamps(8, 1.0)
+        );
+    }
+
+    #[test]
+    fn pool_requests_cycle_records() {
+        let reqs = LoadGen::new(3).requests_from_pool(5, 1.0, &[10i64, 20]);
+        assert_eq!(reqs.len(), 5);
+        let records: Vec<i64> = reqs.iter().map(|r| r.record).collect();
+        assert_eq!(records, vec![10, 20, 10, 20, 10]);
+        let ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 50.0), 2.0);
+        assert_eq!(percentile(&xs, 99.0), 4.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

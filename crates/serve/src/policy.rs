@@ -1,0 +1,95 @@
+//! Batching-policy knobs and admission-control outcomes.
+
+/// Why admission control refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue already held `capacity` waiting requests.
+    QueueFull {
+        /// The configured queue capacity (= depth observed at arrival).
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+        }
+    }
+}
+
+/// The micro-batching policy: when an open batch stops waiting and ships.
+///
+/// A batch dispatches at the earliest instant at which (a) the logical
+/// executor is free and (b) either the batch holds `max_batch` requests or
+/// the oldest member has lingered `max_linger_secs`. Requests arriving
+/// while the queue already holds `queue_capacity` waiting requests are
+/// rejected with [`RejectReason::QueueFull`].
+#[derive(Debug, Clone)]
+pub struct BatchPolicy {
+    /// Maximum requests per dispatched batch (≥ 1).
+    pub max_batch: usize,
+    /// Maximum virtual seconds an open batch waits for more arrivals once
+    /// its first member is ready. Zero means dispatch immediately.
+    pub max_linger_secs: f64,
+    /// Bound on requests waiting for dispatch (≥ 1). Arrivals beyond it
+    /// are rejected, never silently dropped.
+    pub queue_capacity: usize,
+    /// Partition count for the wave's `DistCollection` (default 1: a
+    /// micro-batch is one task). Raising it lets huge batches fan out.
+    pub batch_partitions: usize,
+}
+
+impl BatchPolicy {
+    /// A policy with the given batch size and linger, default queue bound.
+    pub fn new(max_batch: usize, max_linger_secs: f64) -> Self {
+        BatchPolicy {
+            max_batch: max_batch.max(1),
+            max_linger_secs: max_linger_secs.max(0.0),
+            queue_capacity: 64,
+            batch_partitions: 1,
+        }
+    }
+
+    /// Sets the bounded-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the per-wave partition count.
+    pub fn with_batch_partitions(mut self, partitions: usize) -> Self {
+        self.batch_partitions = partitions.max(1);
+        self
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::new(8, 1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_clamps_degenerate_knobs() {
+        let p = BatchPolicy::new(0, -1.0)
+            .with_queue_capacity(0)
+            .with_batch_partitions(0);
+        assert_eq!(p.max_batch, 1);
+        assert_eq!(p.max_linger_secs, 0.0);
+        assert_eq!(p.queue_capacity, 1);
+        assert_eq!(p.batch_partitions, 1);
+    }
+
+    #[test]
+    fn reject_reason_displays_capacity() {
+        let r = RejectReason::QueueFull { capacity: 4 };
+        assert_eq!(r.to_string(), "queue full (capacity 4)");
+    }
+}

@@ -1,0 +1,278 @@
+//! The serving front-end: micro-batcher × executable plan.
+//!
+//! A [`Server`] owns a fitted pipeline's
+//! [`ExecutablePlan`](keystone_core::pipeline::ExecutablePlan), a
+//! [`BatchPolicy`], and one long-lived
+//! [`CacheManager`](keystone_dataflow::cache::CacheManager) pinned to the
+//! plan's request-independent nodes. Each dispatched batch runs as a single
+//! apply wave through `ExecutablePlan::execute_erased_with_cache` — the
+//! same code path `FittedPipeline::apply` uses — so a request's score
+//! cannot depend on how it was batched.
+//!
+//! Accounting is split between the two clocks: the *simulated* clock takes
+//! the deterministic quantities (per-wave execution cost from
+//! `ExecutablePlan::est_apply_secs` under `serve:execute`, batch linger
+//! under `serve:linger`), while wall time is measured only for the
+//! sustained-QPS figure. Per-request latency splits, counters
+//! (`serve.admitted`, `serve.rejected`, `serve.batches`,
+//! `serve.responses`), the `serve.latency_secs` histogram, and
+//! `ServeBatch`/`ServeReject` trace events surface through the context's
+//! `MetricsRegistry` and `Tracer`.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Instant;
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::AnyData;
+use keystone_core::pipeline::{ExecutablePlan, FittedPipeline};
+use keystone_core::record::Record;
+use keystone_core::trace::TraceEvent;
+use keystone_dataflow::cache::{CacheManager, CachePolicy};
+use keystone_dataflow::collection::DistCollection;
+
+use crate::batcher::{Arrival, MicroBatcher, Rejection, RequestTiming};
+use crate::loadgen::percentile;
+use crate::policy::BatchPolicy;
+
+/// Latency-histogram bucket bounds (virtual seconds).
+const LATENCY_BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// One single-record apply call entering the front-end.
+#[derive(Debug, Clone)]
+pub struct Request<A> {
+    /// Caller-assigned id, unique per run.
+    pub id: u64,
+    /// Virtual arrival instant, seconds.
+    pub arrival_secs: f64,
+    /// The record to score.
+    pub record: A,
+}
+
+/// A served request: its output plus the latency split.
+#[derive(Debug, Clone)]
+pub struct Response<B> {
+    /// The request id.
+    pub id: u64,
+    /// The pipeline's output for the request's record.
+    pub output: B,
+    /// Queue/batch/execute breakdown on the virtual clock.
+    pub timing: RequestTiming,
+}
+
+/// Payload-free record of one dispatched wave.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRecord {
+    /// Dispatch sequence number.
+    pub index: u64,
+    /// Requests in the wave.
+    pub size: usize,
+    /// When the batch opened, virtual seconds.
+    pub open_secs: f64,
+    /// When it dispatched, virtual seconds.
+    pub dispatch_secs: f64,
+    /// Formation-window length (`dispatch - open`).
+    pub linger_secs: f64,
+    /// Charged execution seconds.
+    pub execute_secs: f64,
+}
+
+/// The complete result of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome<B> {
+    /// Served requests, sorted by id.
+    pub responses: Vec<Response<B>>,
+    /// Rejected requests, sorted by id.
+    pub rejects: Vec<Rejection>,
+    /// Dispatched waves in dispatch order.
+    pub batches: Vec<BatchRecord>,
+    /// Largest queue depth observed.
+    pub max_queue_depth: usize,
+    /// When the last wave finished, virtual seconds.
+    pub makespan_secs: f64,
+    /// Measured wall seconds for the whole run (QPS only — every other
+    /// number in this struct is virtual and deterministic).
+    pub wall_secs: f64,
+}
+
+impl<B> ServeOutcome<B> {
+    /// Sustained wall-clock throughput: responses per measured second.
+    pub fn qps(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.responses.len() as f64 / self.wall_secs
+    }
+
+    /// Nearest-rank percentile of total virtual latency (`p` in 0..=100).
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        let totals: Vec<f64> = self
+            .responses
+            .iter()
+            .map(|r| r.timing.total_secs())
+            .collect();
+        percentile(&totals, p)
+    }
+
+    /// The outputs in id order.
+    pub fn outputs(&self) -> Vec<&B> {
+        self.responses.iter().map(|r| &r.output).collect()
+    }
+}
+
+/// Micro-batched request front-end over one fitted pipeline.
+pub struct Server<A: Record, B: Record> {
+    plan: Arc<ExecutablePlan>,
+    policy: BatchPolicy,
+    cache: Arc<CacheManager>,
+    _ph: PhantomData<fn(&A) -> B>,
+}
+
+impl<A: Record, B: Record> Server<A, B> {
+    /// A server over a fitted pipeline.
+    pub fn new(fitted: &FittedPipeline<A, B>, policy: BatchPolicy) -> Self {
+        Self::from_plan(fitted.plan(), policy)
+    }
+
+    /// A server over a raw plan (serving/test harnesses that assemble the
+    /// optimized graph directly). The cross-request cache is pinned to the
+    /// plan's request-independent nodes, so nothing an input influences can
+    /// ever leak from one wave into another.
+    pub fn from_plan(plan: Arc<ExecutablePlan>, policy: BatchPolicy) -> Self {
+        let keys = plan
+            .reusable_nodes()
+            .into_iter()
+            .map(|n| n as u64)
+            .collect();
+        let cache = Arc::new(CacheManager::new(u64::MAX, CachePolicy::Pinned(keys)));
+        Server {
+            plan,
+            policy,
+            cache,
+            _ph: PhantomData,
+        }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// The shared cross-request cache (its hit counters are the evidence
+    /// that request-independent work amortizes across waves).
+    pub fn cache(&self) -> &CacheManager {
+        &self.cache
+    }
+
+    /// Runs the batcher over `requests`, scoring each dispatched wave as
+    /// one plan execution. The cache persists across calls, so a warm
+    /// server keeps its materialized intermediates.
+    ///
+    /// # Panics
+    /// Panics if a wave's output count differs from its input count — the
+    /// serving layer requires a record-wise pipeline (every apply produces
+    /// exactly one output per input record).
+    pub fn run(&self, requests: Vec<Request<A>>, ctx: &ExecContext) -> ServeOutcome<B> {
+        let start = Instant::now();
+        let workers = ctx.resources.workers;
+        let arrivals: Vec<Arrival<A>> = requests
+            .into_iter()
+            .map(|r| Arrival {
+                id: r.id,
+                at_secs: r.arrival_secs,
+                payload: r.record,
+            })
+            .collect();
+
+        let mut scored: Vec<(u64, B)> = Vec::new();
+        let batcher = MicroBatcher::new(self.policy.clone());
+        let schedule = batcher.run(arrivals, |batch| {
+            let records: Vec<A> = batch.members.iter().map(|m| m.payload.clone()).collect();
+            let n = records.len();
+            let partitions = self.policy.batch_partitions.min(n).max(1);
+            let wave = DistCollection::from_vec(records, partitions);
+            let out: DistCollection<B> = self
+                .plan
+                .execute_erased_with_cache(AnyData::wrap(wave), ctx, self.cache.clone())
+                .downcast();
+            let outputs = out.collect();
+            assert_eq!(
+                outputs.len(),
+                n,
+                "serving requires a record-wise pipeline ({n} records in, {} out)",
+                outputs.len()
+            );
+            for (m, o) in batch.members.iter().zip(outputs) {
+                scored.push((m.id, o));
+            }
+            // The wave's deterministic virtual cost; wall time stays out of
+            // the accounting so two same-seed runs split bit-identically.
+            let execute_secs = self.plan.est_apply_secs(n, workers);
+            ctx.sim.charge_seconds("serve:execute", execute_secs, 0.0);
+            ctx.sim
+                .charge_seconds("serve:linger", batch.linger_secs, 0.0);
+            ctx.metrics.inc_counter("serve.batches", 1);
+            ctx.metrics.inc_counter("serve.responses", n as u64);
+            ctx.tracer.record(TraceEvent::ServeBatch {
+                batch: batch.index,
+                size: n,
+                linger_secs: batch.linger_secs,
+                execute_secs,
+            });
+            execute_secs
+        });
+
+        ctx.metrics
+            .inc_counter("serve.admitted", schedule.timings.len() as u64);
+        ctx.metrics
+            .inc_counter("serve.rejected", schedule.rejects.len() as u64);
+        ctx.metrics
+            .set_gauge("serve.max_queue_depth", schedule.max_queue_depth as f64);
+        for t in &schedule.timings {
+            ctx.metrics
+                .observe("serve.latency_secs", &LATENCY_BOUNDS, t.total_secs());
+        }
+        for r in &schedule.rejects {
+            ctx.tracer.record(TraceEvent::ServeReject {
+                request: r.id,
+                queue_depth: r.queue_depth,
+            });
+        }
+
+        let mut timings: Vec<RequestTiming> = schedule.timings;
+        timings.sort_by_key(|t| t.id);
+        scored.sort_by_key(|(id, _)| *id);
+        debug_assert_eq!(scored.len(), timings.len());
+        let responses: Vec<Response<B>> = scored
+            .into_iter()
+            .zip(timings)
+            .map(|((id, output), timing)| {
+                debug_assert_eq!(id, timing.id);
+                Response { id, output, timing }
+            })
+            .collect();
+        let mut rejects = schedule.rejects;
+        rejects.sort_by_key(|r| r.id);
+        let batches: Vec<BatchRecord> = schedule
+            .batches
+            .iter()
+            .map(|b| BatchRecord {
+                index: b.index,
+                size: b.members.len(),
+                open_secs: b.open_secs,
+                dispatch_secs: b.dispatch_secs,
+                linger_secs: b.linger_secs,
+                execute_secs: b.execute_secs,
+            })
+            .collect();
+
+        ServeOutcome {
+            responses,
+            rejects,
+            batches,
+            max_queue_depth: schedule.max_queue_depth,
+            makespan_secs: schedule.makespan_secs,
+            wall_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+}

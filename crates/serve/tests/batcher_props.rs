@@ -1,0 +1,144 @@
+//! Micro-batcher invariants under arbitrary arrival schedules and
+//! policies:
+//!
+//! * no admitted request is lost or duplicated — every id lands in exactly
+//!   one of {some batch's members, the reject list},
+//! * FIFO order holds within each batch *and* across batches (dispatch
+//!   drains the queue front),
+//! * every admitted request gets exactly one timing whose queue/batch/
+//!   execute split is non-negative and sums exactly to dispatch + execute
+//!   − arrival,
+//! * rejects are observable with the queue depth that caused them,
+//! * the queue depth never exceeds the configured bound.
+
+use keystone_serve::{Arrival, BatchPolicy, MicroBatcher, RejectReason};
+use proptest::prelude::*;
+
+/// Builds arrivals with ids `0..gaps.len()` and the given inter-arrival
+/// gaps (ids are assigned in time order, so FIFO assertions reduce to
+/// sortedness).
+fn arrivals_from_gaps(gaps: &[u32]) -> Vec<Arrival<u64>> {
+    let mut at = 0.0f64;
+    gaps.iter()
+        .enumerate()
+        .map(|(i, &g)| {
+            at += g as f64 * 1e-4;
+            Arrival {
+                id: i as u64,
+                at_secs: at,
+                payload: i as u64,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_no_request_lost_or_duplicated(
+        gaps in proptest::collection::vec(0u32..50, 1..120),
+        max_batch in 1usize..16,
+        linger_ticks in 0u32..40,
+        capacity in 1usize..32,
+        exec_ticks in 0u32..30,
+    ) {
+        let n = gaps.len();
+        let policy = BatchPolicy::new(max_batch, linger_ticks as f64 * 1e-4)
+            .with_queue_capacity(capacity);
+        let schedule = MicroBatcher::new(policy).run(
+            arrivals_from_gaps(&gaps),
+            |_| exec_ticks as f64 * 1e-4,
+        );
+
+        // Partition: every id appears exactly once across batches + rejects.
+        let mut served: Vec<u64> = schedule
+            .batches
+            .iter()
+            .flat_map(|b| b.members.iter().map(|m| m.id))
+            .collect();
+        let mut all: Vec<u64> = served.clone();
+        all.extend(schedule.rejects.iter().map(|r| r.id));
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n as u64).collect::<Vec<_>>());
+
+        // FIFO within and across batches: ids were assigned in arrival
+        // order and the queue drains from the front, so the served stream
+        // must be strictly increasing.
+        prop_assert!(
+            served.windows(2).all(|w| w[0] < w[1]),
+            "served order not FIFO: {served:?}"
+        );
+        served.sort_unstable();
+
+        // Exactly one timing per served request, none for rejects.
+        let mut timed: Vec<u64> = schedule.timings.iter().map(|t| t.id).collect();
+        timed.sort_unstable();
+        prop_assert_eq!(timed, served);
+
+        // Queue bound respected; every reject observed the full queue.
+        prop_assert!(schedule.max_queue_depth <= capacity);
+        for r in &schedule.rejects {
+            prop_assert_eq!(r.queue_depth, capacity);
+            prop_assert_eq!(r.reason, RejectReason::QueueFull { capacity });
+        }
+    }
+
+    #[test]
+    fn prop_latency_split_is_exact_and_nonnegative(
+        gaps in proptest::collection::vec(0u32..50, 1..100),
+        max_batch in 1usize..12,
+        linger_ticks in 0u32..40,
+        exec_ticks in 0u32..30,
+    ) {
+        let policy = BatchPolicy::new(max_batch, linger_ticks as f64 * 1e-4)
+            .with_queue_capacity(usize::MAX >> 1);
+        let schedule = MicroBatcher::new(policy).run(
+            arrivals_from_gaps(&gaps),
+            |b| exec_ticks as f64 * 1e-4 * b.members.len() as f64,
+        );
+        for t in &schedule.timings {
+            prop_assert!(t.queue_secs >= 0.0);
+            prop_assert!(t.batch_secs >= 0.0);
+            prop_assert!(t.execute_secs >= 0.0);
+            let b = &schedule.batches[t.batch_index as usize];
+            let direct = b.dispatch_secs + b.execute_secs - t.arrival_secs;
+            prop_assert!(
+                (t.total_secs() - direct).abs() < 1e-9,
+                "split {:?} does not sum to {direct}",
+                t
+            );
+            // No batch outlives its members' membership: the request really
+            // is in the batch its timing points at.
+            prop_assert!(b.members.iter().any(|m| m.id == t.id));
+        }
+        // Batch sizes respect the policy; dispatch times are monotone.
+        for w in schedule.batches.windows(2) {
+            prop_assert!(w[0].dispatch_secs <= w[1].dispatch_secs);
+        }
+        for b in &schedule.batches {
+            prop_assert!(!b.members.is_empty());
+            prop_assert!(b.members.len() <= max_batch);
+            prop_assert!(b.linger_secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn prop_schedule_is_deterministic(
+        gaps in proptest::collection::vec(0u32..50, 1..80),
+        max_batch in 1usize..12,
+        capacity in 1usize..24,
+    ) {
+        let run = || {
+            let policy = BatchPolicy::new(max_batch, 2e-4).with_queue_capacity(capacity);
+            MicroBatcher::new(policy).run(arrivals_from_gaps(&gaps), |b| {
+                1e-4 * b.members.len() as f64
+            })
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.timings, b.timings);
+        prop_assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+        prop_assert_eq!(a.batches.len(), b.batches.len());
+    }
+}

@@ -22,7 +22,12 @@
 //!   pipeline under a matrix of configurations (optimization level ×
 //!   materialization budget × partition count × caching strategy × seeded
 //!   fault plan) and require bit-identical predictions in every cell, plus
-//!   metamorphic checks of the cost model against its own laws.
+//!   metamorphic checks of the cost model against its own laws;
+//! * [`serve`] — the serving-equivalence oracle: the same held-out records
+//!   fed one at a time through the `keystone-serve` micro-batching
+//!   front-end (several batch-size/linger policies, including the
+//!   degenerate batch=1) must reproduce a single batch `apply()`
+//!   bit-for-bit, with and without an injected fault plan.
 //!
 //! Seeds are ordinary `u64`s; a failing seed reproduces with
 //! `KEYSTONE_TESTKIT_SEED=<seed> cargo test --test differential`.
@@ -30,9 +35,11 @@
 pub mod gen;
 pub mod ops;
 pub mod oracle;
+pub mod serve;
 
 pub use gen::{generate, DataSpec, GeneratedPipeline, SplitMix64};
 pub use oracle::{
     check_cache_plan, check_seed, matrix, run_cell, seeds_from_env, CachePlanCheck, MatrixCell,
     SeedReport,
 };
+pub use serve::{check_serving, ServingReport, SERVING_POLICIES};

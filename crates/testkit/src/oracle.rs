@@ -45,7 +45,7 @@ pub struct MatrixCell {
     pub fused: bool,
 }
 
-fn profile_opts() -> ProfileOptions {
+pub(crate) fn profile_opts() -> ProfileOptions {
     ProfileOptions {
         sizes: vec![8, 16],
         seed: 5,

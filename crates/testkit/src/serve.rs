@@ -1,0 +1,179 @@
+//! The serving-equivalence oracle.
+//!
+//! Micro-batching is a *physical* decision: how single-record requests are
+//! grouped into waves may change latency, never predictions. For one seed,
+//! [`check_serving`] fits the generated pipeline (fusion off/on × fault
+//! plan off/on), computes the batch-`apply` predictions on the held-out
+//! records as the baseline, then feeds the same records one at a time
+//! through a [`Server`] under several batching policies — including the
+//! degenerate batch=1/no-linger policy — and requires every response to be
+//! bit-identical (`f64::to_bits`) to the baseline. A run with rejects is a
+//! failure: the oracle's queue capacity comfortably covers the held-out
+//! set, so a reject means the batcher lost a request it had room for.
+
+use keystone_core::optimizer::PipelineOptions;
+use keystone_dataflow::faults::FaultSpec;
+use keystone_serve::{BatchPolicy, Request, Server};
+
+use crate::gen::{generate, DataSpec};
+use crate::oracle::{profile_opts, BUDGET_TIGHT};
+
+/// The batching policies the oracle sweeps: (max_batch, max_linger_secs).
+/// Batch=1 degenerates to one wave per request; the others force real
+/// grouping, partial tail batches, and linger-bounded dispatches against
+/// the 1e-4 s inter-arrival gap used below.
+pub const SERVING_POLICIES: [(usize, f64); 4] = [(1, 0.0), (2, 0.0), (4, 2e-4), (8, 1e-3)];
+
+/// Successful serving-equivalence run over one seed.
+#[derive(Debug)]
+pub struct ServingReport {
+    /// The seed checked.
+    pub seed: u64,
+    /// (fusion × faults × policy) configurations that agreed.
+    pub configs: usize,
+    /// Total dispatched waves across all configurations.
+    pub waves: usize,
+}
+
+fn serving_failure(seed: u64, config: &str, detail: String) -> String {
+    let spec = DataSpec::from_seed(seed);
+    let train = spec.train(1);
+    let generated = generate(seed, &train);
+    format!(
+        "serving mismatch at seed {seed}: config `{config}`: {detail}\n\
+         recipe: {}\n\
+         reproduce: KEYSTONE_TESTKIT_SEED={seed} cargo test --test differential serving -- --nocapture\n",
+        generated.description,
+    )
+}
+
+/// Runs the serving-equivalence sweep for `seed`: for fusion off/on and
+/// fault plan off/on, the one-record-at-a-time served outputs must be
+/// bit-identical to one batch `apply` under every policy in
+/// [`SERVING_POLICIES`], with zero rejects.
+pub fn check_serving(seed: u64) -> Result<ServingReport, String> {
+    let spec = DataSpec::from_seed(seed);
+    let train = spec.train(4);
+    let test = spec.test(1);
+    let records: Vec<Vec<f64>> = test.collect();
+    let mut configs = 0usize;
+    let mut waves = 0usize;
+
+    for fused in [false, true] {
+        for faulted in [false, true] {
+            let generated = generate(seed, &train);
+            let ctx = if faulted {
+                // Same seeded plan as the optimizer matrix: scheduling
+                // perturbations may never change a served bit.
+                keystone_core::context::ExecContext::default_cluster().with_faults(
+                    FaultSpec::new(seed ^ 0xFA17)
+                        .with_task_failures(0.25)
+                        .with_stragglers(0.2)
+                        .with_cache_loss(0.3)
+                        .with_straggler_min_delay_us(200)
+                        .into_plan(),
+                )
+            } else {
+                keystone_core::context::ExecContext::default_cluster()
+            };
+            let opts = PipelineOptions {
+                profile: profile_opts(),
+                ..PipelineOptions::full()
+                    .with_budget(BUDGET_TIGHT)
+                    .with_fusion(fused)
+            };
+            let (fitted, _) = generated.pipeline.fit(&ctx, &opts);
+            let baseline: Vec<Vec<u64>> = fitted
+                .apply(&test, &ctx)
+                .collect()
+                .into_iter()
+                .map(|row| row.into_iter().map(f64::to_bits).collect())
+                .collect();
+
+            for (max_batch, linger) in SERVING_POLICIES {
+                let config =
+                    format!("fuse={fused}/faults={faulted}/batch={max_batch}/linger={linger}");
+                let server = Server::new(
+                    &fitted,
+                    BatchPolicy::new(max_batch, linger)
+                        .with_queue_capacity(records.len().max(1) * 2),
+                );
+                let requests: Vec<Request<Vec<f64>>> = records
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| Request {
+                        id: i as u64,
+                        arrival_secs: i as f64 * 1e-4,
+                        record: r.clone(),
+                    })
+                    .collect();
+                let outcome = server.run(requests, &ctx);
+                if !outcome.rejects.is_empty() {
+                    return Err(serving_failure(
+                        seed,
+                        &config,
+                        format!(
+                            "{} requests rejected with queue headroom",
+                            outcome.rejects.len()
+                        ),
+                    ));
+                }
+                let served: Vec<Vec<u64>> = outcome
+                    .responses
+                    .iter()
+                    .map(|r| r.output.iter().map(|v| v.to_bits()).collect())
+                    .collect();
+                if served != baseline {
+                    let diverged = served
+                        .iter()
+                        .zip(&baseline)
+                        .position(|(s, b)| s != b)
+                        .map(|i| format!("first divergent record: {i}"))
+                        .unwrap_or_else(|| {
+                            format!(
+                                "{} responses vs {} baseline rows",
+                                served.len(),
+                                baseline.len()
+                            )
+                        });
+                    return Err(serving_failure(
+                        seed,
+                        &config,
+                        format!("served bits diverged from batch apply ({diverged})"),
+                    ));
+                }
+                configs += 1;
+                waves += outcome.batches.len();
+            }
+        }
+    }
+    Ok(ServingReport {
+        seed,
+        configs,
+        waves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_seed_serving_smoke() {
+        let report = check_serving(3).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(report.configs, 2 * 2 * SERVING_POLICIES.len());
+        assert!(report.waves > 0);
+    }
+
+    #[test]
+    fn serving_failure_carries_repro() {
+        let r = serving_failure(
+            42,
+            "fuse=true/faults=false/batch=4/linger=0.0002",
+            "x".into(),
+        );
+        assert!(r.contains("seed 42"));
+        assert!(r.contains("KEYSTONE_TESTKIT_SEED=42"));
+        assert!(r.contains("recipe: seed=42:"));
+    }
+}

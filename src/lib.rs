@@ -28,6 +28,7 @@ pub use keystone_core as core;
 pub use keystone_dataflow as dataflow;
 pub use keystone_linalg as linalg;
 pub use keystone_ops as ops;
+pub use keystone_serve as serve;
 pub use keystone_solvers as solvers;
 pub use keystone_workloads as workloads;
 
@@ -50,5 +51,6 @@ pub mod prelude {
     pub use keystone_dataflow::metrics::{chrome_trace_json, MetricsRegistry, StageSkew, TaskSpan};
     pub use keystone_linalg::{DenseMatrix, SparseVector};
     pub use keystone_ops::eval::{accuracy, top_k_error};
+    pub use keystone_serve::{BatchPolicy, Request, Response, ServeOutcome, Server};
     pub use keystone_solvers::solver_op::LinearSolverOp;
 }

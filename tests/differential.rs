@@ -17,7 +17,7 @@
 //! `KEYSTONE_TESTKIT_SEED` accepts a single seed (`17`) or a half-open
 //! range (`0..50`).
 
-use keystone_testkit::oracle;
+use keystone_testkit::{oracle, serve};
 
 #[test]
 fn optimizer_configurations_are_output_equivalent() {
@@ -42,6 +42,37 @@ fn optimizer_configurations_are_output_equivalent() {
             "pinned sweep shrank: {} seeds, {} cells",
             seeds.len(),
             cells_checked
+        );
+    }
+}
+
+/// Serving-equivalence axis: one-record-at-a-time requests through the
+/// `keystone-serve` micro-batcher (batch-size × linger sweep, including
+/// batch=1, with and without an injected fault plan) must be bit-identical
+/// to one batch `apply()`. Shares `KEYSTONE_TESTKIT_SEED` repro semantics
+/// with the optimizer matrix above.
+#[test]
+fn serving_is_equivalent_to_batch_apply() {
+    let seeds = oracle::seeds_from_env(0, 25);
+    let mut configs_checked = 0usize;
+    for &seed in &seeds {
+        match serve::check_serving(seed) {
+            Ok(report) => configs_checked += report.configs,
+            Err(report) => {
+                let artifact = oracle::write_failure_artifact(&report)
+                    .map(|p| format!("failure report written to {}\n", p.display()))
+                    .unwrap_or_default();
+                panic!("{report}{artifact}");
+            }
+        }
+    }
+    if std::env::var("KEYSTONE_TESTKIT_SEED").is_err() {
+        let per_seed = 2 * 2 * serve::SERVING_POLICIES.len();
+        assert!(
+            configs_checked >= 25 * per_seed,
+            "pinned serving sweep shrank: {} seeds, {} configs",
+            seeds.len(),
+            configs_checked
         );
     }
 }
