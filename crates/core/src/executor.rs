@@ -352,9 +352,14 @@ impl<'g> Executor<'g> {
     }
 
     /// Charges the simulated clock: marginal profiled cost × records, spread
-    /// over the cluster's workers. Unprofiled nodes (apply path) fall back
-    /// to the measured wall time divided across workers.
-    fn charge_sim(&self, node: NodeId, label: &str, records: usize, wall_secs: f64) {
+    /// over the cluster's workers. Unprofiled nodes (apply path, model-apply
+    /// stages the profiler never sees) are priced on the same synthetic
+    /// per-label scale as [`ExecutablePlan::est_apply_secs`], so every sim
+    /// charge is a pure function of the plan and the record count — the
+    /// simulated ledger never absorbs measured wall time.
+    ///
+    /// [`ExecutablePlan::est_apply_secs`]: crate::pipeline::ExecutablePlan::est_apply_secs
+    fn charge_sim(&self, node: NodeId, label: &str, records: usize, _wall_secs: f64) {
         let Some(profiles) = &self.profiles else {
             return;
         };
@@ -364,7 +369,10 @@ impl<'g> Executor<'g> {
                 let total = p.fixed_secs + p.secs_per_record * records as f64;
                 self.ctx.sim.charge_seconds(label, total / w, 0.0);
             }
-            None => self.ctx.sim.charge_seconds(label, wall_secs / w, 0.0),
+            None => {
+                let total = crate::profiler::synthetic_secs(&self.graph.nodes[node].label, records);
+                self.ctx.sim.charge_seconds(label, total / w, 0.0);
+            }
         }
     }
 

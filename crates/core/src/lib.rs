@@ -10,6 +10,7 @@
 
 pub mod context;
 pub mod executor;
+pub mod export;
 pub mod graph;
 pub mod operator;
 pub mod optimizer;

@@ -467,6 +467,12 @@ impl ExecutablePlan {
         self.output
     }
 
+    /// Per-node cost profiles the optimizer settled on (artifact capture
+    /// joins these predictions against executor actuals by node id).
+    pub fn profiles(&self) -> &HashMap<NodeId, crate::profiler::NodeProfile> {
+        &self.profiles
+    }
+
     /// Runs the apply path over an erased input with a fresh, nothing-
     /// admitted cache — the classic single-shot `apply`.
     pub fn execute_erased(&self, input: AnyData, ctx: &ExecContext) -> AnyData {

@@ -189,6 +189,10 @@ pub enum TraceEvent {
         batch: u64,
         /// Requests in the wave.
         size: usize,
+        /// When the wave dispatched, virtual seconds — with `linger_secs`
+        /// this places the wave on a virtual timeline, so exporters can
+        /// render serving lanes without consulting the batcher's schedule.
+        dispatch_secs: f64,
         /// Seconds the batch lingered open waiting for more arrivals.
         linger_secs: f64,
         /// Seconds the wave's plan execution was charged.
@@ -199,6 +203,8 @@ pub enum TraceEvent {
     ServeReject {
         /// The rejected request's id.
         request: u64,
+        /// The rejected request's arrival instant, virtual seconds.
+        at_secs: f64,
         /// Queue depth observed at arrival (equals the configured bound).
         queue_depth: usize,
     },

@@ -145,6 +145,52 @@ impl Histogram {
         &self.counts
     }
 
+    /// Bucket upper bounds (one shorter than
+    /// [`Histogram::bucket_counts`] — the overflow bucket has no bound).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Nearest-rank quantile estimate: the upper bound of the bucket holding
+    /// the rank-`⌈q·n⌉` observation (`q` in `0.0..=1.0`). Observations in
+    /// the overflow bucket report the largest finite bound — the histogram
+    /// cannot resolve beyond its edges. Returns `None` on an empty
+    /// histogram, and the only bucket bound on a bound-less histogram.
+    ///
+    /// Because the estimate is a pure function of the bucket counts,
+    /// quantiles commute with [`Histogram::merge`]: merging two snapshots
+    /// and taking a quantile equals taking the quantile of the merged
+    /// counts (asserted by tests below).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest rank, 1-based: ceil(q·n) clamped to [1, n] so q=0.0 maps
+        // to the first observation rather than rank 0.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Overflow bucket: saturate to the last finite bound.
+                let edge = i.min(self.bounds.len().saturating_sub(1));
+                return self.bounds.get(edge).copied().or(Some(0.0));
+            }
+        }
+        unreachable!("rank {rank} exceeds histogram count {}", self.count)
+    }
+
+    /// Median estimate ([`Histogram::quantile`] at 0.5).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile estimate ([`Histogram::quantile`] at 0.99).
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
     /// Adds another histogram's counts into this one.
     ///
     /// # Panics
@@ -560,6 +606,36 @@ pub fn current_task_scope() -> Option<TaskScope> {
     SCOPES.with(|s| s.borrow().last().cloned())
 }
 
+/// One argument value on a [`ChromeExtra`] event.
+#[derive(Debug, Clone)]
+pub enum ChromeArg {
+    /// A JSON number.
+    Num(f64),
+    /// A JSON string.
+    Str(String),
+}
+
+/// A caller-supplied complete (`"ph":"X"`) event rendered on the third
+/// process group (`pid 3`, "serving (virtual)") of
+/// [`chrome_trace_json_with`]. The node-level tracer in `keystone-core`
+/// lives above this crate, so events it owns — serve batch waves, admission
+/// rejects — are lowered into this carrier type and handed to the exporter
+/// (see `keystone_core::export::chrome_trace_json`).
+#[derive(Debug, Clone)]
+pub struct ChromeExtra {
+    /// Thread name within the virtual process (e.g. `serve:batches`);
+    /// lanes are assigned tids in first-seen order.
+    pub lane: String,
+    /// Event name.
+    pub name: String,
+    /// Start, microseconds of *virtual* time.
+    pub start_us: u64,
+    /// Duration, microseconds of virtual time (0 renders as an instant).
+    pub dur_us: u64,
+    /// `args` payload, in the given order.
+    pub args: Vec<(String, ChromeArg)>,
+}
+
 /// Serializes the registry's task spans and a [`SimClock`] ledger as a
 /// Chrome trace-event JSON array, loadable in `chrome://tracing` and
 /// Perfetto.
@@ -570,11 +646,24 @@ pub fn current_task_scope() -> Option<TaskScope> {
 ///   wall-clock microseconds.
 /// * `pid 2` — **simulated cluster**: the `SimClock` ledger laid out
 ///   sequentially (entry `i` starts where `i-1` ended), one thread per
-///   stage prefix, so paper-scale estimated stage times sit next to the
-///   measured lanes.
+///   stage prefix — including the `recovery:`/`speculative:` stages the
+///   executor books for retries and speculation and the `serve:` stages
+///   the serving layer charges — so paper-scale estimated stage times sit
+///   next to the measured lanes.
 ///
 /// Metadata (`"ph":"M"`) events name both processes and every thread.
 pub fn chrome_trace_json(registry: &MetricsRegistry, sim: &SimClock) -> String {
+    chrome_trace_json_with(registry, sim, &[])
+}
+
+/// [`chrome_trace_json`] plus a third process group (`pid 3`, "serving
+/// (virtual)") of caller-supplied [`ChromeExtra`] events on virtual-time
+/// lanes — how `ServeBatch`/`ServeReject` trace events reach Perfetto.
+pub fn chrome_trace_json_with(
+    registry: &MetricsRegistry,
+    sim: &SimClock,
+    extras: &[ChromeExtra],
+) -> String {
     let spans = registry.spans();
     let mut out = String::with_capacity(256 + spans.len() * 160);
     out.push('[');
@@ -679,6 +768,53 @@ pub fn chrome_trace_json(registry: &MetricsRegistry, sim: &SimClock) -> String {
     }
     for ev in sim_events {
         push(&mut out, ev);
+    }
+
+    if !extras.is_empty() {
+        push(
+            &mut out,
+            meta_event("process_name", 3, None, "serving (virtual)"),
+        );
+        let mut lanes: Vec<&str> = Vec::new();
+        let mut lane_events = Vec::with_capacity(extras.len());
+        for e in extras {
+            let tid = match lanes.iter().position(|l| *l == e.lane) {
+                Some(i) => i as u64,
+                None => {
+                    lanes.push(&e.lane);
+                    (lanes.len() - 1) as u64
+                }
+            };
+            let mut ev = String::with_capacity(160);
+            ev.push_str("{\"name\":");
+            json_string(&mut ev, &e.name);
+            ev.push_str(",\"cat\":\"serve\",\"ph\":\"X\",\"pid\":3,\"tid\":");
+            ev.push_str(&tid.to_string());
+            ev.push_str(",\"ts\":");
+            ev.push_str(&e.start_us.to_string());
+            ev.push_str(",\"dur\":");
+            ev.push_str(&e.dur_us.to_string());
+            ev.push_str(",\"args\":{");
+            for (i, (k, v)) in e.args.iter().enumerate() {
+                if i > 0 {
+                    ev.push(',');
+                }
+                json_string(&mut ev, k);
+                ev.push(':');
+                match v {
+                    ChromeArg::Num(n) => json_f64(&mut ev, *n),
+                    ChromeArg::Str(s) => json_string(&mut ev, s),
+                }
+            }
+            ev.push_str("}}");
+            lane_events.push(ev);
+        }
+        for (i, lane) in lanes.iter().enumerate() {
+            push(&mut out, meta_event("thread_name", 3, Some(i as u64), lane));
+        }
+        for ev in lane_events {
+            push(&mut out, ev);
+        }
     }
 
     out.push(']');
@@ -991,6 +1127,76 @@ mod tests {
     }
 
     #[test]
+    fn quantile_on_empty_histogram_is_none() {
+        let h = Histogram::new(vec![1.0, 10.0]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn quantile_on_one_sample_is_its_bucket_for_every_q() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        h.observe(5.0);
+        // Every quantile of a single observation is that observation's
+        // bucket bound — including q=0.0, which must not underflow to an
+        // imaginary rank-0 observation.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(10.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_on_two_samples_splits_at_the_median() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        h.observe(0.5);
+        h.observe(50.0);
+        // Nearest rank: ceil(0.5·2) = 1 → the lower observation.
+        assert_eq!(h.p50(), Some(1.0));
+        // ceil(0.99·2) = 2 → the upper observation.
+        assert_eq!(h.p99(), Some(100.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_saturates_in_the_overflow_bucket() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        h.observe(1e9);
+        assert_eq!(h.p50(), Some(10.0), "overflow reports the largest bound");
+    }
+
+    #[test]
+    fn merge_then_quantile_equals_quantile_of_merged() {
+        let bounds = vec![0.001, 0.01, 0.1, 1.0, 10.0];
+        let mut a = Histogram::new(bounds.clone());
+        let mut b = Histogram::new(bounds.clone());
+        let mut all = Histogram::new(bounds.clone());
+        // Deterministic pseudo-random split of one observation stream.
+        let mut x = 0x9E37_79B9u64;
+        for i in 0..257 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (x >> 33) as f64 / 1e8;
+            all.observe(v);
+            if i % 3 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+        }
+        a.merge(&b);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                a.quantile(q),
+                all.quantile(q),
+                "merge-then-quantile diverged at q={q}"
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "bounds mismatch")]
     fn histogram_merge_rejects_different_bounds() {
         let mut a = Histogram::new(vec![1.0]);
@@ -1127,6 +1333,75 @@ mod tests {
             sim_events[1].get("ts").and_then(|v| v.as_f64()),
             Some(2_000_000.0)
         );
+    }
+
+    #[test]
+    fn chrome_trace_extras_render_as_third_process() {
+        let r = MetricsRegistry::new();
+        r.record_span(span("transform:x", 0, 0, 0, 1_000));
+        let sim = SimClock::new();
+        sim.charge_seconds("serve:execute", 1.0, 0.0);
+        sim.charge_seconds("recovery:solve", 0.5, 0.0);
+        sim.charge_seconds("speculative:solve", 0.25, 0.0);
+        let extras = vec![
+            ChromeExtra {
+                lane: "serve:batches".into(),
+                name: "batch 0".into(),
+                start_us: 100,
+                dur_us: 900,
+                args: vec![
+                    ("size".into(), ChromeArg::Num(4.0)),
+                    ("kind".into(), ChromeArg::Str("wave".into())),
+                ],
+            },
+            ChromeExtra {
+                lane: "serve:rejects".into(),
+                name: "reject 7".into(),
+                start_us: 250,
+                dur_us: 0,
+                args: vec![("queue_depth".into(), ChromeArg::Num(8.0))],
+            },
+        ];
+        let json = chrome_trace_json_with(&r, &sim, &extras);
+        let doc = microjson::parse(&json).expect("trace must parse");
+        let events = doc.as_arr().expect("array");
+        // The virtual-serving process is named and carries both lanes.
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert!(names.contains(&"serving (virtual)"), "{names:?}");
+        assert!(names.contains(&"serve:batches"));
+        assert!(names.contains(&"serve:rejects"));
+        // Sim lanes exist for serve/recovery/speculative stage prefixes, so
+        // the full run — not just fit-path stages — shows in Perfetto.
+        for lane in ["sim:serve", "sim:recovery", "sim:speculative"] {
+            assert!(names.contains(&lane), "missing {lane} in {names:?}");
+        }
+        let pid3: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                    && e.get("pid").and_then(|v| v.as_f64()) == Some(3.0)
+            })
+            .collect();
+        assert_eq!(pid3.len(), 2);
+        assert_eq!(
+            pid3[0]
+                .get("args")
+                .and_then(|a| a.get("size"))
+                .and_then(|v| v.as_f64()),
+            Some(4.0)
+        );
+        assert_eq!(
+            pid3[0]
+                .get("args")
+                .and_then(|a| a.get("kind"))
+                .and_then(|v| v.as_str()),
+            Some("wave")
+        );
+        assert_eq!(pid3[1].get("dur").and_then(|v| v.as_f64()), Some(0.0));
     }
 
     #[test]

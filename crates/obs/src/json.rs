@@ -1,0 +1,187 @@
+//! Deterministic JSON document builder.
+//!
+//! The artifact layer's contract is that two identical runs serialize to
+//! *byte-identical* JSON, so this writer leaves nothing to iteration
+//! order: object keys are sorted at write time, numbers use the same
+//! shortest-roundtrip formatting as the report writer in `keystone-core`
+//! (integers keep a `.0` suffix so a value's JSON type never flips
+//! between runs), and non-finite floats collapse to `null`. Like the
+//! rest of the repo there is no `serde` — the build environment is
+//! offline — so documents are built as [`JVal`] trees and rendered by
+//! [`JVal::render`].
+
+use std::collections::HashMap;
+
+/// A JSON value under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JVal {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer, rendered without a decimal point.
+    Int(i64),
+    /// An unsigned integer, rendered without a decimal point.
+    UInt(u64),
+    /// A float, rendered shortest-roundtrip with a forced `.0`/exponent
+    /// marker; non-finite values render as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array, rendered in order.
+    Arr(Vec<JVal>),
+    /// An object; keys are sorted (bytewise) at render time regardless of
+    /// insertion order.
+    Obj(Vec<(String, JVal)>),
+}
+
+impl JVal {
+    /// Convenience: an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, JVal)>) -> JVal {
+        JVal::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience: a string value.
+    pub fn str(s: &str) -> JVal {
+        JVal::Str(s.to_string())
+    }
+
+    /// Convenience: `Num` when present, `Null` otherwise.
+    pub fn opt_num(v: Option<f64>) -> JVal {
+        v.map(JVal::Num).unwrap_or(JVal::Null)
+    }
+
+    /// Renders the document compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(256);
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JVal::Null => out.push_str("null"),
+            JVal::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JVal::Int(i) => out.push_str(&i.to_string()),
+            JVal::UInt(u) => out.push_str(&u.to_string()),
+            JVal::Num(v) => write_f64(out, *v),
+            JVal::Str(s) => write_string(out, s),
+            JVal::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JVal::Obj(pairs) => {
+                let mut sorted: Vec<&(String, JVal)> = pairs.iter().collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                out.push('{');
+                for (i, (k, v)) in sorted.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Shortest-roundtrip float formatting; integral finite values keep a
+/// trailing `.0` so they stay floats on re-parse. Mirrors the report
+/// writer in `keystone_core::report`.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let formatted = format!("{}", v);
+        out.push_str(&formatted);
+        if !formatted.contains('.') && !formatted.contains('e') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// JSON string escaping identical to the core report writer's.
+pub fn write_string(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A string→f64 map as a sorted JSON object.
+pub fn num_map(m: &HashMap<String, f64>) -> JVal {
+    JVal::Obj(m.iter().map(|(k, v)| (k.clone(), JVal::Num(*v))).collect())
+}
+
+/// A string→u64 map as a sorted JSON object.
+pub fn uint_map(m: &HashMap<String, u64>) -> JVal {
+    JVal::Obj(m.iter().map(|(k, v)| (k.clone(), JVal::UInt(*v))).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keystone_dataflow::metrics::microjson;
+
+    #[test]
+    fn keys_sort_regardless_of_insertion_order() {
+        let a = JVal::obj(vec![("b", JVal::Int(2)), ("a", JVal::Int(1))]);
+        let b = JVal::obj(vec![("a", JVal::Int(1)), ("b", JVal::Int(2))]);
+        assert_eq!(a.render(), "{\"a\":1,\"b\":2}");
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn floats_keep_a_type_marker_and_nan_is_null() {
+        assert_eq!(JVal::Num(2.0).render(), "2.0");
+        assert_eq!(JVal::Num(f64::NAN).render(), "null");
+        assert_eq!(JVal::UInt(2).render(), "2");
+        assert_eq!(JVal::Num(1.5e-7).render(), "0.00000015");
+    }
+
+    #[test]
+    fn rendered_documents_parse_with_microjson() {
+        let doc = JVal::obj(vec![
+            ("name", JVal::str("a\"b\\c\n")),
+            (
+                "xs",
+                JVal::Arr(vec![JVal::Int(1), JVal::Null, JVal::Bool(true)]),
+            ),
+            ("nested", JVal::obj(vec![("z", JVal::Num(0.5))])),
+        ]);
+        let parsed = microjson::parse(&doc.render()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("name").and_then(|v| v.as_str()),
+            Some("a\"b\\c\n")
+        );
+        assert_eq!(
+            parsed
+                .get("nested")
+                .and_then(|n| n.get("z"))
+                .and_then(|v| v.as_f64()),
+            Some(0.5)
+        );
+        assert_eq!(
+            parsed.get("xs").and_then(|v| v.as_arr()).map(|a| a.len()),
+            Some(3)
+        );
+    }
+}

@@ -158,6 +158,12 @@ impl<A: Record, B: Record> Server<A, B> {
         &self.policy
     }
 
+    /// The executable plan waves run through (artifact capture joins
+    /// serve telemetry back to this plan's node ids).
+    pub fn plan(&self) -> &Arc<ExecutablePlan> {
+        &self.plan
+    }
+
     /// The shared cross-request cache (its hit counters are the evidence
     /// that request-independent work amortizes across waves).
     pub fn cache(&self) -> &CacheManager {
@@ -216,6 +222,7 @@ impl<A: Record, B: Record> Server<A, B> {
             ctx.tracer.record(TraceEvent::ServeBatch {
                 batch: batch.index,
                 size: n,
+                dispatch_secs: batch.dispatch_secs,
                 linger_secs: batch.linger_secs,
                 execute_secs,
             });
@@ -235,6 +242,7 @@ impl<A: Record, B: Record> Server<A, B> {
         for r in &schedule.rejects {
             ctx.tracer.record(TraceEvent::ServeReject {
                 request: r.id,
+                at_secs: r.at_secs,
                 queue_depth: r.queue_depth,
             });
         }

@@ -187,7 +187,10 @@ where
     /// Evaluates the stage in parallel and collects survivors in input order.
     pub fn collect<C: FromIterator<U>>(self) -> C {
         let f = &self.f;
-        parallel_process(self.items, f).into_iter().flatten().collect()
+        parallel_process(self.items, f)
+            .into_iter()
+            .flatten()
+            .collect()
     }
 }
 
@@ -251,7 +254,11 @@ mod tests {
     #[test]
     fn filter_then_map() {
         let v: Vec<i64> = (0..100).collect();
-        let out: Vec<i64> = v.par_iter().filter(|x| **x % 2 == 0).map(|x| x + 1).collect();
+        let out: Vec<i64> = v
+            .par_iter()
+            .filter(|x| **x % 2 == 0)
+            .map(|x| x + 1)
+            .collect();
         assert_eq!(out.len(), 50);
         assert_eq!(out[0], 1);
         assert_eq!(out[49], 99);
@@ -306,7 +313,10 @@ mod tests {
     fn thread_index_set_inside_region_and_absent_outside() {
         assert_eq!(super::current_thread_index(), None);
         let v: Vec<usize> = (0..64).collect();
-        let lanes: Vec<Option<usize>> = v.par_iter().map(|_| super::current_thread_index()).collect();
+        let lanes: Vec<Option<usize>> = v
+            .par_iter()
+            .map(|_| super::current_thread_index())
+            .collect();
         let threads = super::current_num_threads().min(64);
         if threads > 1 {
             for lane in &lanes {

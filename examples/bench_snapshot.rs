@@ -1,0 +1,135 @@
+//! CI perf-regression gate: re-run the canonical fit and serve workloads,
+//! snapshot their **virtual** metrics (simulated seconds per stage, span
+//! counts, cache hit ratio, virtual latency percentiles) into
+//! `target/BENCH_*.json`, and compare against the committed baselines in
+//! `benchmarks/`.
+//!
+//! ```sh
+//! cargo run --release --example bench_snapshot
+//! # exit 0: within tolerance of benchmarks/BENCH_{fusion,serve}.json
+//! # exit 3: regression beyond tolerance — CI uploads target/BENCH_*.json
+//! KEYSTONE_BENCH_INJECT_SLOWDOWN=1 cargo run --release --example bench_snapshot
+//! # negative test: inflates the fresh sim costs 1.5x; the gate MUST fail
+//! ```
+//!
+//! Only virtual quantities enter a snapshot — they are byte-identical
+//! across machines, which is what makes a committed baseline meaningful
+//! anywhere. To refresh baselines after an intentional cost-model change:
+//! `cp target/BENCH_*.json benchmarks/`.
+
+use keystone_obs::{BenchSnapshot, CaptureOptions, RegressionGate, RunArtifact, ServeSection};
+use keystoneml::core::context::ExecContext;
+use keystoneml::core::operator::Transformer;
+use keystoneml::core::optimizer::PipelineOptions;
+use keystoneml::core::pipeline::Pipeline;
+use keystoneml::core::profiler::ProfileOptions;
+use keystoneml::dataflow::collection::DistCollection;
+use keystoneml::serve::{BatchPolicy, LoadGen, Server};
+
+const DEPTH: usize = 12;
+const DIM: usize = 8;
+const REQUESTS: usize = 500;
+
+struct AxPlusB {
+    a: f64,
+    b: f64,
+}
+
+impl Transformer<Vec<f64>, Vec<f64>> for AxPlusB {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        x.iter().map(|v| self.a * v + self.b).collect()
+    }
+}
+
+fn opts() -> PipelineOptions {
+    PipelineOptions {
+        profile: ProfileOptions {
+            sizes: vec![8, 16],
+            seed: 17,
+            select_operators: true,
+            deterministic_timing: true,
+        },
+        ..PipelineOptions::full()
+    }
+}
+
+fn main() {
+    let capture = CaptureOptions {
+        deterministic: true,
+        label: "bench-snapshot".to_string(),
+    };
+
+    // Workload 1: the fused deep chain (the fusion pass's flagship case).
+    let mut pipe = Pipeline::<Vec<f64>, Vec<f64>>::input();
+    for i in 0..DEPTH {
+        pipe = pipe.and_then(AxPlusB {
+            a: 1.0 + i as f64 * 1e-3,
+            b: 0.5,
+        });
+    }
+    let fit_ctx = ExecContext::default_cluster();
+    let (fitted, report) = pipe.fit(&fit_ctx, &opts());
+    let data: Vec<Vec<f64>> = (0..256)
+        .map(|r| (0..DIM).map(|c| (r * DIM + c) as f64 * 1e-4).collect())
+        .collect();
+    let _ = fitted.apply(&DistCollection::from_vec(data.clone(), 4), &fit_ctx);
+    let fusion_artifact = RunArtifact::capture_fit(&report, &fitted.plan(), &fit_ctx, &capture);
+    let mut fusion = BenchSnapshot::from_artifact("fusion", &fusion_artifact);
+
+    // Workload 2: micro-batched serving over the same plan.
+    let server = Server::new(
+        &fitted,
+        BatchPolicy::new(8, 1e-4).with_queue_capacity(REQUESTS),
+    );
+    let serve_ctx = ExecContext::default_cluster();
+    let outcome = server.run(
+        LoadGen::new(42).requests_from_pool(REQUESTS, 1e-5, &data),
+        &serve_ctx,
+    );
+    let serve_artifact = RunArtifact::capture_serve(
+        &fitted.plan(),
+        ServeSection::from_outcome(&outcome),
+        &serve_ctx,
+        &capture,
+    );
+    let mut serve = BenchSnapshot::from_artifact("serve", &serve_artifact);
+
+    // Negative-test hook: inflate every simulated cost so the gate trips.
+    if std::env::var("KEYSTONE_BENCH_INJECT_SLOWDOWN").is_ok() {
+        println!("injecting 1.5x virtual slowdown (negative test)");
+        for snap in [&mut fusion, &mut serve] {
+            for (metric, value) in snap.metrics.iter_mut() {
+                if metric.ends_with("_secs") {
+                    *value *= 1.5;
+                }
+            }
+        }
+    }
+
+    std::fs::create_dir_all("target").expect("create target/");
+    let mut failed = false;
+    for snap in [&fusion, &serve] {
+        let fresh_path = format!("target/BENCH_{}.json", snap.name);
+        std::fs::write(&fresh_path, snap.to_json()).expect("write snapshot");
+        let base_path = format!("benchmarks/BENCH_{}.json", snap.name);
+        let Ok(base_json) = std::fs::read_to_string(&base_path) else {
+            println!("{fresh_path}: no committed baseline at {base_path} (bootstrap run)");
+            continue;
+        };
+        let base = BenchSnapshot::from_json(&base_json)
+            .unwrap_or_else(|e| panic!("unreadable baseline {base_path}: {e}"));
+        let gate = RegressionGate::default();
+        let verdict = gate.check(&base, snap);
+        println!(
+            "== {} vs {base_path} (tolerance {:.0}%) ==",
+            snap.name,
+            gate.tolerance * 100.0
+        );
+        print!("{}", verdict.render_text());
+        failed |= !verdict.passed();
+    }
+    if failed {
+        eprintln!("regression gate failed; fresh snapshots are in target/BENCH_*.json");
+        std::process::exit(3);
+    }
+}

@@ -104,8 +104,11 @@ fn main() {
     }
 
     // Chrome trace: worker lanes (pid 1) next to the simulated-cluster
-    // stage timeline (pid 2).
-    let trace = chrome_trace_json(&ctx.metrics, &ctx.sim);
+    // stage timeline (pid 2). The context-level exporter also lowers any
+    // serve:*/recovery:*/speculative:* stages and ServeBatch/ServeReject
+    // events onto their own lanes — absent here, but the same call works
+    // on a serving or faulted context unchanged.
+    let trace = keystoneml::core::export::chrome_trace_json(&ctx);
     std::fs::create_dir_all("target").expect("create target/");
     std::fs::write("target/trace_skew.json", &trace).expect("write trace");
     println!(

@@ -27,6 +27,7 @@
 pub use keystone_core as core;
 pub use keystone_dataflow as dataflow;
 pub use keystone_linalg as linalg;
+pub use keystone_obs as obs;
 pub use keystone_ops as ops;
 pub use keystone_serve as serve;
 pub use keystone_solvers as solvers;
@@ -50,6 +51,10 @@ pub mod prelude {
     pub use keystone_dataflow::faults::{FaultPlan, FaultSpec};
     pub use keystone_dataflow::metrics::{chrome_trace_json, MetricsRegistry, StageSkew, TaskSpan};
     pub use keystone_linalg::{DenseMatrix, SparseVector};
+    pub use keystone_obs::{
+        diagnose, BenchSnapshot, CaptureOptions, Diagnosis, Finding, RegressionGate, RunArtifact,
+        Severity,
+    };
     pub use keystone_ops::eval::{accuracy, top_k_error};
     pub use keystone_serve::{BatchPolicy, Request, Response, ServeOutcome, Server};
     pub use keystone_solvers::solver_op::LinearSolverOp;
