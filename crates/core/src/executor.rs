@@ -370,7 +370,7 @@ impl<'g> Executor<'g> {
                 self.ctx.sim.charge_seconds(label, total / w, 0.0);
             }
             None => {
-                let total = crate::profiler::synthetic_secs(&self.graph.nodes[node].label, records);
+                let total = crate::profiler::synthetic_node_secs(&self.graph.nodes[node], records);
                 self.ctx.sim.charge_seconds(label, total / w, 0.0);
             }
         }

@@ -31,6 +31,13 @@ pub type AnyRecord = Box<dyn Any + Send + Sync>;
 /// One fused-chain member applied to a single erased record.
 pub type RecordFn = Arc<dyn Fn(AnyRecord) -> AnyRecord + Send + Sync>;
 
+/// A columnar kernel: reads one dense record as a contiguous `f64` slice
+/// and appends the output record's values onto the packed batch buffer.
+/// Must reproduce the operator's [`Transformer::apply`] arithmetic exactly
+/// (same operations, same order), because the differential oracle requires
+/// the columnar and record paths to agree bit-for-bit.
+pub type ColumnarFn = Arc<dyn Fn(&[f64], &mut Vec<f64>) + Send + Sync>;
+
 /// Folds one partition's fused outputs into a typed, still-boxed partition
 /// (`Box<Vec<B>>`). Runs inside the fused partition pass, on worker threads.
 pub type PartitionFold = Arc<dyn Fn(Vec<AnyRecord>) -> AnyRecord + Send + Sync>;
@@ -109,6 +116,18 @@ pub trait Transformer<A: Record, B: Record>: Send + Sync + 'static {
     /// [`apply`]: Transformer::apply
     fn per_record(&self) -> bool {
         true
+    }
+
+    /// Optional columnar lowering of [`apply`], used only when `A` and `B`
+    /// are both `Vec<f64>` (the erased layer enforces the type gate). The
+    /// returned kernel must compute exactly what `apply` computes — same
+    /// floating-point operations in the same order — so the columnar fused
+    /// path stays bit-identical to the record path. Operators without a
+    /// kernel simply keep their chains on the record path.
+    ///
+    /// [`apply`]: Transformer::apply
+    fn columnar_kernel(&self) -> Option<ColumnarFn> {
+        None
     }
 }
 
@@ -437,6 +456,21 @@ pub trait ErasedTransformer: Send + Sync {
     fn fused_members(&self) -> Option<Vec<String>> {
         None
     }
+
+    /// The columnar lowering of this operator, when its records are dense
+    /// `Vec<f64>` vectors and the underlying operator provides one (see
+    /// [`Transformer::columnar_kernel`]). `None` keeps chains containing
+    /// this operator on the record path — the automatic fallback for
+    /// non-vector record types.
+    fn columnar_kernel(&self) -> Option<ColumnarFn> {
+        None
+    }
+
+    /// True when this is a fused chain executing on the columnar path; the
+    /// executor prices such nodes on the columnar synthetic scale.
+    fn fused_columnar(&self) -> bool {
+        false
+    }
 }
 
 /// Lazy access to an estimator's input: calling [`InputHandle::get`] may hit
@@ -533,7 +567,10 @@ impl<A: Record, B: Record> ErasedTransformer for TypedTransformer<A, B> {
                         let n = out.len() as u64;
                         (fold(out), n)
                     });
-                    assemble(folded.into_partitions().into_iter().flatten().collect())
+                    let parts = folded
+                        .into_partitions()
+                        .expect("fused fold output is freshly produced and uniquely owned");
+                    assemble(parts.into_iter().flatten().collect())
                 },
             )
         };
@@ -567,6 +604,19 @@ impl<A: Record, B: Record> ErasedTransformer for TypedTransformer<A, B> {
             fold,
             assemble,
         })
+    }
+
+    fn columnar_kernel(&self) -> Option<ColumnarFn> {
+        // The type gate: columnar execution only exists for dense
+        // `Vec<f64>` records. Chains over any other record type fall back
+        // to the record path automatically.
+        if !self.op.per_record()
+            || std::any::TypeId::of::<A>() != std::any::TypeId::of::<Vec<f64>>()
+            || std::any::TypeId::of::<B>() != std::any::TypeId::of::<Vec<f64>>()
+        {
+            return None;
+        }
+        self.op.columnar_kernel()
     }
 }
 

@@ -35,12 +35,14 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use keystone_dataflow::collection::DistCollection;
+use keystone_dataflow::columnar::ColumnarBatch;
 use keystone_dataflow::cost::CostProfile;
 
 use crate::context::ExecContext;
 use crate::graph::{Graph, NodeId, NodeKind};
 use crate::operator::{
-    AnyData, ErasedTransformer, FusedDriver, PartitionAssemble, PartitionFold, RecordFn,
+    AnyData, ColumnarFn, ErasedTransformer, FusedDriver, PartitionAssemble, PartitionFold, RecordFn,
 };
 use crate::profiler::{NodeProfile, PipelineProfile};
 
@@ -56,12 +58,34 @@ pub struct FusedMap {
     fold: PartitionFold,
     /// The tail member's collection assembler.
     assemble: PartitionAssemble,
+    /// The columnar lowering: one kernel per member, present only when the
+    /// columnar path was requested *and* every member provided one (which
+    /// implies the chain's records are dense `Vec<f64>` end to end). When
+    /// set, execution gathers each partition into a [`ColumnarBatch`] and
+    /// ping-pongs it through the kernels' tight slice loops instead of the
+    /// per-record boxed dispatch above.
+    columnar: Option<Vec<ColumnarFn>>,
 }
 
 impl FusedMap {
-    /// Fuses `members` (head first) into one operator. Returns `None` for
-    /// chains shorter than two or when any member lacks a record kernel.
+    /// Fuses `members` (head first) into one operator on the record path.
+    /// Returns `None` for chains shorter than two or when any member lacks
+    /// a record kernel.
     pub fn try_fuse(members: &[(String, Arc<dyn ErasedTransformer>)]) -> Option<FusedMap> {
+        Self::try_fuse_with(members, false)
+    }
+
+    /// Like [`FusedMap::try_fuse`], optionally lowering the chain to the
+    /// columnar path. With `columnar` set, the chain executes columnar iff
+    /// *every* member supplies a
+    /// [`columnar_kernel`](ErasedTransformer::columnar_kernel); any member
+    /// without one (non-vector record types, or operators that never opted
+    /// in) silently keeps the whole chain on the record path — fusion
+    /// itself is never lost to the fallback.
+    pub fn try_fuse_with(
+        members: &[(String, Arc<dyn ErasedTransformer>)],
+        columnar: bool,
+    ) -> Option<FusedMap> {
         if members.len() < 2 {
             return None;
         }
@@ -77,18 +101,62 @@ impl FusedMap {
             r
         });
         let tail = kernels.last().expect("len >= 2");
+        let columnar = if columnar {
+            members
+                .iter()
+                .map(|(_, op)| op.columnar_kernel())
+                .collect::<Option<Vec<_>>>()
+        } else {
+            None
+        };
         Some(FusedMap {
             labels: members.iter().map(|(l, _)| l.clone()).collect(),
             composed,
             driver: kernels[0].driver.clone(),
             fold: tail.fold.clone(),
             assemble: tail.assemble.clone(),
+            columnar,
         })
     }
 
     /// Display label: `Fused[a+b+c]`.
     pub fn label(&self) -> String {
         format!("Fused[{}]", self.labels.join("+"))
+    }
+
+    /// Columnar execution: gather each partition into a [`ColumnarBatch`],
+    /// run every member kernel as a tight loop over contiguous slices
+    /// (ping-ponging two batches so allocations amortize across members),
+    /// scatter back to records. Uses the same `fold_partitions` primitive —
+    /// and therefore the same single "fused" task-span wave and fault
+    /// surface — as the record path; only the per-record inner work
+    /// changes, and each kernel reproduces its operator's `apply`
+    /// bit-for-bit, so outputs are identical to the record path.
+    fn apply_columnar(&self, input: &AnyData, kernels: &[ColumnarFn]) -> AnyData {
+        let typed: DistCollection<Vec<f64>> = input.downcast();
+        let folded = typed.fold_partitions(|part| {
+            let mut batch = ColumnarBatch::from_records(part);
+            let mut next = ColumnarBatch::with_capacity(batch.values().len(), batch.len());
+            for k in kernels {
+                next.clear();
+                for i in 0..batch.len() {
+                    next.push_record_with(|out| k(batch.record(i), out));
+                }
+                std::mem::swap(&mut batch, &mut next);
+            }
+            let n = batch.len() as u64;
+            (batch.into_records(), n)
+        });
+        // Each folded partition holds exactly one element (the partition's
+        // record vector); flatten restores one `Vec<Vec<f64>>` per input
+        // partition, exactly what the record path's assemble produces.
+        let parts: Vec<Vec<Vec<f64>>> = folded
+            .into_partitions()
+            .expect("fused fold output is freshly produced and uniquely owned")
+            .into_iter()
+            .flatten()
+            .collect();
+        AnyData::wrap(DistCollection::from_partitions(parts))
     }
 }
 
@@ -98,11 +166,18 @@ impl ErasedTransformer for FusedMap {
     }
 
     fn apply_any(&self, inputs: &[AnyData], ctx: &ExecContext) -> AnyData {
+        if let Some(kernels) = &self.columnar {
+            return self.apply_columnar(&inputs[0], kernels);
+        }
         (self.driver)(&inputs[0], &self.composed, &self.fold, &self.assemble, ctx)
     }
 
     fn fused_members(&self) -> Option<Vec<String>> {
         Some(self.labels.clone())
+    }
+
+    fn fused_columnar(&self) -> bool {
+        self.columnar.is_some()
     }
 
     // `record_kernel` stays `None`: a FusedMap is already maximal when
@@ -128,12 +203,31 @@ pub struct FusionResult {
     pub chains: Vec<FusedChain>,
     /// Number of nodes absorbed into some downstream tail.
     pub absorbed: usize,
+    /// How many of `chains` lowered to the columnar path (0 unless
+    /// requested via [`fuse_chains_with`]).
+    pub columnar_chains: usize,
 }
 
 /// Greedily fuses maximal per-record transformer chains in the subgraph
 /// feeding `output`. `picks` is the materialization set chosen by the
 /// greedy algorithm — every pick is a fusion barrier (see module docs).
+/// Chains execute on the record path; see [`fuse_chains_with`] for the
+/// columnar variant.
 pub fn fuse_chains(graph: &Graph, output: NodeId, picks: &HashSet<NodeId>) -> FusionResult {
+    fuse_chains_with(graph, output, picks, false)
+}
+
+/// [`fuse_chains`] with an explicit columnar toggle: when `columnar` is
+/// set, each chain whose members all provide columnar kernels executes on
+/// the [`ColumnarBatch`] path (chains with any non-columnar member keep
+/// the record path — chain *shape* is identical either way, so picks,
+/// profiles, and predictions are unaffected by the toggle).
+pub fn fuse_chains_with(
+    graph: &Graph,
+    output: NodeId,
+    picks: &HashSet<NodeId>,
+    columnar: bool,
+) -> FusionResult {
     let relevant = graph.ancestors(&[output]);
     // Consumers restricted to the live subgraph: orphans left behind by CSE
     // (or an earlier fusion pass) must not pin their former inputs.
@@ -197,6 +291,7 @@ pub fn fuse_chains(graph: &Graph, output: NodeId, picks: &HashSet<NodeId>) -> Fu
 
     let mut out = graph.clone();
     let mut absorbed = 0;
+    let mut columnar_chains = 0;
     for chain in &chains {
         let members: Vec<(String, Arc<dyn ErasedTransformer>)> = chain
             .members
@@ -206,7 +301,9 @@ pub fn fuse_chains(graph: &Graph, output: NodeId, picks: &HashSet<NodeId>) -> Fu
                 _ => unreachable!("fusable nodes are transforms"),
             })
             .collect();
-        let fused = FusedMap::try_fuse(&members).expect("chain members all carry kernels");
+        let fused =
+            FusedMap::try_fuse_with(&members, columnar).expect("chain members all carry kernels");
+        columnar_chains += fused.fused_columnar() as usize;
         let head = chain.members[0];
         out.nodes[chain.tail].label = fused.label();
         out.nodes[chain.tail].kind = NodeKind::Transform(Arc::new(fused));
@@ -217,6 +314,7 @@ pub fn fuse_chains(graph: &Graph, output: NodeId, picks: &HashSet<NodeId>) -> Fu
         graph: out,
         chains,
         absorbed,
+        columnar_chains,
     }
 }
 
@@ -375,6 +473,134 @@ mod tests {
             "shared feeds two consumers and the branches are single nodes"
         );
         assert_eq!(res.absorbed, 0);
+    }
+
+    struct VecAffine {
+        a: f64,
+        b: f64,
+    }
+    impl Transformer<Vec<f64>, Vec<f64>> for VecAffine {
+        fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+            x.iter().map(|v| v * self.a + self.b).collect()
+        }
+        fn columnar_kernel(&self) -> Option<crate::operator::ColumnarFn> {
+            let (a, b) = (self.a, self.b);
+            Some(Arc::new(move |x, out| {
+                out.extend(x.iter().map(|v| v * a + b))
+            }))
+        }
+    }
+
+    /// No columnar kernel: stays fusable but forces the record path.
+    struct VecAbs;
+    impl Transformer<Vec<f64>, Vec<f64>> for VecAbs {
+        fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+            x.iter().map(|v| v.abs()).collect()
+        }
+    }
+
+    fn vec_source(n: usize) -> NodeKind {
+        NodeKind::DataSource(AnyData::wrap(DistCollection::from_vec(
+            (0..n)
+                .map(|r| (0..4).map(|c| (r * 4 + c) as f64 * 0.3 - 2.0).collect())
+                .collect::<Vec<Vec<f64>>>(),
+            2,
+        )))
+    }
+
+    fn vt(op: impl Transformer<Vec<f64>, Vec<f64>>) -> NodeKind {
+        NodeKind::Transform(Arc::new(TypedTransformer::new(op)))
+    }
+
+    #[test]
+    fn columnar_chain_is_bit_identical_to_record_path() {
+        let mut g = Graph::new();
+        let src = g.add(vec_source(7), vec![], "src");
+        let a = g.add(vt(VecAffine { a: 1.5, b: 0.25 }), vec![src], "aff1");
+        let b = g.add(vt(VecAffine { a: -0.75, b: 1.0 }), vec![a], "aff2");
+        let c = g.add(vt(VecAffine { a: 3.0, b: -0.5 }), vec![b], "aff3");
+
+        let record = fuse_chains_with(&g, c, &HashSet::new(), false);
+        assert_eq!(record.columnar_chains, 0);
+        let columnar = fuse_chains_with(&g, c, &HashSet::new(), true);
+        assert_eq!(columnar.chains.len(), 1);
+        assert_eq!(columnar.columnar_chains, 1);
+        // Chain structure is identical either way — the toggle never
+        // changes what fuses, only how the fused node executes.
+        assert_eq!(record.chains[0].members, columnar.chains[0].members);
+        assert_eq!(record.graph.nodes[c].label, columnar.graph.nodes[c].label);
+
+        let data = || {
+            AnyData::wrap(DistCollection::from_vec(
+                (0..11)
+                    .map(|r| (0..5).map(|c| (r * 5 + c) as f64 * 0.17 - 4.0).collect())
+                    .collect::<Vec<Vec<f64>>>(),
+                3,
+            ))
+        };
+        let run = |res: &FusionResult| -> Vec<Vec<f64>> {
+            let NodeKind::Transform(op) = &res.graph.nodes[c].kind else {
+                panic!("tail must stay a transform");
+            };
+            assert_eq!(op.fused_columnar(), res.columnar_chains == 1);
+            let out: DistCollection<Vec<f64>> = op.apply_any(&[data()], &ctx()).downcast();
+            out.collect()
+        };
+        let rec_out = run(&record);
+        let col_out = run(&columnar);
+        assert_eq!(rec_out.len(), 11);
+        for (r, c2) in rec_out.iter().zip(&col_out) {
+            let rb: Vec<u64> = r.iter().map(|v| v.to_bits()).collect();
+            let cb: Vec<u64> = c2.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(rb, cb, "columnar path must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn chain_with_kernelless_member_falls_back_to_record_path() {
+        let mut g = Graph::new();
+        let src = g.add(vec_source(5), vec![], "src");
+        let a = g.add(vt(VecAffine { a: 2.0, b: 0.0 }), vec![src], "aff");
+        let b = g.add(vt(VecAbs), vec![a], "abs");
+        let res = fuse_chains_with(&g, b, &HashSet::new(), true);
+        assert_eq!(res.chains.len(), 1, "fusion itself is never lost");
+        assert_eq!(
+            res.columnar_chains, 0,
+            "a member without a columnar kernel keeps the chain on the record path"
+        );
+        let NodeKind::Transform(op) = &res.graph.nodes[b].kind else {
+            panic!("tail must stay a transform");
+        };
+        assert!(!op.fused_columnar());
+        let out: DistCollection<Vec<f64>> = op
+            .apply_any(
+                &[AnyData::wrap(DistCollection::from_vec(
+                    vec![vec![-1.0, 2.0], vec![3.0, -4.0]],
+                    2,
+                ))],
+                &ctx(),
+            )
+            .downcast();
+        assert_eq!(out.collect(), vec![vec![2.0, 4.0], vec![6.0, 8.0]]);
+    }
+
+    #[test]
+    fn non_vector_record_types_never_lower_columnar() {
+        // f64 records: the erased layer's type gate returns no columnar
+        // kernels, so even with the toggle on the chain stays record-path.
+        let mut g = Graph::new();
+        let src = g.add(source(4), vec![], "src");
+        let a = g.add(t(AddC(1.0)), vec![src], "a");
+        let b = g.add(t(MulC(2.0)), vec![a], "b");
+        let res = fuse_chains_with(&g, b, &HashSet::new(), true);
+        assert_eq!(res.chains.len(), 1);
+        assert_eq!(res.columnar_chains, 0);
+        let NodeKind::Transform(op) = &res.graph.nodes[b].kind else {
+            panic!("tail must stay a transform");
+        };
+        let data = AnyData::wrap(DistCollection::from_vec(vec![0.0, 1.0, 2.0], 2));
+        let out: DistCollection<f64> = op.apply_any(&[data], &ctx()).downcast();
+        assert_eq!(out.collect(), vec![2.0, 4.0, 6.0]);
     }
 
     #[test]

@@ -12,7 +12,9 @@ use crate::graph::{Graph, NodeId, NodeKind};
 use crate::profiler::{PipelineProfile, ProfileOptions};
 
 pub use cse::{eliminate_common_subexpressions, CseResult};
-pub use fusion::{fuse_chains, fused_cost, merge_profiles, FusedChain, FusedMap, FusionResult};
+pub use fusion::{
+    fuse_chains, fuse_chains_with, fused_cost, merge_profiles, FusedChain, FusedMap, FusionResult,
+};
 pub use materialize::{MatNode, MatProblem};
 
 /// How much of the optimizer to run (the three configurations of Fig. 9).
@@ -56,6 +58,11 @@ pub struct PipelineOptions {
     /// Whole-stage operator fusion override: `None` follows the level
     /// default (on at [`OptLevel::Full`], off below), `Some(b)` forces it.
     pub fuse: Option<bool>,
+    /// Columnar fused execution override: `None` follows the level default
+    /// (on at [`OptLevel::Full`], off below), `Some(b)` forces it. Only
+    /// takes effect on chains the fusion pass builds whose members all
+    /// provide columnar kernels; everything else keeps the record path.
+    pub columnar: Option<bool>,
 }
 
 impl Default for PipelineOptions {
@@ -66,6 +73,7 @@ impl Default for PipelineOptions {
             mem_budget: None,
             profile: ProfileOptions::default(),
             fuse: None,
+            columnar: None,
         }
     }
 }
@@ -115,6 +123,20 @@ impl PipelineOptions {
     /// exactly at [`OptLevel::Full`].
     pub fn fusion_enabled(&self) -> bool {
         self.fuse.unwrap_or(self.level == OptLevel::Full)
+    }
+
+    /// Forces columnar fused execution on or off regardless of the level
+    /// default. Only meaningful when fusion runs (columnar execution is a
+    /// lowering of fused chains).
+    pub fn with_columnar(mut self, on: bool) -> Self {
+        self.columnar = Some(on);
+        self
+    }
+
+    /// Whether fused chains lower to the columnar batch path: the explicit
+    /// toggle when set, else on exactly at [`OptLevel::Full`].
+    pub fn columnar_enabled(&self) -> bool {
+        self.columnar.unwrap_or(self.level == OptLevel::Full)
     }
 }
 

@@ -306,11 +306,18 @@ impl<A: Record, B: Record> Pipeline<A, B> {
         // id all apply to the fused graph unchanged.
         let mut fused: Vec<(NodeId, Vec<String>)> = Vec::new();
         let mut fused_nodes = 0;
+        let mut columnar_chains = 0;
         if opts.fusion_enabled() {
-            let result = crate::optimizer::fuse_chains(&graph, output, &cache_set);
+            let result = crate::optimizer::fuse_chains_with(
+                &graph,
+                output,
+                &cache_set,
+                opts.columnar_enabled(),
+            );
             graph = result.graph;
             crate::optimizer::merge_profiles(&mut profile, &result.chains);
             fused_nodes = result.absorbed;
+            columnar_chains = result.columnar_chains;
             // Chains arrive in ascending tail-id order, so the event stream
             // is deterministic (same discipline as the CseMerge emission).
             for chain in &result.chains {
@@ -345,6 +352,7 @@ impl<A: Record, B: Record> Pipeline<A, B> {
             choices,
             fused,
             fused_nodes,
+            columnar_chains,
             cache_set_labels: labels_of(&graph, &cache_set),
             cache_set: cache_set.clone(),
             dot: graph.to_dot(&cache_set),
@@ -410,6 +418,10 @@ pub struct FitReport {
     pub fused: Vec<(NodeId, Vec<String>)>,
     /// Nodes absorbed into some fused chain (the span-count saving).
     pub fused_nodes: usize,
+    /// How many fused chains lowered to the columnar batch path (0 when
+    /// fusion or the columnar toggle is off, or when no chain's members
+    /// all provide columnar kernels).
+    pub columnar_chains: usize,
     /// Node ids chosen for materialization.
     pub cache_set: HashSet<NodeId>,
     /// Their labels (Fig. 11).
@@ -550,9 +562,11 @@ impl ExecutablePlan {
     /// `records` input records on `workers` workers. Profiled nodes use
     /// their extrapolated cost; apply-path nodes the profiler skipped (they
     /// hang off the runtime input) are priced on the same synthetic
-    /// per-label scale that `deterministic_timing` profiling uses, so the
-    /// estimate — and everything the serving layer derives from it — is a
-    /// pure function of the plan, the record count, and the worker count.
+    /// per-label scale that `deterministic_timing` profiling uses — with
+    /// fused chains on the columnar path charged at the columnar discount —
+    /// so the estimate — and everything the serving layer derives from it —
+    /// is a pure function of the plan, the record count, and the worker
+    /// count.
     pub fn est_apply_secs(&self, records: usize, workers: usize) -> f64 {
         let w = workers.max(1) as f64;
         self.apply_path()
@@ -567,7 +581,7 @@ impl ExecutablePlan {
                 let n = &self.graph.nodes[id];
                 match self.profiles.get(&id) {
                     Some(p) => p.est_secs(records),
-                    None => crate::profiler::synthetic_secs(&n.label, records),
+                    None => crate::profiler::synthetic_node_secs(n, records),
                 }
             })
             .sum::<f64>()

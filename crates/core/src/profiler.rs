@@ -104,6 +104,26 @@ pub(crate) fn synthetic_secs(label: &str, in_records: usize) -> f64 {
     1e-6 * rate * in_records as f64 + 1e-8 * rate
 }
 
+/// Synthetic-scale price of a columnar-lowered fused chain relative to the
+/// record path: tight slice loops replace per-record boxed dispatch, so a
+/// columnar node is charged half the record-path rate. Like the base rate
+/// this is a *modeling* constant, not a measurement — it exists so the
+/// deterministic sim ledger credits the columnar lowering consistently.
+pub(crate) const COLUMNAR_SYNTHETIC_DISCOUNT: f64 = 0.5;
+
+/// Synthetic pricing for an unprofiled node, on the per-label scale above,
+/// with the columnar discount applied to fused chains executing on the
+/// columnar path.
+pub(crate) fn synthetic_node_secs(node: &crate::graph::Node, in_records: usize) -> f64 {
+    let base = synthetic_secs(&node.label, in_records);
+    match &node.kind {
+        crate::graph::NodeKind::Transform(op) if op.fused_columnar() => {
+            base * COLUMNAR_SYNTHETIC_DISCOUNT
+        }
+        _ => base,
+    }
+}
+
 /// One raw measurement of a node at one sample size.
 #[derive(Debug, Clone, Copy, Default)]
 struct Measurement {

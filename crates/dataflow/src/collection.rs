@@ -120,6 +120,30 @@ fn commit_spans<R>(scope: &Option<TaskScope>, results: Vec<(R, Option<TaskSpan>)
     out
 }
 
+/// A partition handle was still shared when exclusive ownership was
+/// requested (see [`DistCollection::into_partitions`]). Carries the first
+/// offending partition index and its observed handle count so callers can
+/// report *which* cached handle kept the data alive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedPartitionError {
+    /// Index of the first shared partition.
+    pub partition: usize,
+    /// Strong-handle count observed on that partition (always ≥ 2).
+    pub handles: usize,
+}
+
+impl std::fmt::Display for SharedPartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "partition {} is shared by {} handles; use into_partitions_or_clone to copy it",
+            self.partition, self.handles
+        )
+    }
+}
+
+impl std::error::Error for SharedPartitionError {}
+
 /// An immutable, partitioned collection of `T`.
 #[derive(Debug)]
 pub struct DistCollection<T> {
@@ -306,16 +330,33 @@ impl<T: Send + Sync + 'static> DistCollection<T> {
     /// fused-operator exit path, which owns the freshly produced collection
     /// outright.
     ///
-    /// # Panics
-    /// Panics if any partition is still shared with another handle.
-    pub fn into_partitions(self) -> Vec<Vec<T>> {
+    /// Returns [`SharedPartitionError`] if any partition handle is still
+    /// shared — e.g. when the collection was admitted into a cross-request
+    /// serving cache — instead of panicking, so a cached handle can never
+    /// poison a fit. Callers that can clone should prefer
+    /// [`DistCollection::into_partitions_or_clone`].
+    pub fn into_partitions(self) -> Result<Vec<Vec<T>>, SharedPartitionError> {
         self.partitions
             .into_iter()
-            .map(|p| {
-                Arc::try_unwrap(p).unwrap_or_else(|_| {
-                    panic!("into_partitions: partition is shared; clone the data instead")
-                })
+            .enumerate()
+            .map(|(partition, p)| {
+                let handles = Arc::strong_count(&p);
+                Arc::try_unwrap(p).map_err(|_| SharedPartitionError { partition, handles })
             })
+            .collect()
+    }
+
+    /// Like [`DistCollection::into_partitions`], but falls back to cloning
+    /// any partition whose handle is shared (the `Arc::make_mut` strategy):
+    /// uniquely owned partitions move for free, shared ones are copied and
+    /// the other handle keeps its data untouched. Never fails.
+    pub fn into_partitions_or_clone(self) -> Vec<Vec<T>>
+    where
+        T: Clone,
+    {
+        self.partitions
+            .into_iter()
+            .map(|p| Arc::try_unwrap(p).unwrap_or_else(|arc| (*arc).clone()))
             .collect()
     }
 
@@ -632,18 +673,40 @@ mod tests {
     fn into_partitions_returns_owned_vectors() {
         let c = DistCollection::from_vec((0..7).collect::<Vec<i64>>(), 3);
         let mapped = c.map(|x| x + 1);
-        let parts = mapped.into_partitions();
+        let parts = mapped.into_partitions().expect("uniquely owned");
         assert_eq!(parts.len(), 3);
         let flat: Vec<i64> = parts.into_iter().flatten().collect();
         assert_eq!(flat, (1..8).collect::<Vec<i64>>());
     }
 
     #[test]
-    #[should_panic(expected = "partition is shared")]
-    fn into_partitions_rejects_shared_handles() {
+    fn into_partitions_rejects_shared_handles_with_typed_error() {
         let c = DistCollection::from_vec(vec![1, 2, 3], 2);
-        let _alias = c.clone();
-        let _ = c.into_partitions();
+        let alias = c.clone();
+        let err = c.into_partitions().expect_err("shared handle must error");
+        assert_eq!(err.partition, 0);
+        assert!(err.handles >= 2, "observed {} handles", err.handles);
+        assert!(err.to_string().contains("shared by"));
+        // The aliasing handle is untouched by the failed extraction.
+        assert_eq!(alias.collect(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn into_partitions_or_clone_copies_shared_handles() {
+        let c = DistCollection::from_vec(vec![1, 2, 3], 2);
+        let alias = c.clone();
+        let parts = c.into_partitions_or_clone();
+        assert_eq!(
+            parts.into_iter().flatten().collect::<Vec<i64>>(),
+            vec![1, 2, 3]
+        );
+        // Clone fallback: the alias still owns its data.
+        assert_eq!(alias.collect(), vec![1, 2, 3]);
+
+        // Uniquely owned handles move without cloning: Arc identity of the
+        // partition buffers is observable via pointer equality beforehand.
+        let solo = DistCollection::from_vec(vec![9, 8], 1);
+        assert_eq!(solo.into_partitions_or_clone(), vec![vec![9, 8]]);
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //! * [`collection::DistCollection`] — an immutable, partitioned collection
 //!   executed **for real** on a local thread pool, with one logical worker
 //!   per simulated cluster node;
+//! * [`columnar::ColumnarBatch`] — contiguous per-partition storage for
+//!   dense `f64` records, the execution-time representation the optimizer's
+//!   columnar fused path gathers partitions into so operator chains run as
+//!   tight loops over slices;
 //! * [`cluster::ResourceDesc`] — the cluster resource descriptor of §3
 //!   (per-node GFLOP/s, memory/disk/network bandwidth, node count), with
 //!   hardware presets and a microbenchmark calibrator;
@@ -30,6 +34,7 @@
 pub mod cache;
 pub mod cluster;
 pub mod collection;
+pub mod columnar;
 pub mod cost;
 pub mod faults;
 pub mod metrics;
@@ -51,7 +56,8 @@ pub(crate) mod rng_util {
 
 pub use cache::{CacheManager, CachePolicy};
 pub use cluster::{ClusterProfile, ResourceDesc};
-pub use collection::DistCollection;
+pub use collection::{DistCollection, SharedPartitionError};
+pub use columnar::ColumnarBatch;
 pub use cost::CostProfile;
 pub use faults::{FaultPlan, FaultSpec};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, StageSkew, TaskSpan};

@@ -152,7 +152,8 @@ impl Histogram {
     }
 
     /// Nearest-rank quantile estimate: the upper bound of the bucket holding
-    /// the rank-`⌈q·n⌉` observation (`q` in `0.0..=1.0`). Observations in
+    /// the rank-`⌈q·n⌉` observation. `q` outside `0.0..=1.0` is clamped to
+    /// the nearest valid quantile; a NaN `q` returns `None`. Observations in
     /// the overflow bucket report the largest finite bound — the histogram
     /// cannot resolve beyond its edges. Returns `None` on an empty
     /// histogram, and the only bucket bound on a bound-less histogram.
@@ -165,6 +166,13 @@ impl Histogram {
         if self.count == 0 {
             return None;
         }
+        // A NaN rank is meaningless — reject it here rather than relying on
+        // every caller: `f64::clamp` passes NaN through, and `NaN as u64`
+        // would silently collapse to rank 1 (i.e. report q≈0).
+        if q.is_nan() {
+            return None;
+        }
+        // Out-of-range requests saturate to the nearest valid quantile.
         let q = q.clamp(0.0, 1.0);
         // Nearest rank, 1-based: ceil(q·n) clamped to [1, n] so q=0.0 maps
         // to the first observation rather than rank 0.
@@ -1157,6 +1165,23 @@ mod tests {
         assert_eq!(h.p99(), Some(100.0));
         assert_eq!(h.quantile(1.0), Some(100.0));
         assert_eq!(h.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_and_rejects_nan() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        h.observe(0.5); // bucket bound 1.0
+        h.observe(50.0); // bucket bound 100.0
+                         // Out-of-range q saturates to the nearest valid quantile.
+        assert_eq!(h.quantile(-0.1), h.quantile(0.0), "q=-0.1 clamps to 0.0");
+        assert_eq!(h.quantile(-0.1), Some(1.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        assert_eq!(h.quantile(1.5), h.quantile(1.0), "q=1.5 clamps to 1.0");
+        assert_eq!(h.quantile(1.5), Some(100.0));
+        // NaN has no rank: it must be rejected, not silently treated as
+        // q≈0 (which is what `NaN as u64 == 0` used to produce).
+        assert_eq!(h.quantile(f64::NAN), None);
     }
 
     #[test]

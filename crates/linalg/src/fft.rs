@@ -91,21 +91,25 @@ pub fn fft_inplace(buf: &mut [Complex], inverse: bool) {
             buf.swap(i, j);
         }
     }
-    // Butterflies.
+    // Butterflies. The twiddle factors for a stage are the same for every
+    // `start` block, so they are generated once per stage — by the exact
+    // `w = w * wlen` recurrence the serial loop used, keeping the values
+    // bit-identical — and the per-block butterfly becomes a data-parallel
+    // pass over the twiddle table (see [`butterfly`]).
     let sign = if inverse { 1.0 } else { -1.0 };
+    let mut twiddles: Vec<Complex> = Vec::with_capacity(n / 2);
     let mut len = 2;
     while len <= n {
         let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
         let wlen = Complex::new(ang.cos(), ang.sin());
+        twiddles.clear();
+        let mut w = Complex::new(1.0, 0.0);
+        for _ in 0..len / 2 {
+            twiddles.push(w);
+            w = w * wlen;
+        }
         for start in (0..n).step_by(len) {
-            let mut w = Complex::new(1.0, 0.0);
-            for i in 0..len / 2 {
-                let u = buf[start + i];
-                let v = buf[start + i + len / 2] * w;
-                buf[start + i] = u + v;
-                buf[start + i + len / 2] = u - v;
-                w = w * wlen;
-            }
+            butterfly(&mut buf[start..start + len], &twiddles);
         }
         len <<= 1;
     }
@@ -115,6 +119,66 @@ pub fn fft_inplace(buf: &mut [Complex], inverse: bool) {
             c.re *= inv;
             c.im *= inv;
         }
+    }
+}
+
+/// One radix-2 butterfly pass over a `len`-element block, with the stage's
+/// precomputed twiddle table (`len / 2` entries). Each index `i` reads
+/// `(block[i], block[i + half])` and writes `(u + v, u - v)` with
+/// `v = block[i + half] * w_i` — indices are independent, so the pass is
+/// data-parallel. Dispatches to the scalar reference under
+/// `--features scalar-kernels`, otherwise to the 2-wide unrolled variant;
+/// both compute the identical per-index expressions, so outputs are
+/// bit-identical (asserted by `butterfly_simd_matches_scalar_exactly`).
+#[inline]
+fn butterfly(block: &mut [Complex], twiddles: &[Complex]) {
+    #[cfg(feature = "scalar-kernels")]
+    butterfly_scalar(block, twiddles);
+    #[cfg(not(feature = "scalar-kernels"))]
+    butterfly_simd(block, twiddles);
+}
+
+/// Scalar reference butterfly pass (the original serial loop body, minus
+/// the twiddle recurrence, which the caller hoists).
+#[doc(hidden)]
+pub fn butterfly_scalar(block: &mut [Complex], twiddles: &[Complex]) {
+    let half = block.len() / 2;
+    let (lo, hi) = block.split_at_mut(half);
+    for ((a, b), w) in lo.iter_mut().zip(hi.iter_mut()).zip(twiddles) {
+        let u = *a;
+        let v = *b * *w;
+        *a = u + v;
+        *b = u - v;
+    }
+}
+
+/// 2-wide unrolled butterfly pass on the re/im components directly: two
+/// independent butterflies per iteration, eight multiplies LLVM packs into
+/// vector lanes. Per-index arithmetic is exactly [`butterfly_scalar`]'s.
+#[doc(hidden)]
+pub fn butterfly_simd(block: &mut [Complex], twiddles: &[Complex]) {
+    let half = block.len() / 2;
+    let (lo, hi) = block.split_at_mut(half);
+    let pairs = half - half % 2;
+    let mut i = 0;
+    while i < pairs {
+        let (w0, w1) = (twiddles[i], twiddles[i + 1]);
+        let (u0, u1) = (lo[i], lo[i + 1]);
+        let (b0, b1) = (hi[i], hi[i + 1]);
+        let v0 = Complex::new(b0.re * w0.re - b0.im * w0.im, b0.re * w0.im + b0.im * w0.re);
+        let v1 = Complex::new(b1.re * w1.re - b1.im * w1.im, b1.re * w1.im + b1.im * w1.re);
+        lo[i] = Complex::new(u0.re + v0.re, u0.im + v0.im);
+        lo[i + 1] = Complex::new(u1.re + v1.re, u1.im + v1.im);
+        hi[i] = Complex::new(u0.re - v0.re, u0.im - v0.im);
+        hi[i + 1] = Complex::new(u1.re - v1.re, u1.im - v1.im);
+        i += 2;
+    }
+    if i < half {
+        let w = twiddles[i];
+        let u = lo[i];
+        let v = hi[i] * w;
+        lo[i] = u + v;
+        hi[i] = u - v;
     }
 }
 
@@ -294,6 +358,93 @@ mod tests {
         let time_energy: f64 = signal.iter().map(|x| x * x).sum();
         let freq_energy: f64 = spec.iter().map(|c| c.abs().powi(2)).sum::<f64>() / 32.0;
         assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    /// The SIMD butterfly must match the scalar reference bit-for-bit on
+    /// deterministic inputs, across odd/even half sizes.
+    #[test]
+    fn butterfly_simd_matches_scalar_exactly() {
+        for half in [1usize, 2, 3, 4, 7, 8, 16] {
+            let len = half * 2;
+            let block: Vec<Complex> = (0..len)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let twiddles: Vec<Complex> = (0..half)
+                .map(|i| {
+                    let ang = -2.0 * std::f64::consts::PI * i as f64 / len as f64;
+                    Complex::new(ang.cos(), ang.sin())
+                })
+                .collect();
+            let mut scalar = block.clone();
+            let mut simd = block.clone();
+            butterfly_scalar(&mut scalar, &twiddles);
+            butterfly_simd(&mut simd, &twiddles);
+            for (i, (s, v)) in scalar.iter().zip(&simd).enumerate() {
+                assert_eq!(s.re.to_bits(), v.re.to_bits(), "half={half} idx={i} re");
+                assert_eq!(s.im.to_bits(), v.im.to_bits(), "half={half} idx={i} im");
+            }
+        }
+    }
+
+    /// The hoisted twiddle table + kernel dispatch must reproduce the
+    /// original serial butterfly loop bit-for-bit.
+    #[test]
+    fn fft_matches_serial_reference_exactly() {
+        fn fft_serial(buf: &mut [Complex], inverse: bool) {
+            let n = buf.len();
+            let mut j = 0usize;
+            for i in 1..n {
+                let mut bit = n >> 1;
+                while j & bit != 0 {
+                    j ^= bit;
+                    bit >>= 1;
+                }
+                j |= bit;
+                if i < j {
+                    buf.swap(i, j);
+                }
+            }
+            let sign = if inverse { 1.0 } else { -1.0 };
+            let mut len = 2;
+            while len <= n {
+                let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+                let wlen = Complex::new(ang.cos(), ang.sin());
+                for start in (0..n).step_by(len) {
+                    let mut w = Complex::new(1.0, 0.0);
+                    for i in 0..len / 2 {
+                        let u = buf[start + i];
+                        let v = buf[start + i + len / 2] * w;
+                        buf[start + i] = u + v;
+                        buf[start + i + len / 2] = u - v;
+                        w = w * wlen;
+                    }
+                }
+                len <<= 1;
+            }
+            if inverse {
+                let inv = 1.0 / n as f64;
+                for c in buf {
+                    c.re *= inv;
+                    c.im *= inv;
+                }
+            }
+        }
+        for log in 1u32..8 {
+            let n = 1usize << log;
+            for inverse in [false, true] {
+                let init: Vec<Complex> = (0..n)
+                    .map(|i| Complex::new((i as f64 * 0.31).sin() * 3.0, (i as f64 * 0.17).cos()))
+                    .collect();
+                let mut fast = init.clone();
+                let mut slow = init;
+                fft_inplace(&mut fast, inverse);
+                fft_serial(&mut slow, inverse);
+                for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "n={n} idx={i} re");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n} idx={i} im");
+                }
+            }
+        }
     }
 
     #[test]

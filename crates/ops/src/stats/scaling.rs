@@ -1,7 +1,9 @@
 //! Scaling and normalization operators.
 
+use std::sync::Arc;
+
 use keystone_core::context::ExecContext;
-use keystone_core::operator::{Estimator, Transformer};
+use keystone_core::operator::{ColumnarFn, Estimator, Transformer};
 use keystone_dataflow::collection::DistCollection;
 use keystone_linalg::dense::DenseMatrix;
 use keystone_linalg::rng::XorShiftRng;
@@ -21,6 +23,18 @@ impl Transformer<Vec<f64>, Vec<f64>> for Normalizer {
     }
     fn name(&self) -> String {
         "Normalize".into()
+    }
+
+    fn columnar_kernel(&self) -> Option<ColumnarFn> {
+        Some(Arc::new(|x, out| {
+            let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm <= 1e-300 {
+                out.extend_from_slice(x);
+                return;
+            }
+            let inv = 1.0 / norm;
+            out.extend(x.iter().map(|v| v * inv));
+        }))
     }
 }
 
@@ -48,6 +62,15 @@ impl Transformer<Vec<f64>, Vec<f64>> for SignedPowerNormalizer {
     }
     fn name(&self) -> String {
         "SignedPowerNormalize".into()
+    }
+
+    fn columnar_kernel(&self) -> Option<ColumnarFn> {
+        let power = self.power;
+        let l2 = Normalizer.columnar_kernel()?;
+        Some(Arc::new(move |x, out| {
+            let powered: Vec<f64> = x.iter().map(|v| v.signum() * v.abs().powf(power)).collect();
+            l2(&powered, out);
+        }))
     }
 }
 
@@ -180,6 +203,38 @@ mod tests {
         assert!((norm - 1.0).abs() < 1e-12);
         // sqrt compresses: ratio 2:3 rather than 4:9.
         assert!((n[1].abs() / n[0] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalizer_columnar_kernels_match_apply_bit_for_bit() {
+        let inputs = vec![
+            vec![3.0, 4.0],
+            vec![0.0, 0.0],
+            vec![1e-160, -1e-160],
+            vec![4.0, -9.0, 0.25, -0.0],
+            vec![],
+        ];
+        type BoxedOp = Box<dyn Transformer<Vec<f64>, Vec<f64>>>;
+        let ops: Vec<(BoxedOp, &str)> = vec![
+            (Box::new(Normalizer), "Normalize"),
+            (
+                Box::new(SignedPowerNormalizer::default()),
+                "SignedPowerNormalize",
+            ),
+        ];
+        for (op, name) in &ops {
+            let kernel = op
+                .columnar_kernel()
+                .unwrap_or_else(|| panic!("{name} should expose a columnar kernel"));
+            for x in &inputs {
+                let via_apply = op.apply(x);
+                let mut via_kernel = Vec::new();
+                kernel(x, &mut via_kernel);
+                let a: Vec<u64> = via_apply.iter().map(|v| v.to_bits()).collect();
+                let k: Vec<u64> = via_kernel.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, k, "columnar kernel for {name} diverged from apply");
+            }
+        }
     }
 
     #[test]

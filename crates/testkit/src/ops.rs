@@ -17,9 +17,11 @@
 //!   models *do* differ (one is cheap on small inputs, the other on large),
 //!   so Full-level selection is genuinely exercised.
 
+use std::sync::Arc;
+
 use keystone_core::context::ExecContext;
 use keystone_core::operator::{
-    CostFn, Estimator, OptimizableTransformer, Transformer, TransformerOption,
+    ColumnarFn, CostFn, Estimator, OptimizableTransformer, Transformer, TransformerOption,
 };
 use keystone_dataflow::collection::DistCollection;
 use keystone_dataflow::cost::CostProfile;
@@ -41,6 +43,13 @@ impl Transformer<Vec<f64>, Vec<f64>> for Affine {
     fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
         x.iter().map(|v| v * self.a + self.b).collect()
     }
+
+    fn columnar_kernel(&self) -> Option<ColumnarFn> {
+        let (a, b) = (self.a, self.b);
+        Some(Arc::new(move |x, out| {
+            out.extend(x.iter().map(|v| v * a + b))
+        }))
+    }
 }
 
 /// Element-wise absolute value.
@@ -50,6 +59,10 @@ pub struct AbsVal;
 impl Transformer<Vec<f64>, Vec<f64>> for AbsVal {
     fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
         x.iter().map(|v| v.abs()).collect()
+    }
+
+    fn columnar_kernel(&self) -> Option<ColumnarFn> {
+        Some(Arc::new(|x, out| out.extend(x.iter().map(|v| v.abs()))))
     }
 }
 
@@ -65,6 +78,14 @@ impl Transformer<Vec<f64>, Vec<f64>> for SwapHalves {
         out.extend_from_slice(&x[mid..]);
         out.extend_from_slice(&x[..mid]);
         out
+    }
+
+    fn columnar_kernel(&self) -> Option<ColumnarFn> {
+        Some(Arc::new(|x, out| {
+            let mid = x.len() / 2;
+            out.extend_from_slice(&x[mid..]);
+            out.extend_from_slice(&x[..mid]);
+        }))
     }
 }
 
@@ -82,6 +103,11 @@ impl Transformer<Vec<f64>, Vec<f64>> for ScaleForward {
 
     fn name(&self) -> String {
         "scale:forward".into()
+    }
+
+    fn columnar_kernel(&self) -> Option<ColumnarFn> {
+        let c = self.0;
+        Some(Arc::new(move |x, out| out.extend(x.iter().map(|v| v * c))))
     }
 }
 
@@ -103,6 +129,17 @@ impl Transformer<Vec<f64>, Vec<f64>> for ScaleChunked {
 
     fn name(&self) -> String {
         "scale:chunked".into()
+    }
+
+    fn columnar_kernel(&self) -> Option<ColumnarFn> {
+        let c = self.0;
+        Some(Arc::new(move |x, out| {
+            for chunk in x.chunks(4) {
+                for v in chunk {
+                    out.push(v * c);
+                }
+            }
+        }))
     }
 }
 
@@ -344,5 +381,35 @@ mod tests {
             SwapHalves.apply(&vec![1.0, 2.0, 3.0, 4.0, 5.0]),
             vec![3.0, 4.0, 5.0, 1.0, 2.0]
         );
+    }
+
+    #[test]
+    fn columnar_kernels_match_apply_bit_for_bit() {
+        let inputs = vec![
+            vec![0.0, -0.0, 1.5, -2.25, 1e-300, f64::MAX, 3.7],
+            vec![0.1, 0.2],
+            vec![],
+        ];
+        type BoxedOp = Box<dyn Transformer<Vec<f64>, Vec<f64>>>;
+        let ops: Vec<(BoxedOp, &str)> = vec![
+            (Box::new(Affine { a: 1.7, b: -0.3 }), "affine"),
+            (Box::new(AbsVal), "absval"),
+            (Box::new(SwapHalves), "swaphalves"),
+            (Box::new(ScaleForward(0.73)), "scale:forward"),
+            (Box::new(ScaleChunked(0.73)), "scale:chunked"),
+        ];
+        for (op, name) in &ops {
+            let kernel = op
+                .columnar_kernel()
+                .unwrap_or_else(|| panic!("{name} should expose a columnar kernel"));
+            for x in &inputs {
+                let via_apply = op.apply(x);
+                let mut via_kernel = Vec::new();
+                kernel(x, &mut via_kernel);
+                let a: Vec<u64> = via_apply.iter().map(|v| v.to_bits()).collect();
+                let k: Vec<u64> = via_kernel.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, k, "columnar kernel for {name} diverged from apply");
+            }
+        }
     }
 }

@@ -2,15 +2,16 @@
 //!
 //! For one seed, [`matrix`] enumerates a grid of optimizer configurations —
 //! optimization level × materialization budget × caching strategy ×
-//! partition count × seeded fault plan × whole-stage fusion on/off — and
-//! [`check_seed`] fits the seed's generated pipeline in every cell,
-//! comparing held-out predictions *bitwise* (`f64::to_bits`, so `-0.0` vs
-//! `0.0` or NaN payload drift cannot masquerade as equality). The fused and
-//! unfused variant of each configuration must additionally choose the exact
-//! same materialization picks — fusion is a physical rewrite and may never
-//! perturb the caching decision. Any divergence produces a report carrying
-//! the seed, the generated recipe, the DAG summary, and the one-command
-//! repro.
+//! partition count × seeded fault plan × whole-stage fusion on/off ×
+//! columnar lowering on/off — and [`check_seed`] fits the seed's generated
+//! pipeline in every cell, comparing held-out predictions *bitwise*
+//! (`f64::to_bits`, so `-0.0` vs `0.0` or NaN payload drift cannot
+//! masquerade as equality). The four physical variants (fusion × columnar)
+//! of each configuration must additionally choose the exact same
+//! materialization picks — fusion and columnar lowering are physical
+//! rewrites and may never perturb the caching decision. Any divergence
+//! produces a report carrying the seed, the generated recipe, the DAG
+//! summary, and the one-command repro.
 
 use std::collections::{HashMap, HashSet};
 
@@ -30,10 +31,11 @@ pub const BUDGET_UNBOUNDED: u64 = 1 << 40;
 
 /// One configuration under which a generated pipeline is fit and applied.
 pub struct MatrixCell {
-    /// Display name, e.g. `full/greedy-tight/p4/faults+fuse`.
+    /// Display name, e.g. `full/greedy-tight/p4/faults+fuse+col`.
     pub name: String,
-    /// Key shared by the fused and unfused variant of the same base
-    /// configuration; materialization picks are compared within a pair.
+    /// Key shared by the four physical variants (fusion × columnar) of the
+    /// same base configuration; materialization picks are compared within a
+    /// pair.
     pub pair: String,
     /// Optimizer configuration.
     pub opts: PipelineOptions,
@@ -43,6 +45,10 @@ pub struct MatrixCell {
     pub faulted: bool,
     /// Whether whole-stage fusion is forced on (vs forced off).
     pub fused: bool,
+    /// Whether columnar lowering of fused chains is forced on (vs forced
+    /// off). Only observable when `fused` is also on; forcing it in both
+    /// directions on unfused cells pins the toggle as a structural no-op.
+    pub col: bool,
 }
 
 pub(crate) fn profile_opts() -> ProfileOptions {
@@ -58,7 +64,7 @@ pub(crate) fn profile_opts() -> ProfileOptions {
 
 /// The full configuration matrix for one seed: 7 optimizer configurations ×
 /// {1, 4} partitions × {no faults, seeded faults} × {fusion off, fusion on}
-/// = 56 cells.
+/// × {columnar off, columnar on} = 112 cells.
 pub fn matrix(_seed: u64) -> Vec<MatrixCell> {
     let configs: Vec<(&str, PipelineOptions)> = vec![
         ("none", PipelineOptions::none()),
@@ -91,7 +97,7 @@ pub fn matrix(_seed: u64) -> Vec<MatrixCell> {
             PipelineOptions::full().with_budget(BUDGET_UNBOUNDED),
         ),
     ];
-    let mut cells = Vec::with_capacity(configs.len() * 8);
+    let mut cells = Vec::with_capacity(configs.len() * 16);
     for partitions in [1usize, 4] {
         for faulted in [false, true] {
             for (tag, opts) in &configs {
@@ -100,21 +106,27 @@ pub fn matrix(_seed: u64) -> Vec<MatrixCell> {
                     if faulted { "/faults" } else { "" }
                 );
                 for fused in [false, true] {
-                    cells.push(MatrixCell {
-                        name: if fused {
-                            format!("{pair}+fuse")
-                        } else {
-                            pair.clone()
-                        },
-                        pair: pair.clone(),
-                        opts: PipelineOptions {
-                            profile: profile_opts(),
-                            ..opts.clone().with_fusion(fused)
-                        },
-                        partitions,
-                        faulted,
-                        fused,
-                    });
+                    for col in [false, true] {
+                        let mut name = pair.clone();
+                        if fused {
+                            name.push_str("+fuse");
+                        }
+                        if col {
+                            name.push_str("+col");
+                        }
+                        cells.push(MatrixCell {
+                            name,
+                            pair: pair.clone(),
+                            opts: PipelineOptions {
+                                profile: profile_opts(),
+                                ..opts.clone().with_fusion(fused).with_columnar(col)
+                            },
+                            partitions,
+                            faulted,
+                            fused,
+                            col,
+                        });
+                    }
                 }
             }
         }
@@ -181,8 +193,8 @@ pub struct SeedReport {
 }
 
 /// Runs the full matrix for `seed`, requiring bit-identical predictions in
-/// every cell and identical materialization picks between the fused and
-/// unfused variant of each base configuration. On divergence returns a
+/// every cell and identical materialization picks among the four physical
+/// variants (fusion × columnar) of each base configuration. On divergence returns a
 /// report with everything needed to reproduce: the seed, the generated
 /// recipe, the DAG, and the command.
 pub fn check_seed(seed: u64) -> Result<SeedReport, String> {
@@ -206,7 +218,7 @@ pub fn check_seed(seed: u64) -> Result<SeedReport, String> {
             Some((other_name, other_picks)) => {
                 if *other_picks != run.mat_picks {
                     return Err(format!(
-                        "materialization picks diverged between fusion variants: \
+                        "materialization picks diverged between physical variants: \
                          `{}` chose {:?} but `{}` chose {:?}\n{}",
                         other_name,
                         other_picks,
@@ -334,23 +346,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn matrix_has_56_distinct_cells_in_fused_unfused_pairs() {
+    fn matrix_has_112_distinct_cells_in_physical_variant_pairs() {
         let cells = matrix(0);
-        assert_eq!(cells.len(), 56);
+        assert_eq!(cells.len(), 112);
         let names: HashSet<&str> = cells.iter().map(|c| c.name.as_str()).collect();
-        assert_eq!(names.len(), 56, "cell names must be unique");
+        assert_eq!(names.len(), 112, "cell names must be unique");
         let pairs: HashSet<&str> = cells.iter().map(|c| c.pair.as_str()).collect();
         assert_eq!(pairs.len(), 28, "every base config appears as one pair");
         for pair in &pairs {
             let variants: Vec<&MatrixCell> = cells.iter().filter(|c| c.pair == *pair).collect();
-            assert_eq!(variants.len(), 2, "pair `{pair}` must have 2 variants");
+            assert_eq!(variants.len(), 4, "pair `{pair}` must have 4 variants");
             assert!(variants.iter().any(|c| c.fused) && variants.iter().any(|c| !c.fused));
+            assert!(variants.iter().any(|c| c.col) && variants.iter().any(|c| !c.col));
+            assert!(
+                variants.iter().any(|c| c.fused && c.col),
+                "pair `{pair}` must cover the fused+columnar corner"
+            );
         }
         assert!(cells.iter().any(|c| c.faulted));
         assert!(cells.iter().any(|c| c.partitions == 4));
-        // The fusion axis must be forced in both directions, never left to
-        // the opt level's default.
+        // The fusion and columnar axes must be forced in both directions,
+        // never left to the opt level's default.
         assert!(cells.iter().all(|c| c.opts.fusion_enabled() == c.fused));
+        assert!(cells.iter().all(|c| c.opts.columnar_enabled() == c.col));
     }
 
     #[test]
@@ -376,6 +394,6 @@ mod tests {
     #[test]
     fn single_seed_smoke() {
         let report = check_seed(3).unwrap_or_else(|e| panic!("{e}"));
-        assert_eq!(report.cells, 56);
+        assert_eq!(report.cells, 112);
     }
 }

@@ -6,7 +6,7 @@
 //!
 //! ```sh
 //! cargo run --release --example bench_snapshot
-//! # exit 0: within tolerance of benchmarks/BENCH_{fusion,serve}.json
+//! # exit 0: within tolerance of benchmarks/BENCH_{fusion,serve,columnar}.json
 //! # exit 3: regression beyond tolerance — CI uploads target/BENCH_*.json
 //! KEYSTONE_BENCH_INJECT_SLOWDOWN=1 cargo run --release --example bench_snapshot
 //! # negative test: inflates the fresh sim costs 1.5x; the gate MUST fail
@@ -17,9 +17,11 @@
 //! anywhere. To refresh baselines after an intentional cost-model change:
 //! `cp target/BENCH_*.json benchmarks/`.
 
+use std::sync::Arc;
+
 use keystone_obs::{BenchSnapshot, CaptureOptions, RegressionGate, RunArtifact, ServeSection};
 use keystoneml::core::context::ExecContext;
-use keystoneml::core::operator::Transformer;
+use keystoneml::core::operator::{ColumnarFn, Transformer};
 use keystoneml::core::optimizer::PipelineOptions;
 use keystoneml::core::pipeline::Pipeline;
 use keystoneml::core::profiler::ProfileOptions;
@@ -39,6 +41,24 @@ impl Transformer<Vec<f64>, Vec<f64>> for AxPlusB {
     fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
         x.iter().map(|v| self.a * v + self.b).collect()
     }
+
+    fn columnar_kernel(&self) -> Option<ColumnarFn> {
+        let (a, b) = (self.a, self.b);
+        Some(Arc::new(move |x, out| {
+            out.extend(x.iter().map(|v| a * v + b))
+        }))
+    }
+}
+
+fn deep_chain() -> Pipeline<Vec<f64>, Vec<f64>> {
+    let mut pipe = Pipeline::<Vec<f64>, Vec<f64>>::input();
+    for i in 0..DEPTH {
+        pipe = pipe.and_then(AxPlusB {
+            a: 1.0 + i as f64 * 1e-3,
+            b: 0.5,
+        });
+    }
+    pipe
 }
 
 fn opts() -> PipelineOptions {
@@ -60,15 +80,10 @@ fn main() {
     };
 
     // Workload 1: the fused deep chain (the fusion pass's flagship case).
-    let mut pipe = Pipeline::<Vec<f64>, Vec<f64>>::input();
-    for i in 0..DEPTH {
-        pipe = pipe.and_then(AxPlusB {
-            a: 1.0 + i as f64 * 1e-3,
-            b: 0.5,
-        });
-    }
+    // Columnar lowering is pinned off so this snapshot prices the record
+    // path; workload 3 prices the same chain lowered columnar.
     let fit_ctx = ExecContext::default_cluster();
-    let (fitted, report) = pipe.fit(&fit_ctx, &opts());
+    let (fitted, report) = deep_chain().fit(&fit_ctx, &opts().with_columnar(false));
     let data: Vec<Vec<f64>> = (0..256)
         .map(|r| (0..DIM).map(|c| (r * DIM + c) as f64 * 1e-4).collect())
         .collect();
@@ -94,10 +109,28 @@ fn main() {
     );
     let mut serve = BenchSnapshot::from_artifact("serve", &serve_artifact);
 
+    // Workload 3: the same deep chain with the fused chain lowered onto
+    // `ColumnarBatch` slices. The chain carries no estimators, so the sim
+    // prices the fused node synthetically and the columnar discount is
+    // visible in the snapshot.
+    let col_ctx = ExecContext::default_cluster();
+    let (col_fitted, col_report) = deep_chain().fit(&col_ctx, &opts().with_columnar(true));
+    assert_eq!(
+        col_report.columnar_chains, 1,
+        "bench chain should lower columnar"
+    );
+    let col_data: Vec<Vec<f64>> = (0..256)
+        .map(|r| (0..DIM).map(|c| (r * DIM + c) as f64 * 1e-4).collect())
+        .collect();
+    let _ = col_fitted.apply(&DistCollection::from_vec(col_data, 4), &col_ctx);
+    let columnar_artifact =
+        RunArtifact::capture_fit(&col_report, &col_fitted.plan(), &col_ctx, &capture);
+    let mut columnar = BenchSnapshot::from_artifact("columnar", &columnar_artifact);
+
     // Negative-test hook: inflate every simulated cost so the gate trips.
     if std::env::var("KEYSTONE_BENCH_INJECT_SLOWDOWN").is_ok() {
         println!("injecting 1.5x virtual slowdown (negative test)");
-        for snap in [&mut fusion, &mut serve] {
+        for snap in [&mut fusion, &mut serve, &mut columnar] {
             for (metric, value) in snap.metrics.iter_mut() {
                 if metric.ends_with("_secs") {
                     *value *= 1.5;
@@ -108,7 +141,7 @@ fn main() {
 
     std::fs::create_dir_all("target").expect("create target/");
     let mut failed = false;
-    for snap in [&fusion, &serve] {
+    for snap in [&fusion, &serve, &columnar] {
         let fresh_path = format!("target/BENCH_{}.json", snap.name);
         std::fs::write(&fresh_path, snap.to_json()).expect("write snapshot");
         let base_path = format!("benchmarks/BENCH_{}.json", snap.name);

@@ -37,7 +37,7 @@ pub use keystone_workloads as workloads;
 pub mod prelude {
     pub use keystone_core::context::ExecContext;
     pub use keystone_core::operator::{
-        Estimator, LabelEstimator, OptimizableEstimator, OptimizableLabelEstimator,
+        ColumnarFn, Estimator, LabelEstimator, OptimizableEstimator, OptimizableLabelEstimator,
         OptimizableTransformer, Transformer,
     };
     pub use keystone_core::optimizer::{CachingStrategy, OptLevel, PipelineOptions};
@@ -48,6 +48,7 @@ pub mod prelude {
     pub use keystone_core::trace::{RecoveryStats, TraceEvent, TracedEvent, Tracer};
     pub use keystone_dataflow::cluster::{ClusterProfile, ResourceDesc};
     pub use keystone_dataflow::collection::DistCollection;
+    pub use keystone_dataflow::columnar::ColumnarBatch;
     pub use keystone_dataflow::faults::{FaultPlan, FaultSpec};
     pub use keystone_dataflow::metrics::{chrome_trace_json, MetricsRegistry, StageSkew, TaskSpan};
     pub use keystone_linalg::{DenseMatrix, SparseVector};
