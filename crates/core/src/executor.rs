@@ -56,6 +56,10 @@ pub struct Executor<'g> {
     source_overrides: HashMap<NodeId, AnyData>,
     /// Per-node profiles used to charge the simulated clock.
     profiles: Option<Arc<HashMap<NodeId, NodeProfile>>>,
+    /// Mid-fit adaptive re-planner: notified of every node request so it
+    /// can compare observed demand against the plan's prediction and apply
+    /// cost-only cache revisions (see [`crate::optimizer::adaptive`]).
+    adaptive: Option<Arc<crate::optimizer::AdaptiveController>>,
     /// Memoize every data node (single-pass modes: profiling, apply).
     memoize_all: bool,
     /// In `memoize_all` mode, additionally offer data outputs the cache
@@ -82,6 +86,7 @@ impl<'g> Executor<'g> {
             runtime_input: None,
             source_overrides: HashMap::new(),
             profiles: None,
+            adaptive: None,
             memoize_all: false,
             cross_run_cache: false,
             memo: Mutex::new(HashMap::new()),
@@ -104,6 +109,12 @@ impl<'g> Executor<'g> {
     /// Supplies per-node profiles so execution charges the simulated clock.
     pub fn with_profiles(mut self, profiles: Arc<HashMap<NodeId, NodeProfile>>) -> Self {
         self.profiles = Some(profiles);
+        self
+    }
+
+    /// Attaches the adaptive mid-fit re-planner (fit mode only).
+    pub fn with_adaptive(mut self, controller: Arc<crate::optimizer::AdaptiveController>) -> Self {
+        self.adaptive = Some(controller);
         self
     }
 
@@ -150,6 +161,14 @@ impl<'g> Executor<'g> {
         }
         if let Some(m) = self.models.lock().get(&node) {
             return NodeOutput::Model(m.clone());
+        }
+        // Adaptive hook: count this request and let the re-planner revise
+        // the cache membership at the wave boundary. The fitted-model
+        // snapshot is taken (and its lock dropped) before the hook runs.
+        if let Some(ad) = &self.adaptive {
+            let fitted: std::collections::HashSet<NodeId> =
+                self.models.lock().keys().copied().collect();
+            ad.on_request(node, &fitted, &self.cache);
         }
         // Policy-driven cache for data nodes. A resident entry can still be
         // *lost* (simulated executor failure) or hold a foreign value; both

@@ -28,7 +28,8 @@ pub use operator::{
     TransformerOption,
 };
 pub use optimizer::{
-    CachingStrategy, FusedChain, FusedMap, FusionResult, OptLevel, PipelineOptions,
+    AdaptationReport, AdaptiveController, AdaptiveHints, CachingStrategy, FusedChain, FusedMap,
+    FusionResult, OptLevel, PipelineOptions, RevisionRecord, ADAPT_DECISION_SECS,
 };
 pub use pipeline::{gather, ExecutablePlan, FitReport, FittedPipeline, Pipeline};
 pub use record::{DataStats, Record};

@@ -78,6 +78,34 @@ impl MatProblem {
         execs
     }
 
+    /// How many times each node is *requested* under a cache set — the
+    /// demand side of the `exec_counts` recurrence, before caching collapses
+    /// it to one execution. The adaptive re-planner compares these
+    /// predictions against the executor's observed request counters to
+    /// decide when the declared iteration weights were wrong.
+    pub fn request_counts(&self, cache: &HashSet<usize>) -> Vec<f64> {
+        let n = self.nodes.len();
+        let mut requests = vec![0.0f64; n];
+        for &s in &self.sinks {
+            requests[s] += 1.0;
+        }
+        for v in (0..n).rev() {
+            let node = &self.nodes[v];
+            let execs = if requests[v] <= 0.0 {
+                0.0
+            } else if node.always_cached || cache.contains(&v) {
+                1.0
+            } else {
+                requests[v]
+            };
+            let pulls = execs * node.weight as f64;
+            for &u in &node.inputs {
+                requests[u] += pulls;
+            }
+        }
+        requests
+    }
+
     /// `T(sink(G))`: estimated total execution time under a cache set.
     pub fn est_runtime(&self, cache: &HashSet<usize>) -> f64 {
         self.exec_counts(cache)
@@ -251,6 +279,22 @@ mod tests {
         let execs = p.exec_counts(&cache);
         assert_eq!(execs[2], 1.0);
         assert_eq!(execs[1], 1.0, "a only needed for b's single execution");
+    }
+
+    #[test]
+    fn request_counts_expose_demand_before_caching_collapses_it() {
+        let p = chain(10);
+        let req = p.request_counts(&HashSet::new());
+        // Sink requested once; b pulled 10x by the solver; a pulled 10x by b.
+        assert_eq!(req[3], 1.0);
+        assert_eq!(req[2], 10.0);
+        assert_eq!(req[1], 10.0);
+        // Caching b leaves b's own demand intact (requests are demand, not
+        // executions) but collapses the upstream pulls.
+        let cached: HashSet<usize> = [2].into_iter().collect();
+        let req = p.request_counts(&cached);
+        assert_eq!(req[2], 10.0, "demand on the cached node is unchanged");
+        assert_eq!(req[1], 1.0, "cached node pulls its input once");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! subsampling, cost-based operator selection, and automatic
 //! materialization.
 
+pub mod adaptive;
 pub mod cse;
 pub mod fusion;
 pub mod materialize;
@@ -11,6 +12,10 @@ use std::collections::HashSet;
 use crate::graph::{Graph, NodeId, NodeKind};
 use crate::profiler::{PipelineProfile, ProfileOptions};
 
+pub use adaptive::{
+    recalibrate_profile, recalibrate_resources, AdaptationReport, AdaptiveController,
+    AdaptiveHints, RevisionRecord, ADAPT_DECISION_SECS,
+};
 pub use cse::{eliminate_common_subexpressions, CseResult};
 pub use fusion::{
     fuse_chains, fuse_chains_with, fused_cost, merge_profiles, FusedChain, FusedMap, FusionResult,
@@ -63,6 +68,15 @@ pub struct PipelineOptions {
     /// takes effect on chains the fusion pass builds whose members all
     /// provide columnar kernels; everything else keeps the record path.
     pub columnar: Option<bool>,
+    /// Adaptive mid-fit re-optimization override: `None` follows the level
+    /// default (on at [`OptLevel::Full`], off below), `Some(b)` forces it.
+    /// Only takes effect under [`CachingStrategy::Greedy`] on fault-free
+    /// runs (fault probes fire per resident cache entry, so mid-fit
+    /// membership changes would perturb the injected draw sequence).
+    pub adaptive: Option<bool>,
+    /// External evidence for the adaptive re-planner, typically distilled
+    /// from a prior run's diagnosis (`keystone_obs::replanner_hints`).
+    pub adaptive_hints: AdaptiveHints,
 }
 
 impl Default for PipelineOptions {
@@ -74,6 +88,8 @@ impl Default for PipelineOptions {
             profile: ProfileOptions::default(),
             fuse: None,
             columnar: None,
+            adaptive: None,
+            adaptive_hints: AdaptiveHints::default(),
         }
     }
 }
@@ -137,6 +153,25 @@ impl PipelineOptions {
     /// toggle when set, else on exactly at [`OptLevel::Full`].
     pub fn columnar_enabled(&self) -> bool {
         self.columnar.unwrap_or(self.level == OptLevel::Full)
+    }
+
+    /// Forces adaptive mid-fit re-optimization on or off regardless of the
+    /// level default.
+    pub fn with_adaptive(mut self, on: bool) -> Self {
+        self.adaptive = Some(on);
+        self
+    }
+
+    /// Whether adaptive re-optimization runs: the explicit toggle when set,
+    /// else on exactly at [`OptLevel::Full`].
+    pub fn adaptive_enabled(&self) -> bool {
+        self.adaptive.unwrap_or(self.level == OptLevel::Full)
+    }
+
+    /// Supplies diagnosis-derived evidence to the adaptive re-planner.
+    pub fn with_adaptive_hints(mut self, hints: AdaptiveHints) -> Self {
+        self.adaptive_hints = hints;
+        self
     }
 }
 

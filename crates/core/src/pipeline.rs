@@ -263,6 +263,7 @@ impl<A: Record, B: Record> Pipeline<A, B> {
             .mem_budget
             .unwrap_or_else(|| ctx.resources.total_cache_bytes());
         let observer = Arc::new(crate::trace::TraceCacheObserver(ctx.tracer.clone()));
+        let mut adaptive: Option<Arc<crate::optimizer::AdaptiveController>> = None;
         let (cache, cache_set) = match (opts.level, opts.caching) {
             (OptLevel::None, _) | (_, CachingStrategy::RuleBased) => (
                 CacheManager::new(0, CachePolicy::Pinned(HashSet::new())).with_observer(observer),
@@ -286,6 +287,22 @@ impl<A: Record, B: Record> Pipeline<A, B> {
                         });
                 }
                 let keys: HashSet<u64> = set.iter().map(|&v| v as u64).collect();
+                // Adaptive re-optimization watches this fit's demand against
+                // the problem's predictions. Fault-injected runs keep the
+                // static plan: cache-loss probes fire per resident entry, so
+                // mid-fit membership changes would perturb the injected draw
+                // sequence rather than just the cost.
+                if opts.adaptive_enabled() && ctx.faults.is_none() {
+                    adaptive = Some(Arc::new(crate::optimizer::AdaptiveController::new(
+                        problem,
+                        set.clone(),
+                        budget,
+                        ctx.resources.workers,
+                        ctx.tracer.clone(),
+                        ctx.sim.clone(),
+                        opts.adaptive_hints.clone(),
+                    )));
+                }
                 (
                     CacheManager::new(budget, CachePolicy::Pinned(keys)).with_observer(observer),
                     set,
@@ -333,12 +350,16 @@ impl<A: Record, B: Record> Pipeline<A, B> {
 
         // 4. Fit every estimator feeding the output.
         let profiles = Arc::new(profile.nodes.clone());
-        let executor =
+        let mut executor =
             Executor::new(&graph, ctx.clone(), Arc::new(cache)).with_profiles(profiles.clone());
+        if let Some(ad) = &adaptive {
+            executor = executor.with_adaptive(ad.clone());
+        }
         for &est in &roots {
             let _ = executor.eval(est);
         }
         let models = executor.models();
+        let adaptation = adaptive.map(|ad| ad.report()).unwrap_or_default();
 
         let observability = crate::report::PipelineReport::build_with_metrics(
             &graph,
@@ -355,6 +376,7 @@ impl<A: Record, B: Record> Pipeline<A, B> {
             columnar_chains,
             cache_set_labels: labels_of(&graph, &cache_set),
             cache_set: cache_set.clone(),
+            adaptation,
             dot: graph.to_dot(&cache_set),
             profile,
             observability,
@@ -422,10 +444,16 @@ pub struct FitReport {
     /// fusion or the columnar toggle is off, or when no chain's members
     /// all provide columnar kernels).
     pub columnar_chains: usize,
-    /// Node ids chosen for materialization.
+    /// Node ids chosen for materialization. Always the *initial* greedy
+    /// solution: mid-fit adaptive revisions change the live cache but are
+    /// reported separately in [`FitReport::adaptation`], so this field is
+    /// comparable across adaptive on/off runs.
     pub cache_set: HashSet<NodeId>,
     /// Their labels (Fig. 11).
     pub cache_set_labels: Vec<String>,
+    /// What adaptive re-optimization did during the fit (all-zero when it
+    /// was disabled or never triggered).
+    pub adaptation: crate::optimizer::AdaptationReport,
     /// Graphviz dump with the cache set highlighted.
     pub dot: String,
     /// The raw pipeline profile.

@@ -20,7 +20,7 @@ use crate::operator::{AnyData, ErasedTransformer, InputHandle};
 use crate::record::DataStats;
 
 /// Extrapolated profile of one node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct NodeProfile {
     /// Marginal seconds per input record (slope of the linear fit).
     pub secs_per_record: f64,

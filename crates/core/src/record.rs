@@ -117,7 +117,7 @@ impl<A: Record, B: Record> Record for (A, B) {
 
 /// Statistics of a dataset at one point in the pipeline — the `A_s` of the
 /// paper's cost expression `c(f, A_s, R)`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DataStats {
     /// Number of records (at whatever scale the stats describe).
     pub count: usize,

@@ -68,6 +68,11 @@ pub struct NodeReport {
     /// Member labels when this node is a whole-stage fused chain
     /// (execution order); empty for ordinary nodes.
     pub fused_members: Vec<String>,
+    /// What adaptive re-optimization did to this node during the fit:
+    /// `"recalibrated"`, `"promoted"`, `"evicted"`, or a `+`-joined
+    /// combination (in that order); `None` when adaptation never touched
+    /// the node.
+    pub adapt: Option<String>,
 }
 
 impl NodeReport {
@@ -150,6 +155,27 @@ impl PipelineReport {
                 }
             }
         }
+        // Adaptation flags per node: (recalibrated, promoted, evicted),
+        // folded from the fit's Recalibrate / PlanRevision trace events.
+        let mut adapt_by_node: HashMap<NodeId, (bool, bool, bool)> = HashMap::new();
+        for te in tracer.events() {
+            match &te.event {
+                crate::trace::TraceEvent::Recalibrate { node, .. } => {
+                    adapt_by_node.entry(*node).or_default().0 = true;
+                }
+                crate::trace::TraceEvent::PlanRevision {
+                    promoted, evicted, ..
+                } => {
+                    for n in promoted {
+                        adapt_by_node.entry(*n).or_default().1 = true;
+                    }
+                    for n in evicted {
+                        adapt_by_node.entry(*n).or_default().2 = true;
+                    }
+                }
+                _ => {}
+            }
+        }
         let mut nodes = Vec::new();
         for id in 0..graph.len() {
             let prof = profile.nodes.get(&id);
@@ -158,6 +184,7 @@ impl PipelineReport {
                 && act.is_none()
                 && !counters.contains_key(&id)
                 && !recovery.contains_key(&id)
+                && !adapt_by_node.contains_key(&id)
             {
                 continue;
             }
@@ -205,6 +232,19 @@ impl PipelineReport {
                 speculative_wins: rec.speculative_wins,
                 recovery_secs: rec.recovery_secs,
                 fused_members,
+                adapt: adapt_by_node.get(&id).map(|&(recal, promo, evict)| {
+                    let mut parts = Vec::new();
+                    if recal {
+                        parts.push("recalibrated");
+                    }
+                    if promo {
+                        parts.push("promoted");
+                    }
+                    if evict {
+                        parts.push("evicted");
+                    }
+                    parts.join("+")
+                }),
             });
         }
         let cache_hits = nodes.iter().map(|n| n.cache.hits).sum();
@@ -317,6 +357,11 @@ impl PipelineReport {
                 json_string(&mut s, m);
             }
             s.push(']');
+            s.push_str(",\"adapt\":");
+            match &n.adapt {
+                Some(a) => json_string(&mut s, a),
+                None => s.push_str("null"),
+            }
             s.push('}');
         }
         s.push_str("]}");
@@ -327,7 +372,7 @@ impl PipelineReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<28} {:>6} {:>11} {:>11} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>8} {}\n",
+            "{:<28} {:>6} {:>11} {:>11} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>8} {:>8} {}\n",
             "node",
             "execs",
             "pred(s)",
@@ -340,6 +385,7 @@ impl PipelineReport {
             "retry",
             "spec",
             "rec(s)",
+            "adapt",
             "fused"
         ));
         for n in &self.nodes {
@@ -370,8 +416,9 @@ impl PipelineReport {
             } else {
                 n.fused_members.join("+")
             };
+            let adapt = n.adapt.as_deref().unwrap_or("-");
             out.push_str(&format!(
-                "{:<28} {:>6} {:>11} {:>11.5} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>8} {}\n",
+                "{:<28} {:>6} {:>11} {:>11.5} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>8} {:>8} {}\n",
                 label,
                 n.execs,
                 pred,
@@ -384,6 +431,7 @@ impl PipelineReport {
                 n.retries,
                 n.speculative_wins,
                 rec,
+                adapt,
                 fused
             ));
         }
@@ -647,6 +695,7 @@ mod tests {
             speculative_wins: 0,
             recovery_secs: 0.0,
             fused_members: Vec::new(),
+            adapt: None,
         };
         // Even load but 50% off → uniform mis-estimate.
         assert_eq!(base.miss_diagnosis(0.15), Some("uniform"));
@@ -662,6 +711,115 @@ mod tests {
             ..base
         };
         assert_eq!(no_spans.miss_diagnosis(0.15), Some("uniform"));
+    }
+
+    /// Builds a report row from `spans` ((partition, start_us, end_us))
+    /// joined against a 2.0s prediction and a 1.0s single-exec actual, so
+    /// `time_rel_error` is always 100% and only `skew_ratio` varies.
+    fn row_from_spans(spans: &[(usize, u64, u64)]) -> NodeReport {
+        let g = graph_with(&["src", "op"]);
+        let profile = profile_for(1, 2.0, 800.0);
+        let t = Tracer::new();
+        t.node_end(1, "op", 100, 800, 1.0, 0.5);
+        let m = MetricsRegistry::new();
+        for &(p, start, end) in spans {
+            m.record_span(keystone_dataflow::metrics::TaskSpan {
+                stage: "op".into(),
+                op: "map",
+                op_seq: 0,
+                stage_id: Some(1),
+                partition: p,
+                worker: p % 2,
+                start_us: start,
+                end_us: end,
+                items_in: 1,
+                items_out: 1,
+                bytes: 8,
+                retries: 0,
+                speculative: false,
+            });
+        }
+        let r = PipelineReport::build_with_metrics(&g, &profile, &t, Some(&m));
+        r.node("op").expect("row").clone()
+    }
+
+    #[test]
+    fn miss_diagnosis_single_partition_stage_is_uniform() {
+        // One partition: max == median busy time, so skew can never be
+        // blamed — the miss must fall through to "uniform".
+        let row = row_from_spans(&[(0, 0, 40)]);
+        assert_eq!(row.partitions, 1);
+        assert!((row.skew_ratio.expect("skew") - 1.0).abs() < 1e-9);
+        assert_eq!(row.miss_diagnosis(0.15), Some("uniform"));
+    }
+
+    #[test]
+    fn miss_diagnosis_zero_duration_spans_are_uniform_not_nan() {
+        // All spans start and end on the same microsecond. The skew ratio
+        // must stay finite (no 0/0 → NaN leaking into the diagnosis), and a
+        // NaN comparison would silently fail `r > 2.0` — pin that it lands
+        // on "uniform", not a panic or "skew".
+        let row = row_from_spans(&[(0, 5, 5), (1, 5, 5), (2, 5, 5)]);
+        let skew = row.skew_ratio.expect("skew present");
+        assert!(skew.is_finite(), "zero-duration spans produced {skew}");
+        assert_eq!(row.miss_diagnosis(0.15), Some("uniform"));
+    }
+
+    #[test]
+    fn miss_diagnosis_all_equal_spans_sit_exactly_on_the_boundary() {
+        // Four identical spans → skew ratio exactly 1.0; the `> 2.0` guard
+        // must not fire on equality-adjacent values.
+        let row = row_from_spans(&[(0, 0, 10), (1, 0, 10), (2, 0, 10), (3, 0, 10)]);
+        assert!((row.skew_ratio.expect("skew") - 1.0).abs() < 1e-9);
+        assert_eq!(row.miss_diagnosis(0.15), Some("uniform"));
+        // And exactly-2.0 max/median (two at 10, two at 20 → median 15,
+        // max 20 → ratio < 2) stays uniform; only strictly >2 flips.
+        let boundary = NodeReport {
+            skew_ratio: Some(2.0),
+            ..row.clone()
+        };
+        assert_eq!(boundary.miss_diagnosis(0.15), Some("uniform"));
+        let over = NodeReport {
+            skew_ratio: Some(2.0 + 1e-9),
+            ..row
+        };
+        assert_eq!(over.miss_diagnosis(0.15), Some("skew"));
+    }
+
+    #[test]
+    fn adaptation_events_join_onto_rows_json_and_table() {
+        use crate::trace::TraceEvent;
+        let g = graph_with(&["src", "hot", "stale"]);
+        let profile = profile_for(1, 2.0, 800.0);
+        let t = Tracer::new();
+        t.node_end(1, "hot", 100, 800, 1.0, 0.5);
+        t.record(TraceEvent::Recalibrate {
+            node: 1,
+            label: "hot".into(),
+            observed_requests: 3,
+            predicted_requests: 1.0,
+        });
+        t.record(TraceEvent::PlanRevision {
+            wave: 1,
+            promoted: vec![1],
+            evicted: vec![2],
+            predicted_saving_secs: 4.0,
+        });
+        let r = PipelineReport::build(&g, &profile, &t);
+        let hot = r.node("hot").expect("hot row");
+        assert_eq!(hot.adapt.as_deref(), Some("recalibrated+promoted"));
+        // The evicted node never executed and was never profiled, but the
+        // revision alone earns it a row.
+        let stale = r.node("stale").expect("stale row");
+        assert_eq!(stale.adapt.as_deref(), Some("evicted"));
+        assert_eq!(stale.execs, 0);
+        let json = r.to_json();
+        assert!(json_is_balanced(&json), "unbalanced: {json}");
+        assert!(json.contains("\"adapt\":\"recalibrated+promoted\""));
+        assert!(json.contains("\"adapt\":\"evicted\""));
+        let table = r.render_table();
+        assert!(table.contains("adapt"), "header column missing: {table}");
+        assert!(table.contains("evicted"), "flag missing: {table}");
     }
 
     #[test]

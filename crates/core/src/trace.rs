@@ -208,6 +208,37 @@ pub enum TraceEvent {
         /// Queue depth observed at arrival (equals the configured bound).
         queue_depth: usize,
     },
+    /// Adaptive re-optimization observed a node being requested more often
+    /// than the cost model predicted and recalibrated the materialization
+    /// problem from the executor's measured actuals (observed per-execution
+    /// simulated seconds and output bytes replace the subsample
+    /// extrapolations).
+    Recalibrate {
+        /// The node whose observed demand exceeded the prediction.
+        node: NodeId,
+        /// Node label.
+        label: String,
+        /// Requests observed so far this fit (including the triggering one).
+        observed_requests: u64,
+        /// Requests the pre-fit cost model predicted for the whole fit.
+        predicted_requests: f64,
+    },
+    /// The adaptive re-planner applied a mid-fit plan revision at a wave
+    /// boundary: materialization picks with no remaining demand are evicted,
+    /// and picks the recalibrated greedy solution wants — and that fit the
+    /// freed budget — are promoted. The decision itself is charged to the
+    /// simulated clock under an `adapt:` stage.
+    PlanRevision {
+        /// One-based revision number within this fit.
+        wave: u64,
+        /// Node ids newly admitted to the materialization set.
+        promoted: Vec<NodeId>,
+        /// Node ids removed from the materialization set (zero remaining
+        /// demand; their budget is reclaimed).
+        evicted: Vec<NodeId>,
+        /// Recalibrated-model runtime saving this revision predicts, seconds.
+        predicted_saving_secs: f64,
+    },
 }
 
 /// Aggregate recovery statistics derived from the event stream.

@@ -1,0 +1,164 @@
+//! Golden-file test for the [`FitReport::adaptation`] JSON wire format.
+//!
+//! The adaptation summary is a compatibility surface: the obs artifact
+//! embeds it, the CI adaptive job diffs it, and external tooling parses
+//! it. This test runs a deliberately mis-declared two-branch fit that
+//! triggers exactly one mid-fit revision, then compares
+//! [`AdaptationReport::to_json`] byte-for-byte against a checked-in
+//! golden file.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test -p keystone-core --test golden_adaptation
+//! ```
+//!
+//! [`FitReport::adaptation`]: keystone_core::pipeline::FitReport
+//! [`AdaptationReport::to_json`]: keystone_core::optimizer::AdaptationReport::to_json
+
+use keystone_core::context::ExecContext;
+use keystone_core::operator::{Estimator, Transformer};
+use keystone_core::optimizer::PipelineOptions;
+use keystone_core::pipeline::{gather, Pipeline};
+use keystone_core::profiler::ProfileOptions;
+use keystone_dataflow::collection::DistCollection;
+
+struct WideLift;
+impl Transformer<Vec<f64>, Vec<f64>> for WideLift {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        (0..16)
+            .map(|j| x.iter().sum::<f64>() * (j + 1) as f64)
+            .collect()
+    }
+}
+
+struct SkewLift;
+impl Transformer<Vec<f64>, Vec<f64>> for SkewLift {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        (0..16).map(|j| x.iter().sum::<f64>() + j as f64).collect()
+    }
+}
+
+struct MeanSub(Vec<f64>);
+impl Transformer<Vec<f64>, Vec<f64>> for MeanSub {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        x.iter().zip(&self.0).map(|(v, m)| v - m).collect()
+    }
+}
+
+fn column_means(data: &DistCollection<Vec<f64>>) -> Vec<f64> {
+    let rows = data.collect();
+    let n = rows.len().max(1) as f64;
+    let dim = rows.first().map(|r| r.len()).unwrap_or(0);
+    let mut mu = vec![0.0; dim];
+    for r in &rows {
+        for (m, v) in mu.iter_mut().zip(r) {
+            *m += v / n;
+        }
+    }
+    mu
+}
+
+/// Declares 6 passes, converges after one — its cached input goes unpaid.
+struct EagerSolver;
+impl Estimator<Vec<f64>, Vec<f64>> for EagerSolver {
+    fn fit(
+        &self,
+        data: &DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        Box::new(MeanSub(column_means(data)))
+    }
+
+    fn weight(&self) -> u32 {
+        6
+    }
+}
+
+/// Declares one pass, iterates 5 — its input's demand exceeds the plan.
+struct StubbornSolver;
+impl Estimator<Vec<f64>, Vec<f64>> for StubbornSolver {
+    fn fit(
+        &self,
+        data: &DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        Box::new(MeanSub(column_means(data)))
+    }
+
+    fn fit_lazy(
+        &self,
+        data: &dyn Fn() -> DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        let mut mu = Vec::new();
+        for _ in 0..5 {
+            mu = column_means(&data());
+        }
+        Box::new(MeanSub(mu))
+    }
+}
+
+fn adaptive_fit() -> keystone_core::optimizer::AdaptationReport {
+    let train = DistCollection::from_vec(
+        (0..48)
+            .map(|r| (0..8).map(|c| ((r * 13 + c) % 11) as f64).collect())
+            .collect(),
+        4,
+    );
+    let input = Pipeline::<Vec<f64>, Vec<f64>>::input();
+    let stale = input.and_then(WideLift).and_then_est(EagerSolver, &train);
+    let hot = input
+        .and_then(SkewLift)
+        .and_then_est(StubbornSolver, &train);
+    let pipe = gather(&[stale, hot]);
+    let ctx = ExecContext::default_cluster();
+    let opts = PipelineOptions {
+        profile: ProfileOptions {
+            sizes: vec![8, 16],
+            seed: 11,
+            select_operators: false,
+            deterministic_timing: true,
+        },
+        ..PipelineOptions::full()
+    }
+    .with_budget(20_000)
+    .with_adaptive(true);
+    let (_fitted, report) = pipe.fit(&ctx, &opts);
+    report.adaptation
+}
+
+#[test]
+fn adaptation_json_matches_golden_bytes() {
+    let adaptation = adaptive_fit();
+    // The fixture is only useful if it actually adapts.
+    assert!(
+        !adaptation.revisions.is_empty(),
+        "fixture failed to trigger a revision"
+    );
+    let actual = adaptation.to_json();
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/adaptation.json");
+    if std::env::var("GOLDEN_UPDATE").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with GOLDEN_UPDATE=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "AdaptationReport JSON drifted from its golden file; if intentional, \
+         regenerate with GOLDEN_UPDATE=1 cargo test -p keystone-core --test \
+         golden_adaptation"
+    );
+}
+
+#[test]
+fn adaptive_fit_is_deterministic_across_runs() {
+    assert_eq!(adaptive_fit(), adaptive_fit());
+}

@@ -102,6 +102,12 @@ struct Inner {
     used: u64,
     clock: u64,
     stats: CacheStats,
+    /// Keys an adaptive plan revision added to a [`CachePolicy::Pinned`]
+    /// membership after construction (see [`CacheManager::promote`]).
+    promoted: HashSet<u64>,
+    /// Keys an adaptive plan revision removed from a
+    /// [`CachePolicy::Pinned`] membership (see [`CacheManager::demote`]).
+    demoted: HashSet<u64>,
 }
 
 /// One observer notification, buffered inside the locked section and
@@ -136,6 +142,8 @@ impl CacheManager {
                 used: 0,
                 clock: 0,
                 stats: CacheStats::default(),
+                promoted: HashSet::new(),
+                demoted: HashSet::new(),
             }),
         }
     }
@@ -197,9 +205,48 @@ impl CacheManager {
     /// noise in observers or counters.
     pub fn policy_admits(&self, key: u64) -> bool {
         match &self.policy {
-            CachePolicy::Pinned(set) => set.contains(&key),
+            CachePolicy::Pinned(set) => {
+                let inner = self.inner.lock();
+                (set.contains(&key) && !inner.demoted.contains(&key))
+                    || inner.promoted.contains(&key)
+            }
             CachePolicy::Lru { .. } => true,
         }
+    }
+
+    /// Adds `key` to a [`CachePolicy::Pinned`] membership after
+    /// construction. Used by adaptive plan revisions to promote a
+    /// materialization pick the recalibrated cost model now wants. A no-op
+    /// under [`CachePolicy::Lru`], which already considers every key.
+    pub fn promote(&self, key: u64) {
+        let mut inner = self.inner.lock();
+        inner.demoted.remove(&key);
+        inner.promoted.insert(key);
+    }
+
+    /// Removes `key` from a [`CachePolicy::Pinned`] membership and drops
+    /// any resident entry, releasing its bytes. Returns `true` if an entry
+    /// was resident. The drop is an *eviction* (a deliberate policy
+    /// decision), not an invalidation: observers see `on_evict` and the
+    /// executor's lineage recompute covers any later demand.
+    pub fn demote(&self, key: u64) -> bool {
+        let (dropped, note) = {
+            let mut inner = self.inner.lock();
+            inner.promoted.remove(&key);
+            inner.demoted.insert(key);
+            match inner.entries.remove(&key) {
+                Some(e) => {
+                    inner.used -= e.size;
+                    inner.stats.evictions += 1;
+                    (true, Some(Note::Evict(key)))
+                }
+                None => (false, None),
+            }
+        };
+        if let Some(note) = note {
+            self.emit(&[note]);
+        }
+        dropped
     }
 
     /// Looks up a cached value, updating recency.
@@ -276,7 +323,9 @@ impl CacheManager {
         }
         match &self.policy {
             CachePolicy::Pinned(set) => {
-                if !set.contains(&key) || size > self.budget.saturating_sub(inner.used) {
+                let member = (set.contains(&key) && !inner.demoted.contains(&key))
+                    || inner.promoted.contains(&key);
+                if !member || size > self.budget.saturating_sub(inner.used) {
                     inner.stats.rejected += 1;
                     notes.push(Note::Reject(key));
                     return false;
@@ -842,6 +891,59 @@ mod tests {
         assert_eq!(s.misses, 1);
         assert_eq!(s.evictions, 1);
         assert_eq!(s.rejected, 1);
+    }
+
+    #[test]
+    fn promote_opens_pinned_membership() {
+        let set: HashSet<u64> = [1].into_iter().collect();
+        let c = CacheManager::new(100, CachePolicy::Pinned(set));
+        assert!(!c.policy_admits(5));
+        assert!(!c.put(5, val(5), 10), "non-member admitted");
+        c.promote(5);
+        assert!(c.policy_admits(5));
+        assert!(c.put(5, val(5), 10), "promoted key rejected");
+        assert!(c.get(5).is_some());
+        // Original members are unaffected.
+        assert!(c.policy_admits(1));
+    }
+
+    #[test]
+    fn demote_closes_membership_and_evicts_resident_entry() {
+        let rec = Arc::new(Recorder::default());
+        let set: HashSet<u64> = [1, 2].into_iter().collect();
+        let c = CacheManager::new(100, CachePolicy::Pinned(set)).with_observer(rec.clone());
+        assert!(c.put(1, val(1), 40));
+        assert!(c.demote(1), "resident entry not dropped");
+        assert!(!c.policy_admits(1));
+        assert!(c.get(1).is_none());
+        assert_eq!(c.used(), 0, "demote did not release bytes");
+        assert!(!c.put(1, val(1), 40), "demoted key re-admitted");
+        // The drop is an eviction (a policy decision), never an invalidation.
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().invalidations, 0);
+        let events = rec.events.lock().clone();
+        assert_eq!(events, vec!["admit:1:40", "evict:1", "miss:1", "reject:1"]);
+        // Demoting a non-resident key reports nothing dropped.
+        assert!(!c.demote(2));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn promote_after_demote_reopens_membership() {
+        let set: HashSet<u64> = [1].into_iter().collect();
+        let c = CacheManager::new(100, CachePolicy::Pinned(set));
+        c.demote(1);
+        assert!(!c.policy_admits(1));
+        c.promote(1);
+        assert!(c.policy_admits(1));
+        assert!(c.put(1, val(1), 10));
+        // And the freed budget from a demotion is usable by a promotion.
+        let tight = CacheManager::new(40, CachePolicy::Pinned([7u64].into_iter().collect()));
+        assert!(tight.put(7, val(7), 40));
+        assert!(!tight.put(8, val(8), 40));
+        tight.demote(7);
+        tight.promote(8);
+        assert!(tight.put(8, val(8), 40), "freed budget not reusable");
     }
 
     #[test]

@@ -55,7 +55,11 @@ use crate::json::JVal;
 /// Version stamped into every artifact; bump on any change to the JSON
 /// layout. Readers check it via [`schema_version_of`] before trusting
 /// field paths.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 — initial layout; v2 — adaptive re-optimization: per-node
+/// `adapt` flags, the top-level `adaptation` section (fit runs), and the
+/// `recalibrate` / `plan_revision` event types.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// What kind of run the artifact records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,6 +173,10 @@ pub struct NodeRow {
     pub speculative_wins: u64,
     /// Simulated seconds of recovery work charged against this node.
     pub recovery_secs: f64,
+    /// Adaptive re-optimization flags (`"recalibrated"` / `"promoted"` /
+    /// `"evicted"`, `+`-joined), `None` when adaptation never touched the
+    /// node.
+    pub adapt: Option<String>,
 }
 
 /// One per-partition task span row (wall fields optional — nulled in
@@ -319,6 +327,9 @@ pub struct RunArtifact {
     pub recovery: RecoveryStats,
     /// Serving latency splits (serve runs only).
     pub serve: Option<ServeSection>,
+    /// Adaptive re-optimization summary (fit runs only; `None` elsewhere
+    /// and on fits where adaptation was disabled before schema v2).
+    pub adaptation: Option<keystone_core::optimizer::AdaptationReport>,
 }
 
 fn kind_name(kind: &NodeKind) -> &'static str {
@@ -413,6 +424,7 @@ fn node_rows(report: &PipelineReport, spans: &[TaskSpan], deterministic: bool) -
             retries: n.retries,
             speculative_wins: n.speculative_wins,
             recovery_secs: n.recovery_secs,
+            adapt: n.adapt.clone(),
         })
         .collect()
 }
@@ -490,6 +502,7 @@ impl RunArtifact {
             spans: span_rows(spans, opts.deterministic),
             recovery: ctx.tracer.recovery_stats(),
             serve,
+            adaptation: None,
         }
     }
 
@@ -518,6 +531,7 @@ impl RunArtifact {
         if !opts.deterministic {
             artifact.optimize_secs = Some(report.optimize_secs);
         }
+        artifact.adaptation = Some(report.adaptation.clone());
         artifact
     }
 
@@ -687,6 +701,13 @@ impl RunArtifact {
                     None => JVal::Null,
                 },
             ),
+            (
+                "adaptation",
+                match &self.adaptation {
+                    Some(a) => adaptation_jval(a),
+                    None => JVal::Null,
+                },
+            ),
         ])
     }
 }
@@ -776,6 +797,43 @@ fn node_row_jval(n: &NodeRow) -> JVal {
         ("retries", JVal::UInt(n.retries)),
         ("speculative_wins", JVal::UInt(n.speculative_wins)),
         ("recovery_secs", JVal::Num(n.recovery_secs)),
+        (
+            "adapt",
+            n.adapt.as_deref().map(JVal::str).unwrap_or(JVal::Null),
+        ),
+    ])
+}
+
+fn adaptation_jval(a: &keystone_core::optimizer::AdaptationReport) -> JVal {
+    JVal::obj(vec![
+        ("recalibrations", JVal::UInt(a.recalibrations)),
+        (
+            "revisions",
+            JVal::Arr(
+                a.revisions
+                    .iter()
+                    .map(|r| {
+                        JVal::obj(vec![
+                            ("wave", JVal::UInt(r.wave)),
+                            (
+                                "promoted",
+                                JVal::Arr(
+                                    r.promoted.iter().map(|&n| JVal::UInt(n as u64)).collect(),
+                                ),
+                            ),
+                            (
+                                "evicted",
+                                JVal::Arr(
+                                    r.evicted.iter().map(|&n| JVal::UInt(n as u64)).collect(),
+                                ),
+                            ),
+                            ("predicted_saving_secs", JVal::Num(r.predicted_saving_secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("decision_secs", JVal::Num(a.decision_secs)),
     ])
 }
 
@@ -1003,6 +1061,36 @@ fn event_jval(e: &TracedEvent, deterministic: bool) -> JVal {
             pairs.push(("request", JVal::UInt(*request)));
             pairs.push(("at_secs", JVal::Num(*at_secs)));
             pairs.push(("queue_depth", JVal::UInt(*queue_depth as u64)));
+        }
+        TraceEvent::Recalibrate {
+            node,
+            label,
+            observed_requests,
+            predicted_requests,
+        } => {
+            pairs.push(("type", JVal::str("recalibrate")));
+            pairs.push(("node", JVal::UInt(*node as u64)));
+            pairs.push(("label", JVal::str(label)));
+            pairs.push(("observed_requests", JVal::UInt(*observed_requests)));
+            pairs.push(("predicted_requests", JVal::Num(*predicted_requests)));
+        }
+        TraceEvent::PlanRevision {
+            wave,
+            promoted,
+            evicted,
+            predicted_saving_secs,
+        } => {
+            pairs.push(("type", JVal::str("plan_revision")));
+            pairs.push(("wave", JVal::UInt(*wave)));
+            pairs.push((
+                "promoted",
+                JVal::Arr(promoted.iter().map(|&n| JVal::UInt(n as u64)).collect()),
+            ));
+            pairs.push((
+                "evicted",
+                JVal::Arr(evicted.iter().map(|&n| JVal::UInt(n as u64)).collect()),
+            ));
+            pairs.push(("predicted_saving_secs", JVal::Num(*predicted_saving_secs)));
         }
     }
     JVal::obj(pairs)

@@ -129,6 +129,45 @@ pub fn diagnose_with(artifact: &RunArtifact, opts: &DiagnoseOptions) -> Diagnosi
     Diagnosis { findings }
 }
 
+/// Converts a diagnosis into [`AdaptiveHints`] for the next fit's
+/// what-if re-planner: `misprediction` findings become per-node cost
+/// overrides (the observed simulated seconds per execution replaces the
+/// profiler's estimate) and `unpaid-materialization` findings flag their
+/// picks for eviction at the first revision point. This closes the
+/// observe → diagnose → re-plan loop: feed the result to
+/// [`PipelineOptions::with_adaptive_hints`].
+///
+/// [`AdaptiveHints`]: keystone_core::optimizer::AdaptiveHints
+/// [`PipelineOptions::with_adaptive_hints`]:
+///     keystone_core::optimizer::PipelineOptions::with_adaptive_hints
+pub fn replanner_hints(diagnosis: &Diagnosis) -> keystone_core::optimizer::AdaptiveHints {
+    let mut hints = keystone_core::optimizer::AdaptiveHints::default();
+    for f in &diagnosis.findings {
+        let Some(node) = f.node else { continue };
+        match f.rule {
+            "misprediction" => {
+                let observed = f
+                    .evidence
+                    .iter()
+                    .find(|(k, _)| *k == "actual_sim_secs_per_exec")
+                    .map(|&(_, v)| v);
+                if let Some(secs) = observed {
+                    if secs.is_finite() && secs > 0.0 {
+                        hints.cost_overrides.push((node, secs));
+                    }
+                }
+            }
+            "unpaid-materialization" => hints.unpaid_picks.push(node),
+            _ => {}
+        }
+    }
+    hints.cost_overrides.sort_by_key(|o| o.0);
+    hints.cost_overrides.dedup_by_key(|&mut (n, _)| n);
+    hints.unpaid_picks.sort_unstable();
+    hints.unpaid_picks.dedup();
+    hints
+}
+
 fn detect_stragglers(artifact: &RunArtifact, opts: &DiagnoseOptions, out: &mut Vec<Finding>) {
     for n in &artifact.nodes {
         // Prefer the deterministic record-skew signal; fall back to busy
@@ -518,6 +557,7 @@ mod tests {
             retries: 0,
             speculative_wins: 0,
             recovery_secs: 0.0,
+            adapt: None,
         };
         let mut nodes = vec![row(0), row(1), row(2), row(3)];
         // Node 1: 10x record skew — straggler (critical: > 4× threshold).
@@ -573,7 +613,22 @@ mod tests {
                 recovery_secs: 1.0,
             },
             serve: None,
+            adaptation: None,
         }
+    }
+
+    #[test]
+    fn replanner_hints_fold_mispredictions_and_unpaid_picks() {
+        let d = diagnose(&synthetic_artifact());
+        let hints = replanner_hints(&d);
+        // Node 3: predicted 0.1s but charged 1.0s/exec → cost override at
+        // the observed rate.
+        assert_eq!(hints.cost_overrides, vec![(3, 1.0)]);
+        // Node 2: the never-hit materialization pick → eviction flag.
+        assert_eq!(hints.unpaid_picks, vec![2]);
+        // An empty diagnosis yields empty hints.
+        let none = replanner_hints(&Diagnosis::default());
+        assert!(none.cost_overrides.is_empty() && none.unpaid_picks.is_empty());
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub use artifact::{
     schema_version_of, CaptureOptions, HistogramRow, NodeRow, PlanNode, PlanSection, RunArtifact,
     RunKind, ServeSection, SpanRow, SCHEMA_VERSION,
 };
-pub use diagnose::{diagnose, diagnose_with, DiagnoseOptions, Diagnosis, Finding, Severity};
+pub use diagnose::{
+    diagnose, diagnose_with, replanner_hints, DiagnoseOptions, Diagnosis, Finding, Severity,
+};
 pub use regress::{
     direction_of, ArtifactDiff, BenchSnapshot, Direction, GateReport, Regression, RegressionGate,
 };

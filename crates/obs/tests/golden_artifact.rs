@@ -135,6 +135,7 @@ fn golden_is_reparsable_and_self_describing() {
         "events",
         "spans",
         "recovery",
+        "adaptation",
     ] {
         assert!(doc.get(key).is_some(), "missing top-level `{key}`");
     }

@@ -13,7 +13,9 @@ use keystone_dataflow::collection::DistCollection;
 use keystone_ops::stats::{Normalizer, SignedPowerNormalizer};
 use keystone_workloads::dense_gen::TimitLike;
 
-use crate::ops::{AbsVal, Affine, SeqMeanCenter, SeqRangeScale, SwapHalves, TwoPathScale};
+use crate::ops::{
+    AbsVal, Affine, SeqMeanCenter, SeqRangeScale, SwapHalves, TwoPathScale, UnderdeclaredMeanCenter,
+};
 
 /// Sebastiano Vigna's splitmix64 — the testkit's only randomness source.
 /// Small, stateful, and trivially reproducible from the seed.
@@ -118,7 +120,7 @@ pub fn generate(seed: u64, train: &DistCollection<Vec<f64>>) -> GeneratedPipelin
 
     let stages = 3 + rng.pick(5) as usize;
     for _ in 0..stages {
-        match rng.pick(8) {
+        match rng.pick(9) {
             0 => {
                 let a = A_GRID[rng.pick(4) as usize];
                 let b = B_GRID[rng.pick(4) as usize];
@@ -162,6 +164,16 @@ pub fn generate(seed: u64, train: &DistCollection<Vec<f64>>) -> GeneratedPipelin
                 cur = cur.and_then_est(SeqMeanCenter { passes }, train);
                 estimators += 1;
                 desc.push(format!("SeqMeanCenter(w={passes})"));
+            }
+            7 => {
+                // Declares one pass but iterates more — exactly the kind of
+                // cost-model lie the adaptive re-planner is built to catch.
+                // The fitted model is bit-identical regardless of the lie,
+                // so the oracle's cross-cell comparison stays valid.
+                let actual_passes = 2 + rng.pick(3) as u32;
+                cur = cur.and_then_est(UnderdeclaredMeanCenter { actual_passes }, train);
+                estimators += 1;
+                desc.push(format!("UnderdeclaredMeanCenter(actual={actual_passes})"));
             }
             _ => {
                 let passes = 2 + rng.pick(2) as u32;

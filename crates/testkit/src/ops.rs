@@ -327,6 +327,77 @@ impl Estimator<Vec<f64>, Vec<f64>> for SeqRangeScale {
     }
 }
 
+/// [`SeqMeanCenter`] with a *lying* weight declaration: `weight()` reports
+/// a single pass while `fit_lazy` actually re-pulls the training input
+/// `actual_passes` times. The materialization optimizer therefore
+/// under-provisions its input — exactly the mis-profiled shape the
+/// adaptive re-planner exists to correct. The fitted model is a pure
+/// function of the input (every pass computes the same mean), so outputs
+/// stay bit-identical whether or not adaptation caches the input
+/// mid-fit.
+#[derive(Clone, Copy)]
+pub struct UnderdeclaredMeanCenter {
+    /// How many passes `fit_lazy` actually performs (declared: 1).
+    pub actual_passes: u32,
+}
+
+impl Estimator<Vec<f64>, Vec<f64>> for UnderdeclaredMeanCenter {
+    fn fit(
+        &self,
+        data: &DistCollection<Vec<f64>>,
+        ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        self.fit_lazy(&|| data.clone(), ctx)
+    }
+
+    fn fit_lazy(
+        &self,
+        data: &dyn Fn() -> DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        let mut mean = Vec::new();
+        for _ in 0..self.actual_passes.max(1) {
+            mean = seq_mean(&data().collect());
+        }
+        Box::new(SubtractVec(mean))
+    }
+
+    fn weight(&self) -> u32 {
+        1
+    }
+
+    fn name(&self) -> String {
+        "UnderdeclaredMeanCenter".into()
+    }
+}
+
+/// The opposite lie: `weight()` declares `declared_passes` but `fit_lazy`
+/// converges after a single pull, so any materialization pick made for it
+/// goes unpaid — the eviction half of the adaptive re-planner's job.
+#[derive(Clone, Copy)]
+pub struct OverdeclaredMeanCenter {
+    /// The declared pass count (actual: 1).
+    pub declared_passes: u32,
+}
+
+impl Estimator<Vec<f64>, Vec<f64>> for OverdeclaredMeanCenter {
+    fn fit(
+        &self,
+        data: &DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        Box::new(SubtractVec(seq_mean(&data.collect())))
+    }
+
+    fn weight(&self) -> u32 {
+        self.declared_passes.max(1)
+    }
+
+    fn name(&self) -> String {
+        "OverdeclaredMeanCenter".into()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +444,30 @@ mod tests {
                 assert!(v.abs() <= 1.0);
             }
         }
+    }
+
+    #[test]
+    fn misdeclared_estimators_fit_the_same_model_as_the_honest_one() {
+        let rows: Vec<Vec<f64>> = (0..13)
+            .map(|i| vec![i as f64 * 0.75, -(i as f64)])
+            .collect();
+        let data = DistCollection::from_vec(rows, 3);
+        let ctx = ExecContext::default_cluster();
+        let probe = vec![2.5, -1.25];
+        let bits = |m: &dyn Transformer<Vec<f64>, Vec<f64>>| {
+            m.apply(&probe)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        };
+        let honest = SeqMeanCenter { passes: 1 }.fit(&data, &ctx);
+        let under = UnderdeclaredMeanCenter { actual_passes: 4 }.fit(&data, &ctx);
+        let over = OverdeclaredMeanCenter { declared_passes: 6 }.fit(&data, &ctx);
+        assert_eq!(bits(honest.as_ref()), bits(under.as_ref()));
+        assert_eq!(bits(honest.as_ref()), bits(over.as_ref()));
+        // The lies live only in the declarations.
+        assert_eq!(UnderdeclaredMeanCenter { actual_passes: 4 }.weight(), 1);
+        assert_eq!(OverdeclaredMeanCenter { declared_passes: 6 }.weight(), 6);
     }
 
     #[test]

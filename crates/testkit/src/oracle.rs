@@ -3,20 +3,26 @@
 //! For one seed, [`matrix`] enumerates a grid of optimizer configurations —
 //! optimization level × materialization budget × caching strategy ×
 //! partition count × seeded fault plan × whole-stage fusion on/off ×
-//! columnar lowering on/off — and [`check_seed`] fits the seed's generated
-//! pipeline in every cell, comparing held-out predictions *bitwise*
-//! (`f64::to_bits`, so `-0.0` vs `0.0` or NaN payload drift cannot
-//! masquerade as equality). The four physical variants (fusion × columnar)
-//! of each configuration must additionally choose the exact same
-//! materialization picks — fusion and columnar lowering are physical
-//! rewrites and may never perturb the caching decision. Any divergence
-//! produces a report carrying the seed, the generated recipe, the DAG
-//! summary, and the one-command repro.
+//! columnar lowering on/off × adaptive re-optimization on/off — and
+//! [`check_seed`] fits the seed's generated pipeline in every cell,
+//! comparing held-out predictions *bitwise* (`f64::to_bits`, so `-0.0` vs
+//! `0.0` or NaN payload drift cannot masquerade as equality). The four
+//! physical variants (fusion × columnar) of each configuration must
+//! additionally choose the exact same materialization picks — fusion and
+//! columnar lowering are physical rewrites and may never perturb the
+//! caching decision. Each adaptive cell is further compared against its
+//! static twin: adaptation is *cost-only*, so it may never increase the
+//! simulated fit cost beyond the charged decision overhead, and when no
+//! revision fires the two twins must agree to the last bit of the clock.
+//! Any divergence produces a report carrying the seed, the generated
+//! recipe, the DAG summary, and the one-command repro.
 
 use std::collections::{HashMap, HashSet};
 
 use keystone_core::context::ExecContext;
-use keystone_core::optimizer::{build_mat_problem, fit_roots, CachingStrategy, PipelineOptions};
+use keystone_core::optimizer::{
+    build_mat_problem, fit_roots, CachingStrategy, PipelineOptions, ADAPT_DECISION_SECS,
+};
 use keystone_core::profiler::ProfileOptions;
 use keystone_dataflow::faults::FaultSpec;
 
@@ -31,7 +37,7 @@ pub const BUDGET_UNBOUNDED: u64 = 1 << 40;
 
 /// One configuration under which a generated pipeline is fit and applied.
 pub struct MatrixCell {
-    /// Display name, e.g. `full/greedy-tight/p4/faults+fuse+col`.
+    /// Display name, e.g. `full/greedy-tight/p4/faults+adapt+fuse+col`.
     pub name: String,
     /// Key shared by the four physical variants (fusion × columnar) of the
     /// same base configuration; materialization picks are compared within a
@@ -49,6 +55,11 @@ pub struct MatrixCell {
     /// off). Only observable when `fused` is also on; forcing it in both
     /// directions on unfused cells pins the toggle as a structural no-op.
     pub col: bool,
+    /// Whether mid-fit adaptive re-optimization is forced on (vs forced
+    /// off). Adaptation is cost-only: predictions must stay bit-identical
+    /// and the simulated fit cost may never exceed the static twin's by
+    /// more than the charged decision overhead.
+    pub adapt: bool,
 }
 
 pub(crate) fn profile_opts() -> ProfileOptions {
@@ -63,8 +74,8 @@ pub(crate) fn profile_opts() -> ProfileOptions {
 }
 
 /// The full configuration matrix for one seed: 7 optimizer configurations ×
-/// {1, 4} partitions × {no faults, seeded faults} × {fusion off, fusion on}
-/// × {columnar off, columnar on} = 112 cells.
+/// {1, 4} partitions × {no faults, seeded faults} × {adaptive off, adaptive
+/// on} × {fusion off, fusion on} × {columnar off, columnar on} = 224 cells.
 pub fn matrix(_seed: u64) -> Vec<MatrixCell> {
     let configs: Vec<(&str, PipelineOptions)> = vec![
         ("none", PipelineOptions::none()),
@@ -97,35 +108,43 @@ pub fn matrix(_seed: u64) -> Vec<MatrixCell> {
             PipelineOptions::full().with_budget(BUDGET_UNBOUNDED),
         ),
     ];
-    let mut cells = Vec::with_capacity(configs.len() * 16);
+    let mut cells = Vec::with_capacity(configs.len() * 32);
     for partitions in [1usize, 4] {
         for faulted in [false, true] {
             for (tag, opts) in &configs {
-                let pair = format!(
-                    "{tag}/p{partitions}{}",
-                    if faulted { "/faults" } else { "" }
-                );
-                for fused in [false, true] {
-                    for col in [false, true] {
-                        let mut name = pair.clone();
-                        if fused {
-                            name.push_str("+fuse");
+                for adapt in [false, true] {
+                    let pair = format!(
+                        "{tag}/p{partitions}{}{}",
+                        if faulted { "/faults" } else { "" },
+                        if adapt { "+adapt" } else { "" }
+                    );
+                    for fused in [false, true] {
+                        for col in [false, true] {
+                            let mut name = pair.clone();
+                            if fused {
+                                name.push_str("+fuse");
+                            }
+                            if col {
+                                name.push_str("+col");
+                            }
+                            cells.push(MatrixCell {
+                                name,
+                                pair: pair.clone(),
+                                opts: PipelineOptions {
+                                    profile: profile_opts(),
+                                    ..opts
+                                        .clone()
+                                        .with_fusion(fused)
+                                        .with_columnar(col)
+                                        .with_adaptive(adapt)
+                                },
+                                partitions,
+                                faulted,
+                                fused,
+                                col,
+                                adapt,
+                            });
                         }
-                        if col {
-                            name.push_str("+col");
-                        }
-                        cells.push(MatrixCell {
-                            name,
-                            pair: pair.clone(),
-                            opts: PipelineOptions {
-                                profile: profile_opts(),
-                                ..opts.clone().with_fusion(fused).with_columnar(col)
-                            },
-                            partitions,
-                            faulted,
-                            fused,
-                            col,
-                        });
                     }
                 }
             }
@@ -161,10 +180,18 @@ pub struct CellRun {
     pub bits: Vec<Vec<u64>>,
     /// The chosen cache set, sorted for stable comparison.
     pub mat_picks: Vec<usize>,
+    /// Simulated seconds on the clock when fit returned (profiling +
+    /// optimization + fit waves + any adaptive decision charges).
+    pub sim_fit_secs: f64,
+    /// Adaptive recalibration triggers observed during fit.
+    pub recalibrations: u64,
+    /// Applied (non-empty) mid-fit plan revisions.
+    pub revisions: u64,
 }
 
 /// Fits the seed's pipeline under `cell` and returns the held-out
-/// predictions as raw bit patterns plus the materialization picks.
+/// predictions as raw bit patterns plus the materialization picks and the
+/// adaptive accounting for twin comparison.
 pub fn run_cell(seed: u64, cell: &MatrixCell) -> CellRun {
     let spec = DataSpec::from_seed(seed);
     let train = spec.train(cell.partitions);
@@ -172,6 +199,7 @@ pub fn run_cell(seed: u64, cell: &MatrixCell) -> CellRun {
     let generated = generate(seed, &train);
     let ctx = cell_context(seed, cell);
     let (fitted, report) = generated.pipeline.fit(&ctx, &cell.opts);
+    let sim_fit_secs = ctx.sim.total_seconds();
     let mut mat_picks: Vec<usize> = report.cache_set.iter().copied().collect();
     mat_picks.sort_unstable();
     let bits = fitted
@@ -180,7 +208,13 @@ pub fn run_cell(seed: u64, cell: &MatrixCell) -> CellRun {
         .into_iter()
         .map(|row| row.into_iter().map(f64::to_bits).collect())
         .collect();
-    CellRun { bits, mat_picks }
+    CellRun {
+        bits,
+        mat_picks,
+        sim_fit_secs,
+        recalibrations: report.adaptation.recalibrations,
+        revisions: report.adaptation.revisions.len() as u64,
+    }
 }
 
 /// Successful differential run over one seed.
@@ -193,14 +227,19 @@ pub struct SeedReport {
 }
 
 /// Runs the full matrix for `seed`, requiring bit-identical predictions in
-/// every cell and identical materialization picks among the four physical
-/// variants (fusion × columnar) of each base configuration. On divergence returns a
+/// every cell, identical materialization picks among the four physical
+/// variants (fusion × columnar) of each base configuration, and cost-only
+/// adaptation: every `+adapt` cell is compared against its static twin —
+/// the adaptive simulated fit cost may never exceed the static cost by more
+/// than the charged decision overhead, and when no revision fired the twins
+/// must match the clock (and the picks) exactly. On divergence returns a
 /// report with everything needed to reproduce: the seed, the generated
 /// recipe, the DAG, and the command.
 pub fn check_seed(seed: u64) -> Result<SeedReport, String> {
     let cells = matrix(seed);
     let mut baseline: Option<(&str, Vec<Vec<u64>>)> = None;
     let mut picks_by_pair: HashMap<&str, (&str, Vec<usize>)> = HashMap::new();
+    let mut static_twins: HashMap<String, (&str, f64, Vec<usize>)> = HashMap::new();
     for cell in &cells {
         let run = run_cell(seed, cell);
         match &baseline {
@@ -213,7 +252,7 @@ pub fn check_seed(seed: u64) -> Result<SeedReport, String> {
         }
         match picks_by_pair.get(cell.pair.as_str()) {
             None => {
-                picks_by_pair.insert(&cell.pair, (&cell.name, run.mat_picks));
+                picks_by_pair.insert(&cell.pair, (&cell.name, run.mat_picks.clone()));
             }
             Some((other_name, other_picks)) => {
                 if *other_picks != run.mat_picks {
@@ -225,6 +264,80 @@ pub fn check_seed(seed: u64) -> Result<SeedReport, String> {
                         cell.name,
                         run.mat_picks,
                         failure_report(seed, other_name, &cell.name)
+                    ));
+                }
+            }
+        }
+        if !cell.adapt {
+            static_twins.insert(
+                cell.name.clone(),
+                (&cell.name, run.sim_fit_secs, run.mat_picks),
+            );
+        } else {
+            // The static twin shares the name minus the `+adapt` marker and
+            // is always generated (and therefore run) first.
+            let twin_key = cell.name.replace("+adapt", "");
+            let (twin_name, sim_off, twin_picks) = static_twins
+                .get(&twin_key)
+                .unwrap_or_else(|| panic!("static twin `{twin_key}` missing for `{}`", cell.name));
+            if cell.faulted {
+                // Fault-injected fits keep the static plan (recovery work
+                // charges measured durations to the clock, so the clock is
+                // not twin-comparable); adaptation must never engage.
+                if run.recalibrations != 0 || run.revisions != 0 {
+                    return Err(format!(
+                        "adaptation engaged under fault injection: `{}` recorded {} \
+                         recalibrations / {} revisions\n{}",
+                        cell.name,
+                        run.recalibrations,
+                        run.revisions,
+                        failure_report(seed, twin_name, &cell.name)
+                    ));
+                }
+                if run.mat_picks != *twin_picks {
+                    return Err(format!(
+                        "adaptive toggle changed the cache set under faults: `{}` \
+                         chose {:?} but static twin `{twin_name}` chose {:?}\n{}",
+                        cell.name,
+                        run.mat_picks,
+                        twin_picks,
+                        failure_report(seed, twin_name, &cell.name)
+                    ));
+                }
+                continue;
+            }
+            let allowance = run.revisions as f64 * ADAPT_DECISION_SECS + 1e-12;
+            if run.sim_fit_secs > sim_off + allowance {
+                return Err(format!(
+                    "adaptation increased simulated fit cost: `{}` spent {:.9}s but \
+                     static twin `{twin_name}` spent {:.9}s ({} revisions, allowance \
+                     {allowance:.12}s)\n{}",
+                    cell.name,
+                    run.sim_fit_secs,
+                    sim_off,
+                    run.revisions,
+                    failure_report(seed, twin_name, &cell.name)
+                ));
+            }
+            if run.revisions == 0 {
+                if run.sim_fit_secs.to_bits() != sim_off.to_bits() {
+                    return Err(format!(
+                        "adaptation without a revision perturbed the clock: `{}` spent \
+                         {:.12}s but static twin `{twin_name}` spent {:.12}s\n{}",
+                        cell.name,
+                        run.sim_fit_secs,
+                        sim_off,
+                        failure_report(seed, twin_name, &cell.name)
+                    ));
+                }
+                if run.mat_picks != *twin_picks {
+                    return Err(format!(
+                        "adaptation without a revision changed the cache set: `{}` \
+                         chose {:?} but static twin `{twin_name}` chose {:?}\n{}",
+                        cell.name,
+                        run.mat_picks,
+                        twin_picks,
+                        failure_report(seed, twin_name, &cell.name)
                     ));
                 }
             }
@@ -346,13 +459,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn matrix_has_112_distinct_cells_in_physical_variant_pairs() {
+    fn matrix_has_224_distinct_cells_in_physical_variant_pairs() {
         let cells = matrix(0);
-        assert_eq!(cells.len(), 112);
+        assert_eq!(cells.len(), 224);
         let names: HashSet<&str> = cells.iter().map(|c| c.name.as_str()).collect();
-        assert_eq!(names.len(), 112, "cell names must be unique");
+        assert_eq!(names.len(), 224, "cell names must be unique");
         let pairs: HashSet<&str> = cells.iter().map(|c| c.pair.as_str()).collect();
-        assert_eq!(pairs.len(), 28, "every base config appears as one pair");
+        assert_eq!(pairs.len(), 56, "every base config appears as one pair");
         for pair in &pairs {
             let variants: Vec<&MatrixCell> = cells.iter().filter(|c| c.pair == *pair).collect();
             assert_eq!(variants.len(), 4, "pair `{pair}` must have 4 variants");
@@ -362,13 +475,27 @@ mod tests {
                 variants.iter().any(|c| c.fused && c.col),
                 "pair `{pair}` must cover the fused+columnar corner"
             );
+            // Adaptation is part of the pair key, never mixed inside one.
+            let adapt = variants[0].adapt;
+            assert!(variants.iter().all(|c| c.adapt == adapt));
+            assert_eq!(pair.contains("+adapt"), adapt);
         }
         assert!(cells.iter().any(|c| c.faulted));
         assert!(cells.iter().any(|c| c.partitions == 4));
-        // The fusion and columnar axes must be forced in both directions,
-        // never left to the opt level's default.
+        // Every static cell has an adaptive twin under the `+adapt` name.
+        for cell in cells.iter().filter(|c| !c.adapt) {
+            let twin = format!("{}+adapt", cell.pair);
+            assert!(
+                cells.iter().any(|c| c.adapt && c.pair == twin),
+                "static pair `{}` has no adaptive twin",
+                cell.pair
+            );
+        }
+        // The fusion, columnar, and adaptive axes must be forced in both
+        // directions, never left to the opt level's default.
         assert!(cells.iter().all(|c| c.opts.fusion_enabled() == c.fused));
         assert!(cells.iter().all(|c| c.opts.columnar_enabled() == c.col));
+        assert!(cells.iter().all(|c| c.opts.adaptive_enabled() == c.adapt));
     }
 
     #[test]
@@ -394,6 +521,6 @@ mod tests {
     #[test]
     fn single_seed_smoke() {
         let report = check_seed(3).unwrap_or_else(|e| panic!("{e}"));
-        assert_eq!(report.cells, 112);
+        assert_eq!(report.cells, 224);
     }
 }

@@ -1,0 +1,261 @@
+//! Adaptive re-optimization on a deliberately mis-profiled workload.
+//!
+//! Two featurized branches are gathered into one pipeline, and both
+//! solvers lie to the optimizer about their pass counts:
+//!
+//! * `EagerSolver` declares 6 passes (`weight() == 6`) but converges after
+//!   one — the greedy materializer dutifully pins its featurized input
+//!   (`WideLift`), spending the whole cache budget on a pick that is never
+//!   reused.
+//! * `StubbornSolver` declares a single pass but actually iterates 8
+//!   times — its featurized input (`SkewLift`, fed skewed fat-row
+//!   partitions) is recomputed on every pass because the optimizer saw no
+//!   reuse to cache.
+//!
+//! With adaptation on, the executor notices `SkewLift`'s demand exceeding
+//! the plan's prediction at the second request, recalibrates the
+//! materialization problem from observed traces, evicts the unpaid
+//! `WideLift` pick, and promotes `SkewLift` into the freed budget — all
+//! charged to the simulated clock at the (tiny) decision cost. The run
+//! asserts a >= 20% simulated-cost reduction and writes the adaptive
+//! run's deterministic artifact to `target/adaptive_refit.json`; running
+//! the example twice must produce byte-identical files (CI does exactly
+//! that with `cmp`).
+//!
+//! ```sh
+//! cargo run --release --example adaptive_refit
+//! ```
+
+use keystoneml::core::operator::Estimator;
+use keystoneml::core::pipeline::gather;
+use keystoneml::prelude::*;
+
+/// Actual pass count of the under-declared solver.
+const ACTUAL_PASSES: usize = 8;
+/// Declared pass count of the over-declared solver.
+const DECLARED_PASSES: u32 = 6;
+/// Output dimensionality of both featurizers.
+const OUT_DIM: usize = 32;
+
+/// Featurizer on the over-declared branch.
+struct WideLift;
+impl Transformer<Vec<f64>, Vec<f64>> for WideLift {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        (0..OUT_DIM)
+            .map(|j| {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, v)| v * (i + j + 1) as f64)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Featurizer on the under-declared branch.
+struct SkewLift;
+impl Transformer<Vec<f64>, Vec<f64>> for SkewLift {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        (0..OUT_DIM)
+            .map(|j| x.iter().map(|v| (v + j as f64).sqrt().abs()).sum())
+            .collect()
+    }
+}
+
+/// Subtracts the fitted per-column mean.
+struct MeanSub(Vec<f64>);
+impl Transformer<Vec<f64>, Vec<f64>> for MeanSub {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        x.iter().zip(&self.0).map(|(v, m)| v - m).collect()
+    }
+}
+
+fn column_means(data: &DistCollection<Vec<f64>>) -> Vec<f64> {
+    let rows = data.collect();
+    let n = rows.len().max(1) as f64;
+    let dim = rows.first().map(|r| r.len()).unwrap_or(0);
+    let mut mu = vec![0.0; dim];
+    for r in &rows {
+        for (m, v) in mu.iter_mut().zip(r) {
+            *m += v / n;
+        }
+    }
+    mu
+}
+
+/// Declares [`DECLARED_PASSES`] passes, converges after one.
+struct EagerSolver;
+impl Estimator<Vec<f64>, Vec<f64>> for EagerSolver {
+    fn fit(
+        &self,
+        data: &DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        Box::new(MeanSub(column_means(data)))
+    }
+
+    fn weight(&self) -> u32 {
+        DECLARED_PASSES
+    }
+}
+
+/// Declares one pass, actually iterates [`ACTUAL_PASSES`] times.
+struct StubbornSolver;
+impl Estimator<Vec<f64>, Vec<f64>> for StubbornSolver {
+    fn fit(
+        &self,
+        data: &DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        Box::new(MeanSub(column_means(data)))
+    }
+
+    fn fit_lazy(
+        &self,
+        data: &dyn Fn() -> DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        let mut mu = Vec::new();
+        for _ in 0..ACTUAL_PASSES {
+            // Each pass re-requests the featurized input, exactly like an
+            // iterative solver that was declared single-pass.
+            mu = column_means(&data());
+        }
+        Box::new(MeanSub(mu))
+    }
+}
+
+/// Skewed training set: partition 0 carries rows 4x wider than the rest.
+fn train_data() -> DistCollection<Vec<f64>> {
+    let rows: Vec<Vec<f64>> = (0..64)
+        .map(|r| {
+            let dim = if r < 16 { 48 } else { 12 };
+            (0..dim)
+                .map(|c| ((r * 31 + c * 7) % 17) as f64 * 0.25)
+                .collect()
+        })
+        .collect();
+    DistCollection::from_vec(rows, 4)
+}
+
+fn pipeline() -> Pipeline<Vec<f64>, Vec<f64>> {
+    let train = train_data();
+    let input = Pipeline::<Vec<f64>, Vec<f64>>::input();
+    let stale = input.and_then(WideLift).and_then_est(EagerSolver, &train);
+    let hot = input
+        .and_then(SkewLift)
+        .and_then_est(StubbornSolver, &train);
+    gather(&[stale, hot])
+}
+
+fn opts() -> PipelineOptions {
+    PipelineOptions {
+        profile: ProfileOptions {
+            sizes: vec![8, 16],
+            seed: 7,
+            select_operators: false,
+            deterministic_timing: true,
+        },
+        ..PipelineOptions::full()
+    }
+    // Room for exactly one featurized output: the plan's (wrong) pick and
+    // the adaptive promotion have to fight over the same budget.
+    .with_budget(40_000)
+}
+
+fn main() {
+    // Run 1: the mis-profiled plan as the optimizer believes it.
+    let off_ctx = ExecContext::default_cluster();
+    let (_off_fitted, off_report) = pipeline().fit(&off_ctx, &opts().with_adaptive(false));
+    let sim_off = off_ctx.sim.total_seconds();
+    println!("static plan:   {sim_off:.6} simulated seconds");
+    println!("  cache picks: {:?}", off_report.cache_set_labels);
+
+    // Diagnose the static run; the unpaid pick becomes a re-planner hint.
+    let off_artifact = RunArtifact::capture_fit(
+        &off_report,
+        &_off_fitted.plan(),
+        &off_ctx,
+        &CaptureOptions {
+            deterministic: true,
+            label: "adaptive-refit-static".to_string(),
+        },
+    );
+    let diagnosis = diagnose(&off_artifact);
+    let hints = replanner_hints(&diagnosis);
+    println!(
+        "  diagnosis:   {} findings, hints: {} cost overrides, {} unpaid picks",
+        diagnosis.findings.len(),
+        hints.cost_overrides.len(),
+        hints.unpaid_picks.len()
+    );
+
+    // Run 2: same workload with mid-fit adaptation enabled.
+    let on_ctx = ExecContext::default_cluster();
+    let (on_fitted, on_report) = pipeline().fit(
+        &on_ctx,
+        &opts().with_adaptive(true).with_adaptive_hints(hints),
+    );
+    let sim_on = on_ctx.sim.total_seconds();
+    let adaptation = &on_report.adaptation;
+    println!("adaptive plan: {sim_on:.6} simulated seconds");
+    println!(
+        "  {} recalibration(s), {} revision(s): promoted {:?}, evicted {:?}",
+        adaptation.recalibrations,
+        adaptation.revisions.len(),
+        adaptation.promoted(),
+        adaptation.evicted()
+    );
+
+    // The revision must have fired and swapped the picks.
+    assert!(
+        !adaptation.revisions.is_empty(),
+        "expected at least one mid-fit plan revision"
+    );
+    assert!(
+        !adaptation.promoted().is_empty() && !adaptation.evicted().is_empty(),
+        "expected the revision to both promote and evict"
+    );
+    let rows = &on_report.observability;
+    let hot_row = rows.node("SkewLift").expect("SkewLift row");
+    assert!(
+        hot_row.adapt.as_deref().unwrap_or("").contains("promoted"),
+        "SkewLift should be promoted, got {:?}",
+        hot_row.adapt
+    );
+    let stale_row = rows.node("WideLift").expect("WideLift row");
+    assert!(
+        stale_row.adapt.as_deref().unwrap_or("").contains("evicted"),
+        "WideLift pick should be evicted, got {:?}",
+        stale_row.adapt
+    );
+
+    // Cost-only guarantee: adaptation never makes the simulated run more
+    // expensive, and on this workload it must save at least 20%.
+    assert!(
+        sim_on <= sim_off + 1e-9,
+        "adaptive run costs more: {sim_on} > {sim_off}"
+    );
+    let reduction = 1.0 - sim_on / sim_off;
+    println!("reduction:     {:.1}%", reduction * 100.0);
+    assert!(
+        reduction >= 0.20,
+        "expected >= 20% simulated-cost reduction, got {:.1}%",
+        reduction * 100.0
+    );
+
+    // Persist the adaptive run's deterministic artifact; two invocations
+    // of this example must write byte-identical files.
+    let artifact = RunArtifact::capture_fit(
+        &on_report,
+        &on_fitted.plan(),
+        &on_ctx,
+        &CaptureOptions {
+            deterministic: true,
+            label: "adaptive-refit".to_string(),
+        },
+    );
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write("target/adaptive_refit.json", artifact.to_json()).expect("write artifact");
+    println!("artifact:      target/adaptive_refit.json");
+}

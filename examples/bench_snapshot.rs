@@ -6,7 +6,7 @@
 //!
 //! ```sh
 //! cargo run --release --example bench_snapshot
-//! # exit 0: within tolerance of benchmarks/BENCH_{fusion,serve,columnar}.json
+//! # exit 0: within tolerance of benchmarks/BENCH_{fusion,serve,columnar,adaptive}.json
 //! # exit 3: regression beyond tolerance — CI uploads target/BENCH_*.json
 //! KEYSTONE_BENCH_INJECT_SLOWDOWN=1 cargo run --release --example bench_snapshot
 //! # negative test: inflates the fresh sim costs 1.5x; the gate MUST fail
@@ -21,9 +21,9 @@ use std::sync::Arc;
 
 use keystone_obs::{BenchSnapshot, CaptureOptions, RegressionGate, RunArtifact, ServeSection};
 use keystoneml::core::context::ExecContext;
-use keystoneml::core::operator::{ColumnarFn, Transformer};
+use keystoneml::core::operator::{ColumnarFn, Estimator, Transformer};
 use keystoneml::core::optimizer::PipelineOptions;
-use keystoneml::core::pipeline::Pipeline;
+use keystoneml::core::pipeline::{gather, Pipeline};
 use keystoneml::core::profiler::ProfileOptions;
 use keystoneml::dataflow::collection::DistCollection;
 use keystoneml::serve::{BatchPolicy, LoadGen, Server};
@@ -59,6 +59,124 @@ fn deep_chain() -> Pipeline<Vec<f64>, Vec<f64>> {
         });
     }
     pipe
+}
+
+/// Featurizer on the over-declared branch of the adaptive workload.
+struct WideLift;
+impl Transformer<Vec<f64>, Vec<f64>> for WideLift {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        (0..32)
+            .map(|j| {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, v)| v * (i + j + 1) as f64)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Featurizer on the under-declared branch of the adaptive workload.
+struct SkewLift;
+impl Transformer<Vec<f64>, Vec<f64>> for SkewLift {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        (0..32)
+            .map(|j| x.iter().map(|v| (v + j as f64).sqrt().abs()).sum())
+            .collect()
+    }
+}
+
+struct MeanSub(Vec<f64>);
+impl Transformer<Vec<f64>, Vec<f64>> for MeanSub {
+    fn apply(&self, x: &Vec<f64>) -> Vec<f64> {
+        x.iter().zip(&self.0).map(|(v, m)| v - m).collect()
+    }
+}
+
+fn column_means(data: &DistCollection<Vec<f64>>) -> Vec<f64> {
+    let rows = data.collect();
+    let n = rows.len().max(1) as f64;
+    let dim = rows.first().map(|r| r.len()).unwrap_or(0);
+    let mut mu = vec![0.0; dim];
+    for r in &rows {
+        for (m, v) in mu.iter_mut().zip(r) {
+            *m += v / n;
+        }
+    }
+    mu
+}
+
+/// Declares 6 passes, converges after one.
+struct EagerSolver;
+impl Estimator<Vec<f64>, Vec<f64>> for EagerSolver {
+    fn fit(
+        &self,
+        data: &DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        Box::new(MeanSub(column_means(data)))
+    }
+
+    fn weight(&self) -> u32 {
+        6
+    }
+}
+
+/// Declares one pass, actually iterates 8 times.
+struct StubbornSolver;
+impl Estimator<Vec<f64>, Vec<f64>> for StubbornSolver {
+    fn fit(
+        &self,
+        data: &DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        Box::new(MeanSub(column_means(data)))
+    }
+
+    fn fit_lazy(
+        &self,
+        data: &dyn Fn() -> DistCollection<Vec<f64>>,
+        _ctx: &ExecContext,
+    ) -> Box<dyn Transformer<Vec<f64>, Vec<f64>>> {
+        let mut mu = Vec::new();
+        for _ in 0..8 {
+            mu = column_means(&data());
+        }
+        Box::new(MeanSub(mu))
+    }
+}
+
+/// The mis-profiled two-branch gather of `examples/adaptive_refit.rs`, with
+/// a skewed fat partition 0.
+fn misprofiled_pipeline() -> Pipeline<Vec<f64>, Vec<f64>> {
+    let rows: Vec<Vec<f64>> = (0..64)
+        .map(|r| {
+            let dim = if r < 16 { 48 } else { 12 };
+            (0..dim)
+                .map(|c| ((r * 31 + c * 7) % 17) as f64 * 0.25)
+                .collect()
+        })
+        .collect();
+    let train = DistCollection::from_vec(rows, 4);
+    let input = Pipeline::<Vec<f64>, Vec<f64>>::input();
+    let stale = input.and_then(WideLift).and_then_est(EagerSolver, &train);
+    let hot = input
+        .and_then(SkewLift)
+        .and_then_est(StubbornSolver, &train);
+    gather(&[stale, hot])
+}
+
+fn adaptive_opts() -> PipelineOptions {
+    PipelineOptions {
+        profile: ProfileOptions {
+            sizes: vec![8, 16],
+            seed: 7,
+            select_operators: false,
+            deterministic_timing: true,
+        },
+        ..PipelineOptions::full()
+    }
+    .with_budget(40_000)
 }
 
 fn opts() -> PipelineOptions {
@@ -127,10 +245,46 @@ fn main() {
         RunArtifact::capture_fit(&col_report, &col_fitted.plan(), &col_ctx, &capture);
     let mut columnar = BenchSnapshot::from_artifact("columnar", &columnar_artifact);
 
+    // Workload 4: adaptive re-optimization of the mis-profiled gather. The
+    // static fit prices the optimizer's (wrong) beliefs; the adaptive fit
+    // must claw back at least 20% of the simulated cost by evicting the
+    // unpaid pick and promoting the hot one mid-fit.
+    let static_ctx = ExecContext::default_cluster();
+    let (_static_fitted, _static_report) =
+        misprofiled_pipeline().fit(&static_ctx, &adaptive_opts().with_adaptive(false));
+    let sim_static = static_ctx.sim.total_seconds();
+    let adapt_ctx = ExecContext::default_cluster();
+    let (adapt_fitted, adapt_report) =
+        misprofiled_pipeline().fit(&adapt_ctx, &adaptive_opts().with_adaptive(true));
+    let sim_adaptive = adapt_ctx.sim.total_seconds();
+    assert!(
+        !adapt_report.adaptation.revisions.is_empty(),
+        "adaptive bench workload failed to trigger a revision"
+    );
+    let reduction = 1.0 - sim_adaptive / sim_static;
+    assert!(
+        reduction >= 0.20,
+        "adaptive bench workload reduced sim cost only {:.1}%",
+        reduction * 100.0
+    );
+    let adaptive_artifact =
+        RunArtifact::capture_fit(&adapt_report, &adapt_fitted.plan(), &adapt_ctx, &capture);
+    let mut adaptive = BenchSnapshot::from_artifact("adaptive", &adaptive_artifact);
+    adaptive.set("adaptive.static_sim_secs", sim_static);
+    adaptive.set("adaptive.reduction_ratio", reduction);
+    adaptive.set(
+        "adaptive.revisions",
+        adapt_report.adaptation.revisions.len() as f64,
+    );
+    adaptive.set(
+        "adaptive.recalibrations",
+        adapt_report.adaptation.recalibrations as f64,
+    );
+
     // Negative-test hook: inflate every simulated cost so the gate trips.
     if std::env::var("KEYSTONE_BENCH_INJECT_SLOWDOWN").is_ok() {
         println!("injecting 1.5x virtual slowdown (negative test)");
-        for snap in [&mut fusion, &mut serve, &mut columnar] {
+        for snap in [&mut fusion, &mut serve, &mut columnar, &mut adaptive] {
             for (metric, value) in snap.metrics.iter_mut() {
                 if metric.ends_with("_secs") {
                     *value *= 1.5;
@@ -141,7 +295,7 @@ fn main() {
 
     std::fs::create_dir_all("target").expect("create target/");
     let mut failed = false;
-    for snap in [&fusion, &serve, &columnar] {
+    for snap in [&fusion, &serve, &columnar, &adaptive] {
         let fresh_path = format!("target/BENCH_{}.json", snap.name);
         std::fs::write(&fresh_path, snap.to_json()).expect("write snapshot");
         let base_path = format!("benchmarks/BENCH_{}.json", snap.name);

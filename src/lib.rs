@@ -40,7 +40,10 @@ pub mod prelude {
         ColumnarFn, Estimator, LabelEstimator, OptimizableEstimator, OptimizableLabelEstimator,
         OptimizableTransformer, Transformer,
     };
-    pub use keystone_core::optimizer::{CachingStrategy, OptLevel, PipelineOptions};
+    pub use keystone_core::optimizer::{
+        AdaptationReport, AdaptiveHints, CachingStrategy, OptLevel, PipelineOptions,
+        RevisionRecord, ADAPT_DECISION_SECS,
+    };
     pub use keystone_core::pipeline::{gather, FitReport, FittedPipeline, Pipeline};
     pub use keystone_core::profiler::ProfileOptions;
     pub use keystone_core::record::{DataStats, Record};
@@ -53,8 +56,8 @@ pub mod prelude {
     pub use keystone_dataflow::metrics::{chrome_trace_json, MetricsRegistry, StageSkew, TaskSpan};
     pub use keystone_linalg::{DenseMatrix, SparseVector};
     pub use keystone_obs::{
-        diagnose, BenchSnapshot, CaptureOptions, Diagnosis, Finding, RegressionGate, RunArtifact,
-        Severity,
+        diagnose, replanner_hints, BenchSnapshot, CaptureOptions, Diagnosis, Finding,
+        RegressionGate, RunArtifact, Severity,
     };
     pub use keystone_ops::eval::{accuracy, top_k_error};
     pub use keystone_serve::{BatchPolicy, Request, Response, ServeOutcome, Server};

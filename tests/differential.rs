@@ -1,12 +1,14 @@
 //! Tier-1 differential-equivalence sweep (the testkit's headline oracle).
 //!
 //! Every seed in the pinned range drives one random well-typed pipeline
-//! through the full 112-cell configuration matrix — optimization level ×
+//! through the full 224-cell configuration matrix — optimization level ×
 //! materialization budget × caching strategy × partition count × seeded
-//! fault plan × whole-stage fusion on/off × columnar lowering on/off — and
-//! the held-out predictions must be bit-identical in every cell, with the
-//! four physical variants (fusion × columnar) of each configuration
-//! choosing identical materialization picks. A
+//! fault plan × whole-stage fusion on/off × columnar lowering on/off ×
+//! adaptive re-optimization on/off — and the held-out predictions must be
+//! bit-identical in every cell, with the four physical variants (fusion ×
+//! columnar) of each configuration choosing identical materialization
+//! picks and every adaptive cell staying within the charged decision
+//! overhead of its static twin's simulated fit cost. A
 //! failing cell prints (and writes to `target/testkit-failure.txt`,
 //! which CI uploads as an artifact) the seed, the generated recipe, the DAG
 //! summary, and the one-command repro:
@@ -35,11 +37,11 @@ fn optimizer_configurations_are_output_equivalent() {
             }
         }
     }
-    // The pinned sweep must cover at least 25 pipelines x 112 cells; an env
+    // The pinned sweep must cover at least 25 pipelines x 224 cells; an env
     // override (targeted repro) may legitimately run fewer.
     if std::env::var("KEYSTONE_TESTKIT_SEED").is_err() {
         assert!(
-            seeds.len() >= 25 && cells_checked >= 25 * 112,
+            seeds.len() >= 25 && cells_checked >= 25 * 224,
             "pinned sweep shrank: {} seeds, {} cells",
             seeds.len(),
             cells_checked
