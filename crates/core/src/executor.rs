@@ -73,6 +73,13 @@ pub struct Executor<'g> {
     /// How many times each node was actually computed (not served from
     /// cache/memo) — the measured counterpart of the paper's `C(v)`.
     eval_counts: Mutex<HashMap<NodeId, u64>>,
+    /// Stage-label prefix for multi-tenant attribution: when set, every
+    /// node's trace/sim/wall label becomes `{tag}:transform:{label}` etc.,
+    /// so [`SimClock::by_stage`](keystone_dataflow::simclock::SimClock)
+    /// groups charges into per-tenant lanes. `None` (the default) keeps
+    /// labels byte-identical to single-tenant runs. Mutable mid-run so the
+    /// forest wave scheduler can re-tag the executor between waves.
+    stage_tag: Mutex<Option<String>>,
 }
 
 impl<'g> Executor<'g> {
@@ -91,6 +98,27 @@ impl<'g> Executor<'g> {
             cross_run_cache: false,
             memo: Mutex::new(HashMap::new()),
             eval_counts: Mutex::new(HashMap::new()),
+            stage_tag: Mutex::new(None),
+        }
+    }
+
+    /// Sets the per-tenant stage-label prefix (builder form).
+    pub fn with_stage_tag(self, tag: impl Into<String>) -> Self {
+        *self.stage_tag.lock() = Some(tag.into());
+        self
+    }
+
+    /// Re-tags (or clears) the stage-label prefix mid-run — the forest wave
+    /// scheduler calls this before dispatching each tenant's wave.
+    pub fn set_stage_tag(&self, tag: Option<String>) {
+        *self.stage_tag.lock() = tag;
+    }
+
+    /// A node's stage label, prefixed with the tenant tag when one is set.
+    fn stage_label(&self, kind: &str, label: &str) -> String {
+        match self.stage_tag.lock().as_deref() {
+            Some(tag) => format!("{tag}:{kind}:{label}"),
+            None => format!("{kind}:{label}"),
         }
     }
 
@@ -127,6 +155,15 @@ impl<'g> Executor<'g> {
     /// In `memoize_all` mode, also offer policy-admitted data outputs to
     /// the cache so they survive this run (see the field docs). A no-op
     /// against the nothing-admitted cache single-shot apply uses.
+    ///
+    /// Cache keys are bare node ids, so every executor sharing one
+    /// cross-run cache must run the *same* graph — two plans with different
+    /// node numbering would collide keys and serve each other's outputs.
+    /// The multi-tenant forest path satisfies this by construction (all
+    /// tenants execute one merged graph); sharers with concurrent
+    /// lifetimes should hold entries via [`CacheManager::pin_shared`]
+    /// rather than the one-way `pin` flag so one owner finishing cannot
+    /// evict data another still reads.
     pub fn with_cross_run_cache(mut self) -> Self {
         self.cross_run_cache = true;
         self
@@ -265,7 +302,7 @@ impl<'g> Executor<'g> {
                     .iter()
                     .map(|&i| self.eval(i).data().clone())
                     .collect();
-                let label = format!("transform:{}", n.label);
+                let label = self.stage_label("transform", &n.label);
                 let in_count = inputs.first().map_or(0, |d| d.stats().count);
                 self.ctx.tracer.node_start(node, &label);
                 let sim_mark = self.ctx.sim.mark();
@@ -302,7 +339,7 @@ impl<'g> Executor<'g> {
                     .collect();
                 let handle_refs: Vec<&dyn InputHandle> =
                     handles.iter().map(|h| h as &dyn InputHandle).collect();
-                let label = format!("fit:{}", n.label);
+                let label = self.stage_label("fit", &n.label);
                 self.ctx.tracer.node_start(node, &label);
                 let sim_mark = self.ctx.sim.mark();
                 let sim_before = self.ctx.sim.total_seconds();
@@ -343,7 +380,7 @@ impl<'g> Executor<'g> {
             NodeKind::ModelApply => {
                 let model = self.eval(n.inputs[0]).model().clone();
                 let data = self.eval(n.inputs[1]).data().clone();
-                let label = format!("apply:{}", n.label);
+                let label = self.stage_label("apply", &n.label);
                 let in_count = data.stats().count;
                 self.ctx.tracer.node_start(node, &label);
                 let sim_mark = self.ctx.sim.mark();

@@ -30,7 +30,8 @@ pub enum NodeKind {
 }
 
 impl NodeKind {
-    fn tag(&self) -> u8 {
+    /// Small discriminant for structural signatures.
+    pub(crate) fn tag(&self) -> u8 {
         match self {
             NodeKind::RuntimeInput => 0,
             NodeKind::DataSource(_) => 1,

@@ -228,7 +228,22 @@ pub fn fuse_chains_with(
     picks: &HashSet<NodeId>,
     columnar: bool,
 ) -> FusionResult {
-    let relevant = graph.ancestors(&[output]);
+    fuse_chains_multi(graph, &[output], picks, columnar)
+}
+
+/// Multi-output generalization of [`fuse_chains_with`] for forest fits
+/// (`keystone_core::optimizer::multi`): the live subgraph is the ancestor
+/// set of *all* tenant outputs, and every output is a fusion barrier (each
+/// tenant's result must materialize under its own node id). With a single
+/// output this is exactly [`fuse_chains_with`] — the single-output path
+/// delegates here, so both produce bit-identical rewrites.
+pub fn fuse_chains_multi(
+    graph: &Graph,
+    outputs: &[NodeId],
+    picks: &HashSet<NodeId>,
+    columnar: bool,
+) -> FusionResult {
+    let relevant = graph.ancestors(outputs);
     // Consumers restricted to the live subgraph: orphans left behind by CSE
     // (or an earlier fusion pass) must not pin their former inputs.
     let consumers: Vec<Vec<NodeId>> = graph
@@ -250,7 +265,7 @@ pub fn fuse_chains_with(
     // May `id` be absorbed into its (unique) downstream consumer?
     let absorbable = |id: NodeId| {
         fusable(id)
-            && id != output
+            && !outputs.contains(&id)
             && !picks.contains(&id)
             && !feeds_estimator(id)
             && consumers[id].len() == 1

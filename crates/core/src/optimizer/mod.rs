@@ -6,6 +6,7 @@ pub mod adaptive;
 pub mod cse;
 pub mod fusion;
 pub mod materialize;
+pub mod multi;
 
 use std::collections::HashSet;
 
@@ -18,9 +19,14 @@ pub use adaptive::{
 };
 pub use cse::{eliminate_common_subexpressions, CseResult};
 pub use fusion::{
-    fuse_chains, fuse_chains_with, fused_cost, merge_profiles, FusedChain, FusedMap, FusionResult,
+    fuse_chains, fuse_chains_multi, fuse_chains_with, fused_cost, merge_profiles, FusedChain,
+    FusedMap, FusionResult,
 };
 pub use materialize::{MatNode, MatProblem};
+pub use multi::{
+    fit_forest, forest_cache_set, merge_forest, tenant_subproblem, trim_to_budget, CrossMerge,
+    ForestMerge, ForestReport, Wave, WaveScheduler,
+};
 
 /// How much of the optimizer to run (the three configurations of Fig. 9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

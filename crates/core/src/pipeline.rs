@@ -633,6 +633,17 @@ impl<A: Record, B: Record> Clone for FittedPipeline<A, B> {
 }
 
 impl<A: Record, B: Record> FittedPipeline<A, B> {
+    /// Wraps a plan in a typed handle. `Pipeline::fit` is the normal
+    /// producer; the forest fit (`keystone_core::optimizer::multi`) uses
+    /// this to hand each tenant a typed view over the shared merged graph
+    /// with that tenant's own output node.
+    pub fn from_plan(plan: Arc<ExecutablePlan>) -> Self {
+        FittedPipeline {
+            plan,
+            _ph: PhantomData,
+        }
+    }
+
     /// Applies the fitted pipeline to new data.
     pub fn apply(&self, data: &DistCollection<A>, ctx: &ExecContext) -> DistCollection<B> {
         self.plan

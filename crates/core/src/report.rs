@@ -95,6 +95,27 @@ impl NodeReport {
     }
 }
 
+/// One tenant's attribution row in a multi-tenant forest fit
+/// (`keystone_core::optimizer::multi`). Solo fits have no rows — the
+/// `tenants` section is empty unless the fit came from `fit_forest`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantRow {
+    /// Tenant index (lane `tenant{i}` in the `SimClock` ledger and the
+    /// Chrome-trace export).
+    pub tenant: usize,
+    /// The tenant's output node in the executed (possibly merged) graph.
+    pub output: NodeId,
+    /// The tenant's estimator nodes, topological order.
+    pub fit_roots: Vec<NodeId>,
+    /// Computation nodes on this tenant's ancestry shared with ≥ 1 other
+    /// tenant (0 for solo/fallback fits).
+    pub shared_nodes: usize,
+    /// Simulated seconds charged to this tenant's lane during the fit.
+    pub sim_secs: f64,
+    /// Scratch-measured simulated seconds a solo fit of this tenant costs.
+    pub solo_secs: f64,
+}
+
 /// Whole-pipeline observability report.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineReport {
@@ -114,6 +135,9 @@ pub struct PipelineReport {
     pub cache_losses: u64,
     /// Total simulated recovery seconds across nodes.
     pub recovery_secs: f64,
+    /// Per-tenant rows when this fit was part of a multi-tenant forest
+    /// (`fit_forest`); empty for ordinary solo fits.
+    pub tenants: Vec<TenantRow>,
 }
 
 fn rel_error(predicted: f64, actual: f64) -> f64 {
@@ -259,6 +283,7 @@ impl PipelineReport {
             speculative_wins: totals.speculative_wins,
             cache_losses: totals.cache_losses,
             recovery_secs: totals.recovery_secs,
+            tenants: Vec::new(),
         }
     }
 
@@ -300,6 +325,32 @@ impl PipelineReport {
         s.push_str(&self.cache_losses.to_string());
         s.push_str(",\"recovery_secs\":");
         json_f64(&mut s, self.recovery_secs);
+        s.push_str(",\"tenants\":[");
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"tenant\":");
+            s.push_str(&t.tenant.to_string());
+            s.push_str(",\"output\":");
+            s.push_str(&t.output.to_string());
+            s.push_str(",\"fit_roots\":[");
+            for (j, r) in t.fit_roots.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&r.to_string());
+            }
+            s.push(']');
+            s.push_str(",\"shared_nodes\":");
+            s.push_str(&t.shared_nodes.to_string());
+            s.push_str(",\"sim_secs\":");
+            json_f64(&mut s, t.sim_secs);
+            s.push_str(",\"solo_secs\":");
+            json_f64(&mut s, t.solo_secs);
+            s.push('}');
+        }
+        s.push(']');
         s.push_str(",\"nodes\":[");
         for (i, n) in self.nodes.iter().enumerate() {
             if i > 0 {

@@ -239,6 +239,23 @@ pub enum TraceEvent {
         /// Recalibrated-model runtime saving this revision predicts, seconds.
         predicted_saving_secs: f64,
     },
+    /// Cross-pipeline CSE found a plan region shared by two or more tenants
+    /// of a forest fit and merged it into one shared node
+    /// (`keystone_core::optimizer::multi`). Emitted once per shared node in
+    /// ascending node-id order, the same determinism discipline as
+    /// [`CseMerge`](TraceEvent::CseMerge).
+    CrossCseMerge {
+        /// Node id in the merged forest graph.
+        node: NodeId,
+        /// Node label.
+        label: String,
+        /// How many tenants' outputs depend on this node.
+        tenants: usize,
+        /// Content-addressed structural signature
+        /// ([`Graph::signatures`](crate::graph::Graph::signatures)) — stable
+        /// under tenant permutation, unlike the node id.
+        signature: u64,
+    },
 }
 
 /// Aggregate recovery statistics derived from the event stream.

@@ -27,6 +27,12 @@ pub struct SimEntry {
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
     entries: Arc<Mutex<Vec<SimEntry>>>,
+    /// Ambient lane prefix prepended (as `prefix:`) to every charged stage
+    /// label while set. The multi-tenant forest executor scopes each wave
+    /// with a `tenant{i}` prefix so charges operators make *themselves*
+    /// (e.g. a solver's `solve:lbfgs`) land in the right per-tenant lane,
+    /// not just the charges the executor issues.
+    prefix: Arc<Mutex<Option<String>>>,
 }
 
 impl SimClock {
@@ -35,10 +41,23 @@ impl SimClock {
         Self::default()
     }
 
+    /// Sets (or clears, with `None`) the ambient lane prefix. Shared by all
+    /// clones of this clock, like the ledger itself.
+    pub fn set_stage_prefix(&self, prefix: Option<String>) {
+        *self.prefix.lock() = prefix;
+    }
+
+    fn labeled(&self, stage: &str) -> String {
+        match self.prefix.lock().as_deref() {
+            Some(p) => format!("{p}:{stage}"),
+            None => stage.to_string(),
+        }
+    }
+
     /// Charges a cost profile under a stage label.
     pub fn charge(&self, stage: &str, profile: &CostProfile, r: &ResourceDesc) {
         let entry = SimEntry {
-            stage: stage.to_string(),
+            stage: self.labeled(stage),
             exec_secs: r.exec_weight * profile.exec_seconds(r),
             coord_secs: r.coord_weight * profile.coord_seconds(r),
         };
@@ -48,8 +67,9 @@ impl SimClock {
     /// Charges raw seconds directly (used when an operator measures a
     /// sample and extrapolates rather than deriving FLOPs analytically).
     pub fn charge_seconds(&self, stage: &str, exec_secs: f64, coord_secs: f64) {
+        let stage = self.labeled(stage);
         self.entries.lock().push(SimEntry {
-            stage: stage.to_string(),
+            stage,
             exec_secs,
             coord_secs,
         });
@@ -173,6 +193,23 @@ mod tests {
         );
         assert!((clock.total_seconds() - 2.0).abs() < 1e-12);
         assert!((clock.coord_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ambient_prefix_scopes_charges_into_a_lane() {
+        let clock = SimClock::new();
+        clock.charge_seconds("fit:a", 1.0, 0.0);
+        clock.set_stage_prefix(Some("tenant0".to_string()));
+        clock.charge_seconds("solve:lbfgs", 2.0, 0.0);
+        // The prefix is shared by clones, like the ledger.
+        clock.clone().charge_seconds("fit:b", 4.0, 0.0);
+        clock.set_stage_prefix(None);
+        clock.charge_seconds("fit:c", 8.0, 0.0);
+        let stages = clock.by_stage();
+        assert_eq!(
+            stages,
+            vec![("fit".to_string(), 9.0), ("tenant0".to_string(), 6.0)]
+        );
     }
 
     #[test]

@@ -58,8 +58,10 @@ use crate::json::JVal;
 ///
 /// History: v1 — initial layout; v2 — adaptive re-optimization: per-node
 /// `adapt` flags, the top-level `adaptation` section (fit runs), and the
-/// `recalibrate` / `plan_revision` event types.
-pub const SCHEMA_VERSION: u32 = 2;
+/// `recalibrate` / `plan_revision` event types; v3 — multi-tenant forest
+/// fits: the top-level `tenants` section (per-tenant attribution rows) and
+/// the `cross_cse_merge` event type.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// What kind of run the artifact records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -330,6 +332,9 @@ pub struct RunArtifact {
     /// Adaptive re-optimization summary (fit runs only; `None` elsewhere
     /// and on fits where adaptation was disabled before schema v2).
     pub adaptation: Option<keystone_core::optimizer::AdaptationReport>,
+    /// Per-tenant attribution rows when the run was a multi-tenant forest
+    /// fit (`fit_forest`); empty for ordinary runs. Schema v3.
+    pub tenants: Vec<keystone_core::report::TenantRow>,
 }
 
 fn kind_name(kind: &NodeKind) -> &'static str {
@@ -503,6 +508,7 @@ impl RunArtifact {
             recovery: ctx.tracer.recovery_stats(),
             serve,
             adaptation: None,
+            tenants: report.tenants.clone(),
         }
     }
 
@@ -707,6 +713,29 @@ impl RunArtifact {
                     Some(a) => adaptation_jval(a),
                     None => JVal::Null,
                 },
+            ),
+            (
+                "tenants",
+                JVal::Arr(
+                    self.tenants
+                        .iter()
+                        .map(|t| {
+                            JVal::obj(vec![
+                                ("tenant", JVal::UInt(t.tenant as u64)),
+                                ("output", JVal::UInt(t.output as u64)),
+                                (
+                                    "fit_roots",
+                                    JVal::Arr(
+                                        t.fit_roots.iter().map(|&n| JVal::UInt(n as u64)).collect(),
+                                    ),
+                                ),
+                                ("shared_nodes", JVal::UInt(t.shared_nodes as u64)),
+                                ("sim_secs", JVal::Num(t.sim_secs)),
+                                ("solo_secs", JVal::Num(t.solo_secs)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -1091,6 +1120,18 @@ fn event_jval(e: &TracedEvent, deterministic: bool) -> JVal {
                 JVal::Arr(evicted.iter().map(|&n| JVal::UInt(n as u64)).collect()),
             ));
             pairs.push(("predicted_saving_secs", JVal::Num(*predicted_saving_secs)));
+        }
+        TraceEvent::CrossCseMerge {
+            node,
+            label,
+            tenants,
+            signature,
+        } => {
+            pairs.push(("type", JVal::str("cross_cse_merge")));
+            pairs.push(("node", JVal::UInt(*node as u64)));
+            pairs.push(("label", JVal::str(label)));
+            pairs.push(("tenants", JVal::UInt(*tenants as u64)));
+            pairs.push(("signature", JVal::UInt(*signature)));
         }
     }
     JVal::obj(pairs)

@@ -614,6 +614,7 @@ mod tests {
             },
             serve: None,
             adaptation: None,
+            tenants: vec![],
         }
     }
 

@@ -23,6 +23,11 @@
 //!   materialization budget × partition count × caching strategy × seeded
 //!   fault plan) and require bit-identical predictions in every cell, plus
 //!   metamorphic checks of the cost model against its own laws;
+//! * [`forest`] — the multi-tenant forest axis: 2–4 seeded pipeline
+//!   variants with controlled prefix overlap, fit both independently and
+//!   through `fit_forest`'s merged plan; per-tenant held-out predictions
+//!   must match bitwise and the forest's total simulated cost may never
+//!   exceed the sum of the solo fits;
 //! * [`serve`] — the serving-equivalence oracle: the same held-out records
 //!   fed one at a time through the `keystone-serve` micro-batching
 //!   front-end (several batch-size/linger policies, including the
@@ -32,11 +37,16 @@
 //! Seeds are ordinary `u64`s; a failing seed reproduces with
 //! `KEYSTONE_TESTKIT_SEED=<seed> cargo test --test differential`.
 
+pub mod forest;
 pub mod gen;
 pub mod ops;
 pub mod oracle;
 pub mod serve;
 
+pub use forest::{
+    check_forest_seed, forest_matrix, generate_forest, ForestCell, ForestSeedReport,
+    GeneratedForest,
+};
 pub use gen::{generate, DataSpec, GeneratedPipeline, SplitMix64};
 pub use oracle::{
     check_cache_plan, check_seed, matrix, run_cell, seeds_from_env, CachePlanCheck, MatrixCell,

@@ -11,9 +11,11 @@ pub mod dense_gen;
 pub mod image_gen;
 pub mod pipelines;
 pub mod registry;
+pub mod sweep;
 pub mod text_gen;
 
 pub use dense_gen::TimitLike;
 pub use image_gen::ImageDatasetSpec;
 pub use registry::{paper_datasets, DatasetCard};
+pub use sweep::{sweep_pipelines, SweepConfig};
 pub use text_gen::AmazonLike;

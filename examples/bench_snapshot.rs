@@ -6,7 +6,7 @@
 //!
 //! ```sh
 //! cargo run --release --example bench_snapshot
-//! # exit 0: within tolerance of benchmarks/BENCH_{fusion,serve,columnar,adaptive}.json
+//! # exit 0: within tolerance of benchmarks/BENCH_{fusion,serve,columnar,adaptive,multitenant}.json
 //! # exit 3: regression beyond tolerance — CI uploads target/BENCH_*.json
 //! KEYSTONE_BENCH_INJECT_SLOWDOWN=1 cargo run --release --example bench_snapshot
 //! # negative test: inflates the fresh sim costs 1.5x; the gate MUST fail
@@ -281,10 +281,81 @@ fn main() {
         adapt_report.adaptation.recalibrations as f64,
     );
 
+    // Workload 5: the multi-tenant hyperparameter sweep fitted as a forest.
+    // N independent fits price the unshared baseline; the forest fit must
+    // merge the shared trunk and come in at least 2x cheaper.
+    let train = keystoneml::workloads::dense_gen::TimitLike {
+        n: 96,
+        dim: 8,
+        classes: 4,
+        separation: 2.0,
+        seed: 2611,
+        stream: 0,
+        partitions: 4,
+        quantize: Some(64),
+    }
+    .generate();
+    let labels = keystoneml::solvers::logistic::one_hot(&train.labels, 4);
+    let sweep_cfg = keystoneml::workloads::sweep::SweepConfig::default();
+    let tenants = keystoneml::workloads::sweep::sweep_pipelines(&sweep_cfg, &train.data, &labels);
+    let forest_opts = PipelineOptions {
+        profile: ProfileOptions {
+            sizes: vec![8, 16],
+            seed: 7,
+            select_operators: false,
+            deterministic_timing: true,
+        },
+        ..PipelineOptions::pipe_only()
+    }
+    .with_budget(1 << 30);
+    let solo_total: f64 = tenants
+        .iter()
+        .map(|t| {
+            let ctx = ExecContext::default_cluster();
+            let _ = t.fit(&ctx, &forest_opts);
+            ctx.sim.total_seconds()
+        })
+        .sum();
+    let forest_ctx = ExecContext::default_cluster();
+    let (forest_fitted, forest_report) =
+        keystoneml::core::optimizer::fit_forest(&tenants, &forest_ctx, &forest_opts);
+    let forest_secs = forest_ctx.sim.total_seconds();
+    assert!(
+        forest_report.shared,
+        "multitenant bench workload fell back to sequential fits"
+    );
+    let speedup = solo_total / forest_secs;
+    assert!(
+        speedup >= 2.0,
+        "multitenant bench workload sped up only {speedup:.2}x"
+    );
+    let forest_fit_report = forest_report.fit.as_ref().expect("shared fit report");
+    let multitenant_artifact = RunArtifact::capture_fit(
+        forest_fit_report,
+        &forest_fitted[0].plan(),
+        &forest_ctx,
+        &capture,
+    );
+    let mut multitenant = BenchSnapshot::from_artifact("multitenant", &multitenant_artifact);
+    multitenant.set("multitenant.tenants", tenants.len() as f64);
+    multitenant.set("multitenant.solo_total_sim_secs", solo_total);
+    multitenant.set("multitenant.forest_sim_secs", forest_secs);
+    multitenant.set("multitenant.speedup_ratio", speedup);
+    multitenant.set(
+        "multitenant.cross_merges",
+        forest_report.cross_merges.len() as f64,
+    );
+
     // Negative-test hook: inflate every simulated cost so the gate trips.
     if std::env::var("KEYSTONE_BENCH_INJECT_SLOWDOWN").is_ok() {
         println!("injecting 1.5x virtual slowdown (negative test)");
-        for snap in [&mut fusion, &mut serve, &mut columnar, &mut adaptive] {
+        for snap in [
+            &mut fusion,
+            &mut serve,
+            &mut columnar,
+            &mut adaptive,
+            &mut multitenant,
+        ] {
             for (metric, value) in snap.metrics.iter_mut() {
                 if metric.ends_with("_secs") {
                     *value *= 1.5;
@@ -295,7 +366,7 @@ fn main() {
 
     std::fs::create_dir_all("target").expect("create target/");
     let mut failed = false;
-    for snap in [&fusion, &serve, &columnar, &adaptive] {
+    for snap in [&fusion, &serve, &columnar, &adaptive, &multitenant] {
         let fresh_path = format!("target/BENCH_{}.json", snap.name);
         std::fs::write(&fresh_path, snap.to_json()).expect("write snapshot");
         let base_path = format!("benchmarks/BENCH_{}.json", snap.name);

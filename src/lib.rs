@@ -41,13 +41,13 @@ pub mod prelude {
         OptimizableTransformer, Transformer,
     };
     pub use keystone_core::optimizer::{
-        AdaptationReport, AdaptiveHints, CachingStrategy, OptLevel, PipelineOptions,
-        RevisionRecord, ADAPT_DECISION_SECS,
+        fit_forest, AdaptationReport, AdaptiveHints, CachingStrategy, CrossMerge, ForestReport,
+        OptLevel, PipelineOptions, RevisionRecord, ADAPT_DECISION_SECS,
     };
     pub use keystone_core::pipeline::{gather, FitReport, FittedPipeline, Pipeline};
     pub use keystone_core::profiler::ProfileOptions;
     pub use keystone_core::record::{DataStats, Record};
-    pub use keystone_core::report::{NodeReport, PipelineReport};
+    pub use keystone_core::report::{NodeReport, PipelineReport, TenantRow};
     pub use keystone_core::trace::{RecoveryStats, TraceEvent, TracedEvent, Tracer};
     pub use keystone_dataflow::cluster::{ClusterProfile, ResourceDesc};
     pub use keystone_dataflow::collection::DistCollection;

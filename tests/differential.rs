@@ -20,7 +20,7 @@
 //! `KEYSTONE_TESTKIT_SEED` accepts a single seed (`17`) or a half-open
 //! range (`0..50`).
 
-use keystone_testkit::{oracle, serve};
+use keystone_testkit::{forest, oracle, serve};
 
 #[test]
 fn optimizer_configurations_are_output_equivalent() {
@@ -54,6 +54,51 @@ fn optimizer_configurations_are_output_equivalent() {
 /// batch=1, with and without an injected fault plan) must be bit-identical
 /// to one batch `apply()`. Shares `KEYSTONE_TESTKIT_SEED` repro semantics
 /// with the optimizer matrix above.
+/// Multi-tenant forest axis: each seed generates 2–4 pipeline variants
+/// sharing a seeded trunk (0–4 stages of controlled prefix overlap), fit
+/// both independently and through `fit_forest`'s merged plan, across an
+/// opt-level × budget × caching × fusion × columnar grid. Per-tenant
+/// held-out predictions must be bit-identical between the two, and the
+/// forest's total simulated cost may never exceed the sum of the solo
+/// fits. Shares `KEYSTONE_TESTKIT_SEED` repro semantics with the matrix
+/// above.
+#[test]
+fn forest_fit_is_tenant_equivalent_and_cost_dominant() {
+    let seeds = oracle::seeds_from_env(0, 15);
+    let mut cells_checked = 0usize;
+    let mut shared_cells = 0usize;
+    for &seed in &seeds {
+        match forest::check_forest_seed(seed) {
+            Ok(report) => {
+                cells_checked += report.cells;
+                shared_cells += report.shared_cells;
+            }
+            Err(report) => {
+                let artifact = oracle::write_failure_artifact(&report)
+                    .map(|p| format!("failure report written to {}\n", p.display()))
+                    .unwrap_or_default();
+                panic!("{report}{artifact}");
+            }
+        }
+    }
+    if std::env::var("KEYSTONE_TESTKIT_SEED").is_err() {
+        let per_seed = forest::forest_matrix().len();
+        assert!(
+            cells_checked >= 15 * per_seed,
+            "pinned forest sweep shrank: {} seeds, {} cells",
+            seeds.len(),
+            cells_checked
+        );
+        // Sharing must actually engage somewhere in the pinned sweep —
+        // otherwise the dominance check degenerates to testing the
+        // fallback path only.
+        assert!(
+            shared_cells > 0,
+            "no cell in the pinned sweep took the shared merged-plan path"
+        );
+    }
+}
+
 #[test]
 fn serving_is_equivalent_to_batch_apply() {
     let seeds = oracle::seeds_from_env(0, 25);
